@@ -1,0 +1,486 @@
+//! The client-side API: what engines and workers call.
+
+use bytes::Bytes;
+use mpisim::{Comm, Rank, TagSel};
+
+use crate::datastore::DataError;
+use crate::layout::Layout;
+use crate::msg::{Request, Response, Task, TAG_REQ, TAG_RESP};
+
+/// A client (engine or worker) handle onto the ADLB subsystem.
+///
+/// All operations are synchronous request/response with a server, exactly
+/// like the real ADLB C API (`ADLB_Put`, `ADLB_Get`, `ADLB_Store`, ...).
+pub struct AdlbClient {
+    comm: Comm,
+    layout: Layout,
+    my_server: Rank,
+    shutdown_seen: bool,
+    finished_sent: bool,
+    next_id: u64,
+}
+
+impl AdlbClient {
+    /// Create the handle for this rank.
+    ///
+    /// # Panics
+    /// Panics if called on a server rank.
+    pub fn new(comm: Comm, layout: Layout) -> Self {
+        let my_server = layout.server_of(comm.rank());
+        AdlbClient {
+            comm,
+            layout,
+            my_server,
+            shutdown_seen: false,
+            finished_sent: false,
+            next_id: 0,
+        }
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> Rank {
+        self.comm.rank()
+    }
+
+    /// The machine layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Allocate a globally unique datum id (disjoint per client rank).
+    pub fn alloc_id(&mut self) -> u64 {
+        let id = self.next_id * self.layout.size as u64 + self.comm.rank() as u64;
+        self.next_id += 1;
+        id
+    }
+
+    fn request(&self, server: Rank, req: &Request) -> Response {
+        self.comm.send(server, TAG_REQ, req.encode());
+        let m = self.comm.recv(server, TagSel::Of(TAG_RESP));
+        Response::decode(&m.data).expect("bad server response")
+    }
+
+    fn data_request(&self, id: u64, req: &Request) -> Response {
+        self.request(self.layout.data_owner(id), req)
+    }
+
+    // -- work -------------------------------------------------------------
+
+    /// Submit a task. `target` pins it to a rank; `priority` is
+    /// higher-runs-first.
+    pub fn put(&self, work_type: u32, priority: i32, target: Option<Rank>, payload: Vec<u8>) {
+        let resp = self.request(
+            self.my_server,
+            &Request::Put(Task {
+                work_type,
+                priority,
+                target,
+                payload: Bytes::from(payload),
+            }),
+        );
+        match resp {
+            Response::Ok => {}
+            other => panic!("put failed: {other:?}"),
+        }
+    }
+
+    /// Block until a task of one of `work_types` is available, or global
+    /// termination (`None`).
+    pub fn get(&mut self, work_types: &[u32]) -> Option<Task> {
+        if self.shutdown_seen {
+            return None;
+        }
+        let resp = self.request(
+            self.my_server,
+            &Request::Get {
+                work_types: work_types.to_vec(),
+            },
+        );
+        match resp {
+            Response::DeliverTask(t) => Some(t),
+            Response::NoMore => {
+                self.shutdown_seen = true;
+                None
+            }
+            other => panic!("get failed: {other:?}"),
+        }
+    }
+
+    /// Declare that this client will issue no further requests. Must be
+    /// called by clients that stop calling [`AdlbClient::get`] before
+    /// shutdown, or termination detection would wait on them forever.
+    pub fn finish(&mut self) {
+        if self.shutdown_seen || self.finished_sent {
+            return;
+        }
+        self.finished_sent = true;
+        self.comm
+            .send(self.my_server, TAG_REQ, Request::Finished.encode());
+    }
+
+    // -- data -------------------------------------------------------------
+
+    fn expect_ok(resp: Response, op: &str) -> Result<(), DataError> {
+        match resp {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(DataError { message: e }),
+            other => panic!("{op}: unexpected response {other:?}"),
+        }
+    }
+
+    /// Create a datum of the given Turbine type tag.
+    pub fn create(&self, id: u64, type_tag: u8) -> Result<(), DataError> {
+        Self::expect_ok(
+            self.data_request(id, &Request::DataCreate { id, type_tag }),
+            "create",
+        )
+    }
+
+    /// Store a scalar value, closing the datum and releasing subscribers.
+    pub fn store(&self, id: u64, value: Vec<u8>) -> Result<(), DataError> {
+        Self::expect_ok(
+            self.data_request(
+                id,
+                &Request::DataStore {
+                    id,
+                    value: Bytes::from(value),
+                },
+            ),
+            "store",
+        )
+    }
+
+    /// Fetch a closed scalar's value (`None` while still open).
+    pub fn retrieve(&self, id: u64) -> Result<Option<Bytes>, DataError> {
+        match self.data_request(id, &Request::DataRetrieve { id }) {
+            Response::MaybeBytes(v) => Ok(v),
+            Response::Error(e) => Err(DataError { message: e }),
+            other => panic!("retrieve: unexpected response {other:?}"),
+        }
+    }
+
+    /// Subscribe `notify_rank` to the close of `id`. Returns `true` if the
+    /// datum is already closed (no notification will arrive).
+    pub fn subscribe(&self, id: u64, notify_rank: Rank) -> Result<bool, DataError> {
+        match self.data_request(
+            id,
+            &Request::DataSubscribe {
+                id,
+                rank: notify_rank,
+            },
+        ) {
+            Response::Bool(closed) => Ok(closed),
+            Response::Error(e) => Err(DataError { message: e }),
+            other => panic!("subscribe: unexpected response {other:?}"),
+        }
+    }
+
+    /// Insert a member into an open container.
+    pub fn insert(&self, id: u64, key: &str, value: Vec<u8>) -> Result<(), DataError> {
+        Self::expect_ok(
+            self.data_request(
+                id,
+                &Request::DataInsert {
+                    id,
+                    key: key.to_string(),
+                    value: Bytes::from(value),
+                },
+            ),
+            "insert",
+        )
+    }
+
+    /// Look up a container member.
+    pub fn lookup(&self, id: u64, key: &str) -> Result<Option<Bytes>, DataError> {
+        match self.data_request(
+            id,
+            &Request::DataLookup {
+                id,
+                key: key.to_string(),
+            },
+        ) {
+            Response::MaybeBytes(v) => Ok(v),
+            Response::Error(e) => Err(DataError { message: e }),
+            other => panic!("lookup: unexpected response {other:?}"),
+        }
+    }
+
+    /// Enumerate a container's members in subscript order.
+    pub fn enumerate(&self, id: u64) -> Result<Vec<(String, Bytes)>, DataError> {
+        match self.data_request(id, &Request::DataEnumerate { id }) {
+            Response::Pairs(p) => Ok(p),
+            Response::Error(e) => Err(DataError { message: e }),
+            other => panic!("enumerate: unexpected response {other:?}"),
+        }
+    }
+
+    /// Close a container, releasing subscribers.
+    pub fn close(&self, id: u64) -> Result<(), DataError> {
+        Self::expect_ok(self.data_request(id, &Request::DataClose { id }), "close")
+    }
+
+    /// Adjust a container's writer slot count (Swift/T slot counting); a
+    /// drop to zero closes it.
+    pub fn incr_writers(&self, id: u64, delta: i64) -> Result<(), DataError> {
+        Self::expect_ok(
+            self.data_request(id, &Request::DataIncrWriters { id, delta }),
+            "incr_writers",
+        )
+    }
+
+    /// Whether the datum exists and is closed.
+    pub fn exists(&self, id: u64) -> Result<bool, DataError> {
+        match self.data_request(id, &Request::DataExists { id }) {
+            Response::Bool(b) => Ok(b),
+            Response::Error(e) => Err(DataError { message: e }),
+            other => panic!("exists: unexpected response {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{WORK_TYPE_NOTIFY, WORK_TYPE_WORK};
+    use crate::server::{serve, ServerConfig};
+    use mpisim::World;
+
+    fn with_runtime<T: Send>(
+        size: usize,
+        servers: usize,
+        body: impl Fn(AdlbClient) -> T + Sync,
+    ) -> Vec<Option<T>> {
+        let layout = Layout::new(size, servers);
+        World::run(size, move |comm| {
+            if layout.is_server(comm.rank()) {
+                serve(comm, layout, ServerConfig::default());
+                None
+            } else {
+                Some(body(AdlbClient::new(comm, layout)))
+            }
+        })
+    }
+
+    #[test]
+    fn empty_world_terminates() {
+        // Clients that immediately finish: termination must still fire.
+        let out = with_runtime(4, 1, |mut c| {
+            c.finish();
+            true
+        });
+        assert_eq!(out.iter().flatten().count(), 3);
+    }
+
+    #[test]
+    fn tasks_flow_from_putter_to_getter() {
+        let out = with_runtime(3, 1, |mut c| {
+            if c.rank() == 0 {
+                for i in 0..10 {
+                    c.put(WORK_TYPE_WORK, 0, None, vec![i]);
+                }
+                c.finish();
+                return 0u64;
+            }
+            let mut sum = 0u64;
+            while let Some(t) = c.get(&[WORK_TYPE_WORK]) {
+                sum += t.payload[0] as u64;
+            }
+            sum
+        });
+        let total: u64 = out.iter().flatten().sum();
+        assert_eq!(total, (0..10).sum::<u64>());
+    }
+
+    #[test]
+    fn targeted_task_reaches_only_target() {
+        let out = with_runtime(4, 1, |mut c| {
+            if c.rank() == 0 {
+                c.put(WORK_TYPE_WORK, 0, Some(2), b"for-two".to_vec());
+                c.finish();
+                return None;
+            }
+            let mut got = None;
+            while let Some(t) = c.get(&[WORK_TYPE_WORK]) {
+                got = Some((c.rank(), t.payload.to_vec()));
+            }
+            got
+        });
+        let hits: Vec<_> = out.into_iter().flatten().flatten().collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 2);
+    }
+
+    #[test]
+    fn priorities_order_delivery() {
+        // One submitter, one consumer: consumer must see high priority
+        // first even though it was put last.
+        let out = with_runtime(3, 1, |mut c| {
+            if c.rank() == 0 {
+                c.put(WORK_TYPE_WORK, 1, Some(1), b"low".to_vec());
+                c.put(WORK_TYPE_WORK, 9, Some(1), b"high".to_vec());
+                // Give the server a beat so both tasks are queued before
+                // the consumer's first get.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                c.put(WORK_TYPE_WORK, 5, Some(1), b"mid".to_vec());
+                c.finish();
+                return vec![];
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let mut order = vec![];
+            while let Some(t) = c.get(&[WORK_TYPE_WORK]) {
+                order.push(String::from_utf8(t.payload.to_vec()).unwrap());
+            }
+            order
+        });
+        let order = &out[1].as_ref().unwrap()[..2];
+        assert_eq!(order, &["high".to_string(), "low".to_string()]);
+    }
+
+    #[test]
+    fn work_stealing_balances_across_servers() {
+        // 2 servers; all work is put by a client of server 0, but a client
+        // of server 1 must still receive tasks via stealing.
+        let layout = Layout::new(4, 2);
+        let out = World::run(4, move |comm| {
+            if layout.is_server(comm.rank()) {
+                let stats = serve(comm, layout, ServerConfig::default());
+                return stats.tasks_donated + stats.tasks_stolen;
+            }
+            let mut c = AdlbClient::new(comm, layout);
+            if c.rank() == 0 {
+                // Client 0 is served by server 2 (0 % 2 == 0).
+                for i in 0..20 {
+                    c.put(WORK_TYPE_WORK, 0, None, vec![i]);
+                }
+                c.finish();
+                return 0;
+            }
+            // Client 1 is served by server 3: no local puts at all.
+            let mut count = 0u64;
+            while c.get(&[WORK_TYPE_WORK]).is_some() {
+                count += 1;
+            }
+            count
+        });
+        assert_eq!(out[1], 20, "all tasks must reach the stealing side");
+        assert!(out[2] + out[3] > 0, "steal traffic must have occurred");
+    }
+
+    #[test]
+    fn data_store_round_trip() {
+        let out = with_runtime(2, 1, |mut c| {
+            if c.rank() == 0 {
+                let id = c.alloc_id();
+                c.create(id, 0).unwrap();
+                assert_eq!(c.retrieve(id).unwrap(), None);
+                c.store(id, b"payload".to_vec()).unwrap();
+                let v = c.retrieve(id).unwrap().unwrap();
+                c.finish();
+                return v.to_vec();
+            }
+            c.finish();
+            vec![]
+        });
+        assert_eq!(out[0].as_ref().unwrap(), b"payload");
+    }
+
+    #[test]
+    fn subscribe_produces_notify_task() {
+        let out = with_runtime(3, 1, |mut c| {
+            // Rank 1 subscribes, rank 0 stores; rank 1 gets a NOTIFY task.
+            let id = 7u64; // fixed id shared by convention
+            match c.rank() {
+                0 => {
+                    c.create(id, 0).unwrap();
+                    // Let rank 1 subscribe first.
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    c.store(id, b"v".to_vec()).unwrap();
+                    c.finish();
+                    u64::MAX
+                }
+                1 => {
+                    // Retry subscribe until rank 0's create lands.
+                    loop {
+                        match c.subscribe(id, 1) {
+                            Ok(false) => break,
+                            Ok(true) => return id, // already closed
+                            Err(_) => std::thread::sleep(
+                                std::time::Duration::from_millis(1),
+                            ),
+                        }
+                    }
+                    let t = c.get(&[WORK_TYPE_NOTIFY]).expect("notify task");
+                    let got = u64::from_le_bytes(t.payload[..8].try_into().unwrap());
+                    while c.get(&[WORK_TYPE_NOTIFY]).is_some() {}
+                    got
+                }
+                _ => {
+                    c.finish();
+                    u64::MAX
+                }
+            }
+        });
+        assert_eq!(out[1], Some(7));
+    }
+
+    #[test]
+    fn double_store_is_reported() {
+        let out = with_runtime(2, 1, |mut c| {
+            if c.rank() == 0 {
+                let id = c.alloc_id();
+                c.create(id, 0).unwrap();
+                c.store(id, b"a".to_vec()).unwrap();
+                let err = c.store(id, b"b".to_vec()).unwrap_err();
+                c.finish();
+                return err.message;
+            }
+            c.finish();
+            String::new()
+        });
+        assert!(out[0].as_ref().unwrap().contains("double assignment"));
+    }
+
+    #[test]
+    fn containers_work_across_ranks() {
+        let out = with_runtime(4, 2, |mut c| {
+            let id = 42u64;
+            if c.rank() == 0 {
+                c.create(id, crate::datastore::TYPE_TAG_CONTAINER).unwrap();
+                c.insert(id, "0", b"zero".to_vec()).unwrap();
+                c.insert(id, "1", b"one".to_vec()).unwrap();
+                c.close(id).unwrap();
+                c.finish();
+                return vec![];
+            }
+            // Wait until the container exists and is closed.
+            while !c.exists(id).unwrap_or(false) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            let pairs = c.enumerate(id).unwrap();
+            c.finish();
+            pairs.into_iter().map(|(k, _)| k).collect()
+        });
+        assert_eq!(out[1].as_ref().unwrap(), &["0", "1"]);
+    }
+
+    #[test]
+    fn many_workers_drain_queue() {
+        let n = 9;
+        let out = with_runtime(n + 2, 2, move |mut c| {
+            if c.rank() == 0 {
+                for i in 0..200u32 {
+                    c.put(WORK_TYPE_WORK, (i % 3) as i32, None, i.to_le_bytes().to_vec());
+                }
+                c.finish();
+                return 0u64;
+            }
+            let mut count = 0u64;
+            while c.get(&[WORK_TYPE_WORK]).is_some() {
+                count += 1;
+            }
+            count
+        });
+        let total: u64 = out.iter().flatten().sum();
+        assert_eq!(total, 200);
+    }
+}

@@ -1,0 +1,115 @@
+//! Rank layout: which ranks are servers, who serves whom, who owns a datum.
+
+use mpisim::Rank;
+
+/// The machine layout. As in Swift/T, the last `servers` ranks are ADLB
+/// servers and the rest are clients (engines + workers); typically well
+/// over 99 % of ranks are workers (Fig. 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Total ranks in the world.
+    pub size: usize,
+    /// Number of server ranks (at the top of the rank space).
+    pub servers: usize,
+}
+
+impl Layout {
+    /// Build a layout; requires at least one server and one client.
+    pub fn new(size: usize, servers: usize) -> Self {
+        assert!(servers >= 1, "need at least one ADLB server");
+        assert!(size > servers, "need at least one client rank");
+        Layout { size, servers }
+    }
+
+    /// Number of client (non-server) ranks.
+    pub fn clients(&self) -> usize {
+        self.size - self.servers
+    }
+
+    /// Whether `rank` is a server.
+    pub fn is_server(&self, rank: Rank) -> bool {
+        rank >= self.size - self.servers
+    }
+
+    /// The first server rank.
+    pub fn first_server(&self) -> Rank {
+        self.size - self.servers
+    }
+
+    /// The master server (runs termination detection).
+    pub fn master_server(&self) -> Rank {
+        self.first_server()
+    }
+
+    /// All server ranks.
+    pub fn server_ranks(&self) -> impl Iterator<Item = Rank> + '_ {
+        self.first_server()..self.size
+    }
+
+    /// All client ranks.
+    pub fn client_ranks(&self) -> impl Iterator<Item = Rank> + '_ {
+        0..self.clients()
+    }
+
+    /// The server that owns (serves) a client rank.
+    pub fn server_of(&self, client: Rank) -> Rank {
+        assert!(!self.is_server(client), "rank {client} is a server");
+        self.first_server() + client % self.servers
+    }
+
+    /// The clients served by a server rank.
+    pub fn clients_of(&self, server: Rank) -> Vec<Rank> {
+        assert!(self.is_server(server));
+        let idx = server - self.first_server();
+        (0..self.clients()).filter(|c| c % self.servers == idx).collect()
+    }
+
+    /// The server hosting datum `id` (sharded by id).
+    pub fn data_owner(&self, id: u64) -> Rank {
+        self.first_server() + (id % self.servers as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_partition_ranks() {
+        let l = Layout::new(10, 2);
+        assert_eq!(l.clients(), 8);
+        assert!(!l.is_server(0));
+        assert!(!l.is_server(7));
+        assert!(l.is_server(8));
+        assert!(l.is_server(9));
+        assert_eq!(l.server_ranks().collect::<Vec<_>>(), vec![8, 9]);
+    }
+
+    #[test]
+    fn every_client_has_a_server_and_vice_versa() {
+        let l = Layout::new(11, 3);
+        let mut seen = vec![];
+        for s in l.server_ranks() {
+            for c in l.clients_of(s) {
+                assert_eq!(l.server_of(c), s);
+                seen.push(c);
+            }
+        }
+        seen.sort();
+        assert_eq!(seen, l.client_ranks().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn data_owner_is_a_server() {
+        let l = Layout::new(7, 2);
+        for id in 0..100u64 {
+            assert!(l.is_server(l.data_owner(id)));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_servers_is_invalid() {
+        Layout::new(2, 2);
+    }
+}

@@ -1,0 +1,509 @@
+//! Wire protocol: explicit binary encoding of every ADLB message.
+
+use bytes::Bytes;
+use mpisim::{Rank, Tag, WireError, WireReader, WireWriter};
+
+/// Control work (engine-to-engine dataflow bookkeeping).
+pub const WORK_TYPE_CONTROL: u32 = 0;
+/// Ordinary leaf tasks executed by workers.
+pub const WORK_TYPE_WORK: u32 = 1;
+/// Data-close notifications, delivered as targeted high-priority tasks.
+pub const WORK_TYPE_NOTIFY: u32 = 2;
+
+/// Message tags used by the ADLB protocol (all below
+/// [`mpisim::RESERVED_TAG_BASE`]).
+pub const TAG_REQ: Tag = 10;
+pub const TAG_RESP: Tag = 11;
+pub const TAG_SRV: Tag = 12;
+
+/// A unit of work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Work type (queue selector).
+    pub work_type: u32,
+    /// Higher runs first.
+    pub priority: i32,
+    /// Pinned destination rank, if any.
+    pub target: Option<Rank>,
+    /// Opaque payload (Turbine ships Tcl fragments here).
+    pub payload: Bytes,
+}
+
+impl Task {
+    fn encode_into(&self, w: &mut WireWriter) {
+        w.put_u32(self.work_type);
+        w.put_i64(self.priority as i64);
+        w.put_i64(self.target.map(|t| t as i64).unwrap_or(-1));
+        w.put_bytes(&self.payload);
+    }
+
+    fn decode_from(r: &mut WireReader) -> Result<Task, WireError> {
+        let work_type = r.get_u32()?;
+        let priority = r.get_i64()? as i32;
+        let target = match r.get_i64()? {
+            -1 => None,
+            t => Some(t as Rank),
+        };
+        let payload = Bytes::copy_from_slice(r.get_bytes()?);
+        Ok(Task {
+            work_type,
+            priority,
+            target,
+            payload,
+        })
+    }
+}
+
+/// Client → server requests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Put(Task),
+    Get { work_types: Vec<u32> },
+    /// Client will issue no further requests; counts as permanently parked.
+    Finished,
+    DataCreate { id: u64, type_tag: u8 },
+    DataStore { id: u64, value: Bytes },
+    DataRetrieve { id: u64 },
+    DataSubscribe { id: u64, rank: Rank },
+    DataInsert { id: u64, key: String, value: Bytes },
+    DataLookup { id: u64, key: String },
+    DataEnumerate { id: u64 },
+    DataClose { id: u64 },
+    DataExists { id: u64 },
+    DataIncrWriters { id: u64, delta: i64 },
+}
+
+/// Server → client responses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Ok,
+    Bool(bool),
+    MaybeBytes(Option<Bytes>),
+    Pairs(Vec<(String, Bytes)>),
+    DeliverTask(Task),
+    /// Shutdown: no more work will ever arrive.
+    NoMore,
+    Error(String),
+}
+
+/// Server ↔ server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// Move a task to the server owning its destination.
+    Forward(Task),
+    StealReq { thief: Rank, work_types: Vec<u32> },
+    StealResp { tasks: Vec<Task> },
+    /// Termination-detection poll from the master.
+    Check { round: u64 },
+    CheckResp {
+        round: u64,
+        quiescent: bool,
+        epoch: u64,
+        fwd_out: u64,
+        fwd_in: u64,
+    },
+    Shutdown,
+}
+
+fn put_u32_list(w: &mut WireWriter, v: &[u32]) {
+    w.put_u32(v.len() as u32);
+    for x in v {
+        w.put_u32(*x);
+    }
+}
+
+fn get_u32_list(r: &mut WireReader) -> Result<Vec<u32>, WireError> {
+    let n = r.get_u32()? as usize;
+    (0..n).map(|_| r.get_u32()).collect()
+}
+
+impl Request {
+    /// Serialize for the wire.
+    pub fn encode(&self) -> Bytes {
+        let mut w = WireWriter::new();
+        match self {
+            Request::Put(t) => {
+                w.put_u8(0);
+                t.encode_into(&mut w);
+            }
+            Request::Get { work_types } => {
+                w.put_u8(1);
+                put_u32_list(&mut w, work_types);
+            }
+            Request::Finished => {
+                w.put_u8(2);
+            }
+            Request::DataCreate { id, type_tag } => {
+                w.put_u8(3);
+                w.put_u64(*id);
+                w.put_u8(*type_tag);
+            }
+            Request::DataStore { id, value } => {
+                w.put_u8(4);
+                w.put_u64(*id);
+                w.put_bytes(value);
+            }
+            Request::DataRetrieve { id } => {
+                w.put_u8(5);
+                w.put_u64(*id);
+            }
+            Request::DataSubscribe { id, rank } => {
+                w.put_u8(6);
+                w.put_u64(*id);
+                w.put_u64(*rank as u64);
+            }
+            Request::DataInsert { id, key, value } => {
+                w.put_u8(7);
+                w.put_u64(*id);
+                w.put_str(key);
+                w.put_bytes(value);
+            }
+            Request::DataLookup { id, key } => {
+                w.put_u8(8);
+                w.put_u64(*id);
+                w.put_str(key);
+            }
+            Request::DataEnumerate { id } => {
+                w.put_u8(9);
+                w.put_u64(*id);
+            }
+            Request::DataClose { id } => {
+                w.put_u8(10);
+                w.put_u64(*id);
+            }
+            Request::DataExists { id } => {
+                w.put_u8(11);
+                w.put_u64(*id);
+            }
+            Request::DataIncrWriters { id, delta } => {
+                w.put_u8(12);
+                w.put_u64(*id);
+                w.put_i64(*delta);
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserialize from the wire.
+    pub fn decode(buf: &[u8]) -> Result<Request, WireError> {
+        let mut r = WireReader::new(buf);
+        let kind = r.get_u8()?;
+        let req = match kind {
+            0 => Request::Put(Task::decode_from(&mut r)?),
+            1 => Request::Get {
+                work_types: get_u32_list(&mut r)?,
+            },
+            2 => Request::Finished,
+            3 => Request::DataCreate {
+                id: r.get_u64()?,
+                type_tag: r.get_u8()?,
+            },
+            4 => Request::DataStore {
+                id: r.get_u64()?,
+                value: Bytes::copy_from_slice(r.get_bytes()?),
+            },
+            5 => Request::DataRetrieve { id: r.get_u64()? },
+            6 => Request::DataSubscribe {
+                id: r.get_u64()?,
+                rank: r.get_u64()? as Rank,
+            },
+            7 => Request::DataInsert {
+                id: r.get_u64()?,
+                key: r.get_str()?.to_string(),
+                value: Bytes::copy_from_slice(r.get_bytes()?),
+            },
+            8 => Request::DataLookup {
+                id: r.get_u64()?,
+                key: r.get_str()?.to_string(),
+            },
+            9 => Request::DataEnumerate { id: r.get_u64()? },
+            10 => Request::DataClose { id: r.get_u64()? },
+            11 => Request::DataExists { id: r.get_u64()? },
+            12 => Request::DataIncrWriters {
+                id: r.get_u64()?,
+                delta: r.get_i64()?,
+            },
+            _ => {
+                return Err(WireError {
+                    context: "unknown request kind",
+                    offset: 0,
+                })
+            }
+        };
+        r.expect_end()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialize for the wire.
+    pub fn encode(&self) -> Bytes {
+        let mut w = WireWriter::new();
+        match self {
+            Response::Ok => {
+                w.put_u8(0);
+            }
+            Response::Bool(b) => {
+                w.put_u8(1);
+                w.put_u8(*b as u8);
+            }
+            Response::MaybeBytes(opt) => {
+                w.put_u8(2);
+                match opt {
+                    Some(b) => {
+                        w.put_u8(1);
+                        w.put_bytes(b);
+                    }
+                    None => {
+                        w.put_u8(0);
+                    }
+                }
+            }
+            Response::Pairs(pairs) => {
+                w.put_u8(3);
+                w.put_u32(pairs.len() as u32);
+                for (k, v) in pairs {
+                    w.put_str(k);
+                    w.put_bytes(v);
+                }
+            }
+            Response::DeliverTask(t) => {
+                w.put_u8(4);
+                t.encode_into(&mut w);
+            }
+            Response::NoMore => {
+                w.put_u8(5);
+            }
+            Response::Error(e) => {
+                w.put_u8(6);
+                w.put_str(e);
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserialize from the wire.
+    pub fn decode(buf: &[u8]) -> Result<Response, WireError> {
+        let mut r = WireReader::new(buf);
+        let resp = match r.get_u8()? {
+            0 => Response::Ok,
+            1 => Response::Bool(r.get_u8()? != 0),
+            2 => {
+                if r.get_u8()? == 1 {
+                    Response::MaybeBytes(Some(Bytes::copy_from_slice(r.get_bytes()?)))
+                } else {
+                    Response::MaybeBytes(None)
+                }
+            }
+            3 => {
+                let n = r.get_u32()? as usize;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = r.get_str()?.to_string();
+                    let v = Bytes::copy_from_slice(r.get_bytes()?);
+                    pairs.push((k, v));
+                }
+                Response::Pairs(pairs)
+            }
+            4 => Response::DeliverTask(Task::decode_from(&mut r)?),
+            5 => Response::NoMore,
+            6 => Response::Error(r.get_str()?.to_string()),
+            _ => {
+                return Err(WireError {
+                    context: "unknown response kind",
+                    offset: 0,
+                })
+            }
+        };
+        r.expect_end()?;
+        Ok(resp)
+    }
+}
+
+impl ServerMsg {
+    /// Serialize for the wire.
+    pub fn encode(&self) -> Bytes {
+        let mut w = WireWriter::new();
+        match self {
+            ServerMsg::Forward(t) => {
+                w.put_u8(0);
+                t.encode_into(&mut w);
+            }
+            ServerMsg::StealReq { thief, work_types } => {
+                w.put_u8(1);
+                w.put_u64(*thief as u64);
+                put_u32_list(&mut w, work_types);
+            }
+            ServerMsg::StealResp { tasks } => {
+                w.put_u8(2);
+                w.put_u32(tasks.len() as u32);
+                for t in tasks {
+                    t.encode_into(&mut w);
+                }
+            }
+            ServerMsg::Check { round } => {
+                w.put_u8(3);
+                w.put_u64(*round);
+            }
+            ServerMsg::CheckResp {
+                round,
+                quiescent,
+                epoch,
+                fwd_out,
+                fwd_in,
+            } => {
+                w.put_u8(4);
+                w.put_u64(*round);
+                w.put_u8(*quiescent as u8);
+                w.put_u64(*epoch);
+                w.put_u64(*fwd_out);
+                w.put_u64(*fwd_in);
+            }
+            ServerMsg::Shutdown => {
+                w.put_u8(5);
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserialize from the wire.
+    pub fn decode(buf: &[u8]) -> Result<ServerMsg, WireError> {
+        let mut r = WireReader::new(buf);
+        let msg = match r.get_u8()? {
+            0 => ServerMsg::Forward(Task::decode_from(&mut r)?),
+            1 => ServerMsg::StealReq {
+                thief: r.get_u64()? as Rank,
+                work_types: get_u32_list(&mut r)?,
+            },
+            2 => {
+                let n = r.get_u32()? as usize;
+                let mut tasks = Vec::with_capacity(n);
+                for _ in 0..n {
+                    tasks.push(Task::decode_from(&mut r)?);
+                }
+                ServerMsg::StealResp { tasks }
+            }
+            3 => ServerMsg::Check { round: r.get_u64()? },
+            4 => ServerMsg::CheckResp {
+                round: r.get_u64()?,
+                quiescent: r.get_u8()? != 0,
+                epoch: r.get_u64()?,
+                fwd_out: r.get_u64()?,
+                fwd_in: r.get_u64()?,
+            },
+            5 => ServerMsg::Shutdown,
+            _ => {
+                return Err(WireError {
+                    context: "unknown server message kind",
+                    offset: 0,
+                })
+            }
+        };
+        r.expect_end()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(t: u32, p: i32, target: Option<Rank>) -> Task {
+        Task {
+            work_type: t,
+            priority: p,
+            target,
+            payload: Bytes::from_static(b"payload \x00\xFF bytes"),
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let cases = vec![
+            Request::Put(task(1, -5, Some(3))),
+            Request::Put(task(0, i32::MAX, None)),
+            Request::Get {
+                work_types: vec![0, 1, 2],
+            },
+            Request::Finished,
+            Request::DataCreate { id: 7, type_tag: 3 },
+            Request::DataStore {
+                id: 9,
+                value: Bytes::from_static(b"v"),
+            },
+            Request::DataRetrieve { id: u64::MAX },
+            Request::DataSubscribe { id: 1, rank: 42 },
+            Request::DataInsert {
+                id: 2,
+                key: "k with spaces".into(),
+                value: Bytes::new(),
+            },
+            Request::DataLookup {
+                id: 2,
+                key: "k".into(),
+            },
+            Request::DataEnumerate { id: 2 },
+            Request::DataClose { id: 2 },
+            Request::DataExists { id: 0 },
+            Request::DataIncrWriters { id: 3, delta: -1 },
+        ];
+        for c in cases {
+            let enc = c.encode();
+            assert_eq!(Request::decode(&enc).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let cases = vec![
+            Response::Ok,
+            Response::Bool(true),
+            Response::Bool(false),
+            Response::MaybeBytes(None),
+            Response::MaybeBytes(Some(Bytes::from_static(b"\x01\x02"))),
+            Response::Pairs(vec![
+                ("a".into(), Bytes::from_static(b"1")),
+                ("b".into(), Bytes::new()),
+            ]),
+            Response::DeliverTask(task(2, 0, Some(0))),
+            Response::NoMore,
+            Response::Error("bad thing".into()),
+        ];
+        for c in cases {
+            assert_eq!(Response::decode(&c.encode()).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn server_msg_round_trips() {
+        let cases = vec![
+            ServerMsg::Forward(task(1, 2, Some(5))),
+            ServerMsg::StealReq {
+                thief: 8,
+                work_types: vec![1],
+            },
+            ServerMsg::StealResp {
+                tasks: vec![task(1, 0, None), task(1, 9, None)],
+            },
+            ServerMsg::Check { round: 3 },
+            ServerMsg::CheckResp {
+                round: 3,
+                quiescent: true,
+                epoch: 77,
+                fwd_out: 5,
+                fwd_in: 5,
+            },
+            ServerMsg::Shutdown,
+        ];
+        for c in cases {
+            assert_eq!(ServerMsg::decode(&c.encode()).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn truncated_messages_error() {
+        let enc = Request::Put(task(1, 1, None)).encode();
+        assert!(Request::decode(&enc[..enc.len() - 1]).is_err());
+        assert!(Request::decode(&[99]).is_err());
+    }
+}

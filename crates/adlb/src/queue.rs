@@ -1,0 +1,353 @@
+//! Server-side work queues: per-type priority queues plus targeted queues.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use mpisim::Rank;
+
+use crate::msg::Task;
+
+/// Heap entry ordered by (priority desc, arrival asc).
+struct Entry {
+    priority: i32,
+    seq: u64,
+    task: Task,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then earlier arrival (lower seq).
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// All queued work on one server.
+#[derive(Default)]
+pub struct WorkQueue {
+    untargeted: HashMap<u32, BinaryHeap<Entry>>,
+    targeted: HashMap<(Rank, u32), BinaryHeap<Entry>>,
+    seq: u64,
+    len: usize,
+}
+
+impl WorkQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total queued tasks.
+    #[allow(dead_code)] // diagnostics / tests
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of untargeted tasks (the stealable pool).
+    #[allow(dead_code)] // diagnostics / tests
+    pub fn stealable(&self) -> usize {
+        self.untargeted.values().map(BinaryHeap::len).sum()
+    }
+
+    /// Enqueue a task.
+    pub fn push(&mut self, task: Task) {
+        let e = Entry {
+            priority: task.priority,
+            seq: self.seq,
+            task,
+        };
+        self.seq += 1;
+        self.len += 1;
+        match e.task.target {
+            Some(r) => self
+                .targeted
+                .entry((r, e.task.work_type))
+                .or_default()
+                .push(e),
+            None => self.untargeted.entry(e.task.work_type).or_default().push(e),
+        }
+    }
+
+    /// Best task a requester may run: targeted-to-it first (across its
+    /// requested types, by priority), then untargeted.
+    pub fn pop_for(&mut self, rank: Rank, work_types: &[u32]) -> Option<Task> {
+        // Pick the best (priority, -seq) among matching targeted heaps.
+        let best_targeted = work_types
+            .iter()
+            .filter_map(|wt| {
+                self.targeted
+                    .get(&(rank, *wt))
+                    .and_then(|h| h.peek().map(|e| (e.priority, e.seq, *wt)))
+            })
+            .max_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.cmp(&a.1)));
+        let best_untargeted = work_types
+            .iter()
+            .filter_map(|wt| {
+                self.untargeted
+                    .get(wt)
+                    .and_then(|h| h.peek().map(|e| (e.priority, e.seq, *wt)))
+            })
+            .max_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.cmp(&a.1)));
+
+        // Targeted wins ties: it can only run here.
+        let from_targeted = match (best_targeted, best_untargeted) {
+            (Some(t), Some(u)) => t.0 >= u.0,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        self.len -= 1;
+        if from_targeted {
+            let (_, _, wt) = best_targeted.unwrap();
+            let heap = self.targeted.get_mut(&(rank, wt)).unwrap();
+            let e = heap.pop().unwrap();
+            if heap.is_empty() {
+                self.targeted.remove(&(rank, wt));
+            }
+            Some(e.task)
+        } else {
+            let (_, _, wt) = best_untargeted.unwrap();
+            let heap = self.untargeted.get_mut(&wt).unwrap();
+            let e = heap.pop().unwrap();
+            if heap.is_empty() {
+                self.untargeted.remove(&wt);
+            }
+            Some(e.task)
+        }
+    }
+
+    /// Remove up to half the untargeted tasks of the given types (at least
+    /// one if any exist) — the work-stealing donation.
+    pub fn steal(&mut self, work_types: &[u32]) -> Vec<Task> {
+        let available: usize = work_types
+            .iter()
+            .filter_map(|wt| self.untargeted.get(wt).map(BinaryHeap::len))
+            .sum();
+        if available == 0 {
+            return Vec::new();
+        }
+        let take = (available / 2).max(1);
+        let mut out = Vec::with_capacity(take);
+        // Round-robin across types, taking lowest-priority tasks is
+        // complex; take from the largest heap first (they queue longest).
+        while out.len() < take {
+            let wt = work_types
+                .iter()
+                .filter(|wt| self.untargeted.get(wt).map(|h| !h.is_empty()).unwrap_or(false))
+                .max_by_key(|wt| self.untargeted.get(wt).map(BinaryHeap::len).unwrap_or(0));
+            let Some(&wt) = wt else { break };
+            let heap = self.untargeted.get_mut(&wt).unwrap();
+            if let Some(e) = heap.pop() {
+                out.push(e.task);
+                self.len -= 1;
+            }
+            if heap.is_empty() {
+                self.untargeted.remove(&wt);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn task(wt: u32, prio: i32, target: Option<Rank>, tag: u8) -> Task {
+        Task {
+            work_type: wt,
+            priority: prio,
+            target,
+            payload: Bytes::from(vec![tag]),
+        }
+    }
+
+    #[test]
+    fn priority_then_fifo() {
+        let mut q = WorkQueue::new();
+        q.push(task(1, 0, None, 1));
+        q.push(task(1, 5, None, 2));
+        q.push(task(1, 0, None, 3));
+        assert_eq!(q.pop_for(0, &[1]).unwrap().payload[0], 2);
+        assert_eq!(q.pop_for(0, &[1]).unwrap().payload[0], 1);
+        assert_eq!(q.pop_for(0, &[1]).unwrap().payload[0], 3);
+        assert!(q.pop_for(0, &[1]).is_none());
+    }
+
+    #[test]
+    fn work_types_are_separate() {
+        let mut q = WorkQueue::new();
+        q.push(task(0, 0, None, 1));
+        q.push(task(1, 0, None, 2));
+        assert_eq!(q.pop_for(0, &[1]).unwrap().payload[0], 2);
+        assert!(q.pop_for(0, &[1]).is_none());
+        assert_eq!(q.pop_for(0, &[0]).unwrap().payload[0], 1);
+    }
+
+    #[test]
+    fn targeted_only_to_target() {
+        let mut q = WorkQueue::new();
+        q.push(task(1, 0, Some(3), 1));
+        assert!(q.pop_for(0, &[1]).is_none());
+        assert_eq!(q.pop_for(3, &[1]).unwrap().payload[0], 1);
+    }
+
+    #[test]
+    fn targeted_beats_untargeted_at_same_priority() {
+        let mut q = WorkQueue::new();
+        q.push(task(1, 0, None, 1));
+        q.push(task(1, 0, Some(5), 2));
+        assert_eq!(q.pop_for(5, &[1]).unwrap().payload[0], 2);
+    }
+
+    #[test]
+    fn higher_priority_untargeted_beats_targeted() {
+        let mut q = WorkQueue::new();
+        q.push(task(1, 10, None, 1));
+        q.push(task(1, 0, Some(5), 2));
+        assert_eq!(q.pop_for(5, &[1]).unwrap().payload[0], 1);
+    }
+
+    #[test]
+    fn steal_takes_half_untargeted_only() {
+        let mut q = WorkQueue::new();
+        for i in 0..10 {
+            q.push(task(1, 0, None, i));
+        }
+        q.push(task(1, 0, Some(2), 99));
+        let stolen = q.steal(&[1]);
+        assert_eq!(stolen.len(), 5);
+        assert_eq!(q.len(), 6); // 5 untargeted + 1 targeted
+        assert!(stolen.iter().all(|t| t.target.is_none()));
+    }
+
+    #[test]
+    fn steal_from_empty_is_empty() {
+        let mut q = WorkQueue::new();
+        assert!(q.steal(&[0, 1]).is_empty());
+        q.push(task(1, 0, Some(4), 1));
+        assert!(q.steal(&[1]).is_empty(), "targeted tasks are not stealable");
+    }
+
+    #[test]
+    fn steal_single_task() {
+        let mut q = WorkQueue::new();
+        q.push(task(1, 0, None, 1));
+        assert_eq!(q.steal(&[1]).len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn multi_type_get_prefers_best_priority() {
+        let mut q = WorkQueue::new();
+        q.push(task(0, 1, None, 1));
+        q.push(task(1, 9, None, 2));
+        assert_eq!(q.pop_for(0, &[0, 1]).unwrap().payload[0], 2);
+        assert_eq!(q.pop_for(0, &[0, 1]).unwrap().payload[0], 1);
+    }
+}
+
+#[cfg(test)]
+mod queue_properties {
+    //! Property test: the queue agrees with a naive model on delivery
+    //! order (priority desc, FIFO within priority, targeted-only-to-
+    //! target with ties won by targeted).
+
+    use super::*;
+    use bytes::Bytes;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    struct Op {
+        push: bool,
+        prio: i32,
+        target: Option<Rank>,
+        wt: u32,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        (any::<bool>(), -3i32..4, prop_oneof![Just(None), (0usize..3).prop_map(Some)], 0u32..2)
+            .prop_map(|(push, prio, target, wt)| Op {
+                push,
+                prio,
+                target,
+                wt,
+            })
+    }
+
+    /// Naive reference: linear scan for the best candidate.
+    fn model_pop(model: &mut Vec<(i32, u64, Option<Rank>, u32, u64)>, rank: Rank, wts: &[u32]) -> Option<u64> {
+        let mut best: Option<usize> = None;
+        for (idx, (prio, seq, target, wt, _id)) in model.iter().enumerate() {
+            if !wts.contains(wt) {
+                continue;
+            }
+            if target.is_some() && *target != Some(rank) {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let (bp, bs, bt, _, _) = model[b];
+                    // Higher priority first; then targeted beats
+                    // untargeted; then FIFO.
+                    (*prio, target.is_some(), std::cmp::Reverse(*seq))
+                        > (bp, bt.is_some(), std::cmp::Reverse(bs))
+                }
+            };
+            if better {
+                best = Some(idx);
+            }
+        }
+        best.map(|b| model.remove(b).4)
+    }
+
+    proptest! {
+        #[test]
+        fn queue_matches_naive_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+            let mut q = WorkQueue::new();
+            let mut model: Vec<(i32, u64, Option<Rank>, u32, u64)> = Vec::new();
+            let mut seq = 0u64;
+            let mut id = 0u64;
+            for op in &ops {
+                if op.push {
+                    q.push(Task {
+                        work_type: op.wt,
+                        priority: op.prio,
+                        target: op.target,
+                        payload: Bytes::from(id.to_le_bytes().to_vec()),
+                    });
+                    model.push((op.prio, seq, op.target, op.wt, id));
+                    seq += 1;
+                    id += 1;
+                } else {
+                    let rank = op.target.unwrap_or(0);
+                    let wts = [op.wt];
+                    let got = q
+                        .pop_for(rank, &wts)
+                        .map(|t| u64::from_le_bytes(t.payload[..8].try_into().unwrap()));
+                    let want = model_pop(&mut model, rank, &wts);
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! The ADLB server loop.
+//!
+//! A server owns: the work queues for its clients, one shard of the data
+//! store, the work-stealing policy, and (on the master server) the
+//! termination-detection protocol. Everything is message-driven; the only
+//! timer is a short receive timeout that paces steal attempts and
+//! termination polls.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+use bytes::Bytes;
+use mpisim::{Comm, Rank, Src, TagSel};
+
+use crate::datastore::DataStore;
+use crate::layout::Layout;
+use crate::msg::{Request, Response, ServerMsg, Task, TAG_REQ, TAG_RESP, TAG_SRV};
+use crate::queue::WorkQueue;
+
+/// Tunables for the server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Receive timeout pacing idle actions (steals, termination polls).
+    pub poll_interval: Duration,
+    /// Whether servers steal work from each other. Ablation E5 turns this
+    /// off to measure what load balancing buys.
+    pub steal_enabled: bool,
+    /// Priority assigned to data-close notification tasks; the default
+    /// outranks all user work so dataflow progress is never queued behind
+    /// bulk tasks.
+    pub notify_priority: i32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            poll_interval: Duration::from_micros(200),
+            steal_enabled: true,
+            notify_priority: i32::MAX,
+        }
+    }
+}
+
+/// Counters a server reports when it shuts down.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Tasks accepted via put or forward.
+    pub tasks_accepted: u64,
+    /// Tasks handed to clients.
+    pub tasks_delivered: u64,
+    /// Steal requests this server sent.
+    pub steals_attempted: u64,
+    /// Steal requests that returned at least one task.
+    pub steals_successful: u64,
+    /// Tasks obtained by stealing.
+    pub tasks_stolen: u64,
+    /// Tasks donated to thieves.
+    pub tasks_donated: u64,
+    /// Data operations served.
+    pub data_ops: u64,
+    /// Close notifications generated.
+    pub notifications: u64,
+}
+
+struct Server {
+    comm: Comm,
+    layout: Layout,
+    config: ServerConfig,
+    queue: WorkQueue,
+    store: DataStore,
+    /// Parked GET requests in arrival order.
+    parked: Vec<(Rank, Vec<u32>)>,
+    finished: HashSet<Rank>,
+    my_client_count: usize,
+    epoch: u64,
+    fwd_out: u64,
+    fwd_in: u64,
+    outstanding_steal: bool,
+    steal_victim_cursor: usize,
+    /// Consecutive empty steal responses in the current sweep.
+    empty_steal_streak: usize,
+    /// Idle ticks to wait before sweeping victims again after a fully
+    /// empty sweep. Prevents the empty-steal ping-pong from starving the
+    /// termination detector while still retrying for late remote work.
+    steal_backoff: u32,
+    // Master-only termination state.
+    check_round: u64,
+    check_responses: HashMap<Rank, (bool, u64, u64, u64)>,
+    check_in_flight: bool,
+    prev_snapshot: Option<Vec<u64>>,
+    stats: ServerStats,
+}
+
+/// Run the ADLB server loop on this rank until global termination.
+pub fn serve(comm: Comm, layout: Layout, config: ServerConfig) -> ServerStats {
+    assert!(layout.is_server(comm.rank()), "serve() on a client rank");
+    let my_client_count = layout.clients_of(comm.rank()).len();
+    let mut s = Server {
+        comm,
+        layout,
+        config,
+        queue: WorkQueue::new(),
+        store: DataStore::new(),
+        parked: Vec::new(),
+        finished: HashSet::new(),
+        my_client_count,
+        epoch: 0,
+        fwd_out: 0,
+        fwd_in: 0,
+        outstanding_steal: false,
+        steal_victim_cursor: 0,
+        empty_steal_streak: 0,
+        steal_backoff: 0,
+        check_round: 0,
+        check_responses: HashMap::new(),
+        check_in_flight: false,
+        prev_snapshot: None,
+        stats: ServerStats::default(),
+    };
+    s.run()
+}
+
+impl Server {
+    fn run(&mut self) -> ServerStats {
+        loop {
+            match self
+                .comm
+                .recv_timeout(Src::Any, TagSel::Any, self.config.poll_interval)
+            {
+                Some(m) if m.tag == TAG_REQ => {
+                    let req = Request::decode(&m.data).expect("bad client request");
+                    self.handle_request(m.source, req);
+                }
+                Some(m) if m.tag == TAG_SRV => {
+                    let msg = ServerMsg::decode(&m.data).expect("bad server message");
+                    if self.handle_server_msg(m.source, msg) {
+                        return self.shutdown();
+                    }
+                }
+                Some(m) => panic!("adlb server: unexpected tag {}", m.tag),
+                None => self.idle_actions(),
+            }
+        }
+    }
+
+    fn respond(&self, rank: Rank, resp: Response) {
+        self.comm.send(rank, TAG_RESP, resp.encode());
+    }
+
+    fn quiescent(&self) -> bool {
+        self.parked.len() + self.finished.len() == self.my_client_count
+            && self.queue.is_empty()
+            && !self.outstanding_steal
+    }
+
+    // -- task routing ----------------------------------------------------
+
+    /// Send a task toward its home: targeted tasks go to the target's
+    /// server; untargeted tasks stay here.
+    fn route_task(&mut self, task: Task) {
+        if let Some(target) = task.target {
+            let home = self.layout.server_of(target);
+            if home != self.comm.rank() {
+                self.fwd_out += 1;
+                self.comm
+                    .send(home, TAG_SRV, ServerMsg::Forward(task).encode());
+                return;
+            }
+        }
+        self.accept_task(task);
+    }
+
+    /// Deliver to a parked client or enqueue locally.
+    fn accept_task(&mut self, task: Task) {
+        self.stats.tasks_accepted += 1;
+        // New work ends any steal backoff: there may be more where this
+        // came from.
+        self.steal_backoff = 0;
+        self.empty_steal_streak = 0;
+        let slot = self.parked.iter().position(|(rank, types)| {
+            types.contains(&task.work_type)
+                && match task.target {
+                    Some(t) => *rank == t,
+                    None => true,
+                }
+        });
+        match slot {
+            Some(i) => {
+                let (rank, _) = self.parked.remove(i);
+                self.stats.tasks_delivered += 1;
+                self.respond(rank, Response::DeliverTask(task));
+            }
+            None => self.queue.push(task),
+        }
+    }
+
+    // -- client requests ---------------------------------------------------
+
+    fn handle_request(&mut self, source: Rank, req: Request) {
+        self.epoch += 1;
+        match req {
+            Request::Put(task) => {
+                self.route_task(task);
+                self.respond(source, Response::Ok);
+            }
+            Request::Get { work_types } => {
+                match self.queue.pop_for(source, &work_types) {
+                    Some(task) => {
+                        self.stats.tasks_delivered += 1;
+                        self.respond(source, Response::DeliverTask(task));
+                    }
+                    None => {
+                        self.parked.push((source, work_types));
+                        // An empty queue with parked clients is the steal
+                        // trigger; don't wait for the poll timeout.
+                        self.try_steal();
+                    }
+                }
+            }
+            Request::Finished => {
+                self.finished.insert(source);
+                self.parked.retain(|(r, _)| *r != source);
+            }
+            Request::DataCreate { id, type_tag } => {
+                self.stats.data_ops += 1;
+                let resp = match self.store.create(id, type_tag) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::Error(e.message),
+                };
+                self.respond(source, resp);
+            }
+            Request::DataStore { id, value } => {
+                self.stats.data_ops += 1;
+                match self.store.store(id, value) {
+                    Ok(subs) => {
+                        self.notify_all(id, subs);
+                        self.respond(source, Response::Ok);
+                    }
+                    Err(e) => self.respond(source, Response::Error(e.message)),
+                }
+            }
+            Request::DataRetrieve { id } => {
+                self.stats.data_ops += 1;
+                let resp = match self.store.retrieve(id) {
+                    Ok(v) => Response::MaybeBytes(v),
+                    Err(e) => Response::Error(e.message),
+                };
+                self.respond(source, resp);
+            }
+            Request::DataSubscribe { id, rank } => {
+                self.stats.data_ops += 1;
+                let resp = match self.store.subscribe(id, rank) {
+                    Ok(closed) => Response::Bool(closed),
+                    Err(e) => Response::Error(e.message),
+                };
+                self.respond(source, resp);
+            }
+            Request::DataInsert { id, key, value } => {
+                self.stats.data_ops += 1;
+                let resp = match self.store.insert(id, &key, value) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::Error(e.message),
+                };
+                self.respond(source, resp);
+            }
+            Request::DataLookup { id, key } => {
+                self.stats.data_ops += 1;
+                let resp = match self.store.lookup(id, &key) {
+                    Ok(v) => Response::MaybeBytes(v),
+                    Err(e) => Response::Error(e.message),
+                };
+                self.respond(source, resp);
+            }
+            Request::DataEnumerate { id } => {
+                self.stats.data_ops += 1;
+                let resp = match self.store.enumerate(id) {
+                    Ok(pairs) => Response::Pairs(pairs),
+                    Err(e) => Response::Error(e.message),
+                };
+                self.respond(source, resp);
+            }
+            Request::DataClose { id } => {
+                self.stats.data_ops += 1;
+                match self.store.close(id) {
+                    Ok(subs) => {
+                        self.notify_all(id, subs);
+                        self.respond(source, Response::Ok);
+                    }
+                    Err(e) => self.respond(source, Response::Error(e.message)),
+                }
+            }
+            Request::DataExists { id } => {
+                self.stats.data_ops += 1;
+                self.respond(source, Response::Bool(self.store.exists_closed(id)));
+            }
+            Request::DataIncrWriters { id, delta } => {
+                self.stats.data_ops += 1;
+                match self.store.incr_writers(id, delta) {
+                    Ok(subs) => {
+                        self.notify_all(id, subs);
+                        self.respond(source, Response::Ok);
+                    }
+                    Err(e) => self.respond(source, Response::Error(e.message)),
+                }
+            }
+        }
+    }
+
+    /// Turn a datum close into targeted high-priority notification tasks.
+    fn notify_all(&mut self, id: u64, subscribers: Vec<Rank>) {
+        for rank in subscribers {
+            self.stats.notifications += 1;
+            let task = Task {
+                work_type: crate::msg::WORK_TYPE_NOTIFY,
+                priority: self.config.notify_priority,
+                target: Some(rank),
+                payload: Bytes::copy_from_slice(&id.to_le_bytes()),
+            };
+            self.route_task(task);
+        }
+    }
+
+    // -- server messages ---------------------------------------------------
+
+    /// Returns true when this server must shut down.
+    fn handle_server_msg(&mut self, source: Rank, msg: ServerMsg) -> bool {
+        match msg {
+            ServerMsg::Forward(task) => {
+                self.epoch += 1;
+                self.fwd_in += 1;
+                self.accept_task(task);
+            }
+            ServerMsg::StealReq { thief, work_types } => {
+                let tasks = self.queue.steal(&work_types);
+                // Empty steal traffic must not perturb the epoch, or the
+                // steal retry loop would keep termination detection from
+                // ever seeing two stable rounds.
+                if !tasks.is_empty() {
+                    self.epoch += 1;
+                }
+                self.fwd_out += tasks.len() as u64;
+                self.stats.tasks_donated += tasks.len() as u64;
+                self.comm
+                    .send(thief, TAG_SRV, ServerMsg::StealResp { tasks }.encode());
+            }
+            ServerMsg::StealResp { tasks } => {
+                self.outstanding_steal = false;
+                self.fwd_in += tasks.len() as u64;
+                if tasks.is_empty() {
+                    // Try the next victim on the next idle tick; after a
+                    // fully empty sweep, back off.
+                    self.steal_victim_cursor += 1;
+                    self.empty_steal_streak += 1;
+                    if self.empty_steal_streak >= self.layout.servers - 1 {
+                        self.empty_steal_streak = 0;
+                        self.steal_backoff = 50;
+                    }
+                } else {
+                    self.epoch += 1;
+                    self.empty_steal_streak = 0;
+                    self.stats.steals_successful += 1;
+                    self.stats.tasks_stolen += tasks.len() as u64;
+                    for t in tasks {
+                        self.accept_task(t);
+                    }
+                }
+            }
+            ServerMsg::Check { round } => {
+                // Termination polls do not bump the epoch: they must not
+                // mask real quiescence.
+                let resp = ServerMsg::CheckResp {
+                    round,
+                    quiescent: self.quiescent(),
+                    epoch: self.epoch,
+                    fwd_out: self.fwd_out,
+                    fwd_in: self.fwd_in,
+                };
+                self.comm.send(source, TAG_SRV, resp.encode());
+            }
+            ServerMsg::CheckResp {
+                round,
+                quiescent,
+                epoch,
+                fwd_out,
+                fwd_in,
+            } => {
+                if round == self.check_round {
+                    self.check_responses
+                        .insert(source, (quiescent, epoch, fwd_out, fwd_in));
+                    if self.check_responses.len() == self.layout.servers - 1 {
+                        return self.evaluate_check_round();
+                    }
+                }
+            }
+            ServerMsg::Shutdown => return true,
+        }
+        false
+    }
+
+    // -- idle actions ------------------------------------------------------
+
+    fn idle_actions(&mut self) {
+        // Termination check first: a fresh steal attempt would otherwise
+        // mark this server non-quiescent on every tick.
+        if self.comm.rank() == self.layout.master_server()
+            && !self.check_in_flight
+            && self.quiescent()
+        {
+            self.start_check_round();
+        }
+        if self.steal_backoff > 0 {
+            self.steal_backoff -= 1;
+            return;
+        }
+        self.try_steal();
+    }
+
+    fn try_steal(&mut self) {
+        if !self.config.steal_enabled
+            || self.steal_backoff > 0
+            || self.outstanding_steal
+            || self.layout.servers < 2
+            || self.parked.is_empty()
+            || !self.queue.is_empty()
+        {
+            return;
+        }
+        // Union of work types our parked clients want.
+        let mut types: Vec<u32> = Vec::new();
+        for (_, ts) in &self.parked {
+            for t in ts {
+                if !types.contains(t) {
+                    types.push(*t);
+                }
+            }
+        }
+        let others: Vec<Rank> = self
+            .layout
+            .server_ranks()
+            .filter(|r| *r != self.comm.rank())
+            .collect();
+        let victim = others[self.steal_victim_cursor % others.len()];
+        self.outstanding_steal = true;
+        self.stats.steals_attempted += 1;
+        self.comm.send(
+            victim,
+            TAG_SRV,
+            ServerMsg::StealReq {
+                thief: self.comm.rank(),
+                work_types: types,
+            }
+            .encode(),
+        );
+    }
+
+    fn start_check_round(&mut self) {
+        self.check_round += 1;
+        self.check_responses.clear();
+        self.check_in_flight = true;
+        for r in self.layout.server_ranks() {
+            if r != self.comm.rank() {
+                self.comm.send(
+                    r,
+                    TAG_SRV,
+                    ServerMsg::Check {
+                        round: self.check_round,
+                    }
+                    .encode(),
+                );
+            }
+        }
+        if self.layout.servers == 1 {
+            // No peers to wait for: decide now. On termination, send the
+            // Shutdown sentinel to ourselves so run() exits through the
+            // same message-driven path as multi-server mode.
+            if self.evaluate_check_round() {
+                self.comm
+                    .send(self.comm.rank(), TAG_SRV, ServerMsg::Shutdown.encode());
+            }
+        }
+    }
+
+    /// All responses for the current round are in; decide.
+    fn evaluate_check_round(&mut self) -> bool {
+        self.check_in_flight = false;
+        let me = self.comm.rank();
+        let mut all_quiescent = self.quiescent();
+        let mut fwd_out_sum = self.fwd_out;
+        let mut fwd_in_sum = self.fwd_in;
+        let mut snapshot: Vec<u64> = Vec::with_capacity(self.layout.servers);
+        snapshot.push(self.epoch);
+        for r in self.layout.server_ranks() {
+            if r == me {
+                continue;
+            }
+            let (q, e, fo, fi) = self.check_responses[&r];
+            all_quiescent &= q;
+            fwd_out_sum += fo;
+            fwd_in_sum += fi;
+            snapshot.push(e);
+        }
+        let stable = self.prev_snapshot.as_deref() == Some(&snapshot[..]);
+        self.prev_snapshot = Some(snapshot);
+        if all_quiescent && fwd_out_sum == fwd_in_sum && stable {
+            for r in self.layout.server_ranks() {
+                if r != me {
+                    self.comm.send(r, TAG_SRV, ServerMsg::Shutdown.encode());
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    fn shutdown(&mut self) -> ServerStats {
+        for (rank, _) in std::mem::take(&mut self.parked) {
+            self.respond(rank, Response::NoMore);
+        }
+        self.stats
+    }
+}

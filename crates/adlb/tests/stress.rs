@@ -1,0 +1,185 @@
+//! Stress/invariant tests for ADLB: across random machine shapes, task
+//! mixes, priorities, and targets, every task is delivered exactly once
+//! and targeted tasks land only on their targets.
+
+use std::collections::HashSet;
+
+use adlb::{serve, AdlbClient, Layout, ServerConfig, WORK_TYPE_CONTROL, WORK_TYPE_WORK};
+use mpisim::World;
+
+/// Simple deterministic PRNG (so failures are reproducible from the seed).
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One randomized scenario: `submitters` clients put a random task mix;
+/// the other clients consume until shutdown. Returns (delivered ids per
+/// consumer rank, targeted assignments).
+fn run_scenario(seed: u64) {
+    let mut rng = Rng(seed | 1);
+    let servers = 1 + rng.below(3) as usize;
+    let consumers = 2 + rng.below(5) as usize;
+    let submitters = 1 + rng.below(2) as usize;
+    let clients = consumers + submitters;
+    let size = clients + servers;
+    let layout = Layout::new(size, servers);
+    let tasks_per_submitter = 30 + rng.below(40) as usize;
+
+    // Pre-generate the task plan so every rank agrees on expectations.
+    let mut plan: Vec<(usize, u32, i32, Option<usize>, u64)> = Vec::new(); // (submitter, wt, prio, target, id)
+    let mut id = 0u64;
+    for s in 0..submitters {
+        for _ in 0..tasks_per_submitter {
+            let wt = if rng.below(4) == 0 {
+                WORK_TYPE_CONTROL
+            } else {
+                WORK_TYPE_WORK
+            };
+            let prio = rng.below(10) as i32 - 5;
+            // ~25% targeted at a random consumer.
+            let target = if rng.below(4) == 0 {
+                Some(submitters + rng.below(consumers as u64) as usize)
+            } else {
+                None
+            };
+            plan.push((s, wt, prio, target, id));
+            id += 1;
+        }
+    }
+    let total = plan.len();
+    let plan_ref = &plan;
+
+    let out = World::run(size, move |comm| {
+        let rank = comm.rank();
+        if layout.is_server(rank) {
+            serve(comm, layout, ServerConfig::default());
+            return Vec::new();
+        }
+        let mut client = AdlbClient::new(comm, layout);
+        if rank < submitters {
+            for (s, wt, prio, target, tid) in plan_ref.iter() {
+                if *s == rank {
+                    client.put(*wt, *prio, *target, tid.to_le_bytes().to_vec());
+                }
+            }
+            client.finish();
+            return Vec::new();
+        }
+        // Consumer: accept both work types, record (id) pairs.
+        let mut got = Vec::new();
+        while let Some(t) = client.get(&[WORK_TYPE_WORK, WORK_TYPE_CONTROL]) {
+            let tid = u64::from_le_bytes(t.payload[..8].try_into().unwrap());
+            got.push(tid);
+        }
+        got
+    });
+
+    // Exactly-once delivery.
+    let mut seen = HashSet::new();
+    let mut count = 0;
+    for (rank, got) in out.iter().enumerate() {
+        for tid in got {
+            assert!(
+                seen.insert(*tid),
+                "seed {seed}: task {tid} delivered twice (second at rank {rank})"
+            );
+            count += 1;
+            // Targeted tasks land on their target.
+            let (_, _, _, target, _) = plan_ref[*tid as usize];
+            if let Some(t) = target {
+                assert_eq!(
+                    rank, t,
+                    "seed {seed}: targeted task {tid} ran on {rank}, wanted {t}"
+                );
+            }
+        }
+    }
+    assert_eq!(count, total, "seed {seed}: task count mismatch");
+}
+
+#[test]
+fn randomized_delivery_exactly_once() {
+    for seed in 1..=12u64 {
+        run_scenario(seed * 7919);
+    }
+}
+
+#[test]
+fn burst_submission_with_slow_consumers() {
+    // One submitter floods; consumers inject think-time so queues build
+    // and stealing has surplus to move.
+    let layout = Layout::new(7, 2);
+    let n = 400u64;
+    let out = World::run(7, move |comm| {
+        let rank = comm.rank();
+        if layout.is_server(rank) {
+            serve(comm, layout, ServerConfig::default());
+            return 0u64;
+        }
+        let mut client = AdlbClient::new(comm, layout);
+        if rank == 0 {
+            for i in 0..n {
+                client.put(WORK_TYPE_WORK, (i % 7) as i32, None, i.to_le_bytes().to_vec());
+            }
+            client.finish();
+            return 0;
+        }
+        let mut sum = 0u64;
+        while let Some(t) = client.get(&[WORK_TYPE_WORK]) {
+            sum += u64::from_le_bytes(t.payload[..8].try_into().unwrap());
+            if sum.is_multiple_of(13) {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+        sum
+    });
+    let total: u64 = out.iter().sum();
+    assert_eq!(total, (0..n).sum::<u64>());
+}
+
+#[test]
+fn priorities_respected_within_prefilled_queue() {
+    // Fill the queue before any consumer asks; then a single consumer
+    // must see priorities in non-increasing order.
+    let layout = Layout::new(3, 1);
+    let out = World::run(3, move |comm| {
+        let rank = comm.rank();
+        if layout.is_server(rank) {
+            serve(comm, layout, ServerConfig::default());
+            return Vec::new();
+        }
+        let mut client = AdlbClient::new(comm, layout);
+        if rank == 0 {
+            let mut rng = Rng(42);
+            for _ in 0..60 {
+                let prio = rng.below(100) as i32;
+                client.put(WORK_TYPE_WORK, prio, Some(1), prio.to_le_bytes().to_vec());
+            }
+            client.finish();
+            return Vec::new();
+        }
+        // Let the queue fill completely first.
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let mut prios = Vec::new();
+        while let Some(t) = client.get(&[WORK_TYPE_WORK]) {
+            prios.push(i32::from_le_bytes(t.payload[..4].try_into().unwrap()));
+        }
+        prios
+    });
+    let prios = &out[1];
+    assert_eq!(prios.len(), 60);
+    for w in prios.windows(2) {
+        assert!(w[0] >= w[1], "priority inversion: {prios:?}");
+    }
+}

@@ -1,0 +1,133 @@
+//! E2 — §III.C: embedded interpreters vs exec-based scripting at scale.
+//!
+//! "Previous workflow programming systems call external languages by
+//! executing the external interpreter executables. This strategy is
+//! undesirable [...] because at large scale the filesystem overheads are
+//! unacceptable." We quantify exactly that against the simulated parallel
+//! filesystem (`pfs`), whose single metadata server is the contended
+//! resource, sweeping the rank count.
+//!
+//! * **exec path** (Swift/K style): every task forks `python`, which the
+//!   filesystem sees as a storm of metadata operations — the interpreter
+//!   binary, shared libraries, and module files are stat'd/opened on
+//!   *every* task on *every* rank.
+//! * **embedded path** (Swift/T, this system): each rank loads one static
+//!   package at job start (§IV), then evaluates fragments in-process; the
+//!   filesystem sees one read per rank, total.
+//!
+//! Reported times are simulated filesystem milliseconds (deterministic);
+//! per-task interpreter compute is identical on both sides and excluded.
+
+use std::sync::Arc;
+
+use pfs::{Pfs, PfsConfig};
+use swiftt_bench::{banner, header, row, sim_ms};
+
+/// Metadata ops a `python` exec performs before user code runs: binary +
+/// dynamic libraries + imported modules. Conservative versus a real
+/// CPython start (strace shows hundreds).
+const EXEC_METADATA_OPS: usize = 40;
+/// Bytes of interpreter + stdlib the exec path reads each time.
+const EXEC_READ_BYTES: usize = 4 << 20;
+/// Bytes of the static package the embedded path reads once per rank.
+const PACKAGE_BYTES: usize = 1 << 20;
+/// Leaf tasks per rank.
+const TASKS_PER_RANK: usize = 4;
+
+fn exec_makespan(ranks: usize) -> u64 {
+    let fs = Arc::new(Pfs::new(PfsConfig::default()));
+    // Stage the interpreter installation.
+    let mut admin = fs.client();
+    admin.put("/sw/python/bin/python", &vec![0u8; EXEC_READ_BYTES]).unwrap();
+    for m in 0..EXEC_METADATA_OPS {
+        admin.put(&format!("/sw/python/lib/mod{m}.py"), b"x").unwrap();
+    }
+    let mut makespan = 0u64;
+    for _ in 0..ranks {
+        let mut c = fs.client();
+        for _ in 0..TASKS_PER_RANK {
+            // Fork + interpreter start: metadata storm then bulk read.
+            for m in 0..EXEC_METADATA_OPS {
+                c.open(&format!("/sw/python/lib/mod{m}.py")).unwrap();
+            }
+            c.read("/sw/python/bin/python").unwrap();
+        }
+        makespan = makespan.max(c.now());
+    }
+    makespan
+}
+
+fn embedded_makespan(ranks: usize) -> u64 {
+    let fs = Arc::new(Pfs::new(PfsConfig::default()));
+    let mut admin = fs.client();
+    admin.put("/sw/swiftt/package.bin", &vec![0u8; PACKAGE_BYTES]).unwrap();
+    let mut makespan = 0u64;
+    for _ in 0..ranks {
+        let mut c = fs.client();
+        // One static-package load per rank at job start; tasks touch no
+        // filesystem at all.
+        c.read("/sw/swiftt/package.bin").unwrap();
+        makespan = makespan.max(c.now());
+    }
+    makespan
+}
+
+fn main() {
+    banner(
+        "E2",
+        "exec-based interpreters vs embedded interpreters (simulated PFS)",
+        "exec per task is unacceptable at scale; embedding makes startup one read per rank",
+    );
+    println!(
+        "model: exec = {EXEC_METADATA_OPS} metadata ops + {} MiB read per task ({TASKS_PER_RANK} tasks/rank);",
+        EXEC_READ_BYTES >> 20
+    );
+    println!(
+        "       embedded = 1 static package read ({} MiB) per rank, tasks touch no FS",
+        PACKAGE_BYTES >> 20
+    );
+    println!();
+    header(
+        "ranks",
+        &["exec ms (sim)", "embed ms (sim)", "exec/embed", "md-wait ms"],
+    );
+    for ranks in [16usize, 64, 256, 1024, 4096] {
+        let fs_probe = Arc::new(Pfs::new(PfsConfig::default()));
+        drop(fs_probe);
+        let e = exec_makespan(ranks);
+        let m = embedded_makespan(ranks);
+        // Re-run exec to collect the metadata queue-wait statistic.
+        let fs = Arc::new(Pfs::new(PfsConfig::default()));
+        let mut admin = fs.client();
+        admin.put("/sw/python/bin/python", &vec![0u8; EXEC_READ_BYTES]).unwrap();
+        for mi in 0..EXEC_METADATA_OPS {
+            admin.put(&format!("/sw/python/lib/mod{mi}.py"), b"x").unwrap();
+        }
+        for _ in 0..ranks {
+            let mut c = fs.client();
+            for _ in 0..TASKS_PER_RANK {
+                for mi in 0..EXEC_METADATA_OPS {
+                    c.open(&format!("/sw/python/lib/mod{mi}.py")).unwrap();
+                }
+                c.read("/sw/python/bin/python").unwrap();
+            }
+        }
+        let wait = fs.stats().md_queue_wait_ns;
+        row(
+            &ranks.to_string(),
+            &[
+                sim_ms(e),
+                sim_ms(m),
+                format!("{:.1}x", e as f64 / m as f64),
+                sim_ms(wait),
+            ],
+        );
+    }
+    println!();
+    println!("shape check: both paths serialize on the metadata server, so makespan");
+    println!("grows linearly with ranks — but exec pays ~160x the metadata ops per");
+    println!("rank, and its queue wait (md-wait) grows quadratically. At BG/Q scale");
+    println!("(49k ranks) the exec path would hold the filesystem hostage for");
+    println!("dozens of minutes per workflow stage, reproducing the paper's");
+    println!("motivation for embedding interpreters.");
+}

@@ -1,0 +1,117 @@
+//! E3 — §III.C: retain vs reinitialize the embedded interpreter.
+//!
+//! "One approach is to finalize the interpreter at the end of each task
+//! and reinitialize it [...] This approach raises concerns about
+//! performance." We measure both policies on the same task stream, at the
+//! micro level (interpreter only) and end to end (whole machine).
+
+use swiftt_bench::{banner, header, ms, row, time_median};
+use swiftt_core::{InterpPolicy, Runtime};
+
+/// `n` python leaf tasks, each self-contained (so both policies succeed).
+fn python_chain(n: usize) -> String {
+    let mut s = String::new();
+    s.push_str("string r0 = python(\"x = 0\", \"x\");\n");
+    for i in 1..=n {
+        // Chain via the string to serialize task order on one worker.
+        s.push_str(&format!(
+            "string r{i} = python(strcat(\"x = \", r{}), \"x + 1\");\n",
+            i - 1
+        ));
+    }
+    s.push_str(&format!("trace(r{n});\n"));
+    s
+}
+
+fn main() {
+    banner(
+        "E3",
+        "interpreter state policy: retain vs reinitialize",
+        "retain avoids per-task interpreter setup; reinitialize pays it on every task",
+    );
+
+    // Micro: interpreter-only costs.
+    println!("micro: 1000 evaluations of a small python fragment");
+    header("policy", &["total ms", "per task us"]);
+    let n = 1000;
+    let retain = time_median(3, || {
+        let mut py = pythonish::Python::new();
+        for i in 0..n {
+            py.run(&format!("x = {i}"), "x * 2").unwrap();
+        }
+    });
+    let reinit = time_median(3, || {
+        for i in 0..n {
+            let mut py = pythonish::Python::new();
+            py.run(&format!("x = {i}"), "x * 2").unwrap();
+        }
+    });
+    row(
+        "retain",
+        &[ms(retain), format!("{:.2}", retain.as_secs_f64() * 1e6 / n as f64)],
+    );
+    row(
+        "reinitialize",
+        &[ms(reinit), format!("{:.2}", reinit.as_secs_f64() * 1e6 / n as f64)],
+    );
+    println!();
+    println!("note: an *empty* mini-interpreter initializes in ~1 us, so the bare");
+    println!("policies tie here — unlike CPython/libR, whose startup is tens of ms.");
+    println!("The representative case is below: real tasks carry warmed state");
+    println!("(imports, function defs, caches) that reinitialization must rebuild.");
+
+    // A heavier interpreter state (function definitions, warm caches)
+    // makes reinitialization relatively more expensive — the paper's
+    // "possible resource leaks / performance" trade-off.
+    println!();
+    println!("micro: fragment needing a 60-function preamble (heavier init)");
+    header("policy", &["total ms", "ratio"]);
+    let mut preamble = String::new();
+    for i in 0..60 {
+        preamble.push_str(&format!("def f{i}(v):\n    return v + {i}\n"));
+    }
+    let m = 200;
+    let retain_heavy = time_median(3, || {
+        let mut py = pythonish::Python::new();
+        py.exec(&preamble).unwrap();
+        for _ in 0..m {
+            py.run("", "f7(35)").unwrap();
+        }
+    });
+    let reinit_heavy = time_median(3, || {
+        for _ in 0..m {
+            let mut py = pythonish::Python::new();
+            py.exec(&preamble).unwrap();
+            py.run("", "f7(35)").unwrap();
+        }
+    });
+    row("retain", &[ms(retain_heavy), "1.00x".into()]);
+    row(
+        "reinitialize",
+        &[
+            ms(reinit_heavy),
+            format!(
+                "{:.2}x",
+                reinit_heavy.as_secs_f64() / retain_heavy.as_secs_f64()
+            ),
+        ],
+    );
+
+    // End to end: the whole machine under both policies.
+    println!();
+    println!("end-to-end: 30 chained python leaf tasks on one worker");
+    header("policy", &["makespan ms", "interp inits"]);
+    let program = python_chain(30);
+    for (name, policy) in [
+        ("retain", InterpPolicy::Retain),
+        ("reinitialize", InterpPolicy::Reinitialize),
+    ] {
+        let rt = Runtime::new(3).policy(policy);
+        let mut inits = 0;
+        let d = time_median(3, || {
+            let r = rt.run(&program).expect("run failed");
+            inits = r.total_interp_inits();
+        });
+        row(name, &[ms(d), inits.to_string()]);
+    }
+}

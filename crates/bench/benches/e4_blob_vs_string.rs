@@ -1,0 +1,63 @@
+//! E4 — §III.B: blobs vs string marshaling for bulk binary data.
+//!
+//! Blobs exist because "scientific users of native code languages often
+//! desire to operate on bulk data in arrays" and string conversion of
+//! such data is ruinous. We sweep the payload size and compare moving an
+//! f64 array through (a) the blob path (bytes stay binary end to end) and
+//! (b) the string path (decimal text round-trip, what a naive
+//! string-oriented binding would do).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use blobutils::Blob;
+
+fn blob_roundtrip(data: &[f64]) -> f64 {
+    // Producer side: wrap as a blob (one copy, as when storing a TD).
+    let blob = Blob::from_f64s(data);
+    let wire = blob.into_shared();
+    // Consumer side: typed view and a reduction.
+    let back = Blob::from_bytes(wire.to_vec());
+    back.to_f64s().unwrap().iter().sum()
+}
+
+fn string_roundtrip(data: &[f64]) -> f64 {
+    // Producer side: decimal text (what automatic string conversion does).
+    let text = data
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+    // Consumer side: parse back.
+    text.split_whitespace()
+        .map(|w| w.parse::<f64>().unwrap())
+        .sum()
+}
+
+fn bench_marshaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_blob_vs_string");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    for &n in &[128usize, 1024, 16 * 1024, 256 * 1024] {
+        let data: Vec<f64> = (0..n).map(|i| i as f64 * 0.25 + 0.125).collect();
+        group.throughput(Throughput::Bytes((n * 8) as u64));
+        group.bench_with_input(BenchmarkId::new("blob", n * 8), &data, |b, d| {
+            b.iter(|| black_box(blob_roundtrip(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("string", n * 8), &data, |b, d| {
+            b.iter(|| black_box(string_roundtrip(d)))
+        });
+    }
+    group.finish();
+
+    // Sanity print: the two paths agree.
+    let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+    assert_eq!(blob_roundtrip(&data), string_roundtrip(&data));
+    println!("\nE4 note: blob and string paths compute identical sums; the blob path");
+    println!("is the one that keeps its advantage as payloads grow (see throughput).");
+}
+
+criterion_group!(benches, bench_marshaling);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! F1 — Fig. 1: implicit dataflow pipelines run concurrently.
+//!
+//! The paper's §II.A example implies N independent f→g pipelines that
+//! Swift "will construct and execute in parallel on any available
+//! resources". Wall-clock speedup is host-dependent (this CI host may
+//! have a single core), so the reproduction measures the *scheduling*
+//! properties, which are core-independent:
+//!
+//! * how many workers actually execute pipeline stages,
+//! * how evenly stages spread (max/ideal imbalance),
+//! * the virtual makespan — max per-worker assigned compute — which is
+//!   what adding ranks shrinks on a real machine.
+//!
+//! Each leaf prints `cost <units>` from the worker that ran it, so the
+//! per-worker assignment is read straight from the per-rank output.
+
+use swiftt_bench::{banner, header, row};
+use swiftt_core::{Role, Runtime};
+
+/// Fig. 1 with per-stage simulated cost: f costs 3 units, g costs 1.
+fn fig1_program(width: usize) -> String {
+    format!(
+        r#"
+        (int o) f (int i) [
+            "puts {{cost 3}}
+             set <<o>> [ expr {{3 * <<i>> + 1}} ]"
+        ];
+        (int o) g (int t) [
+            "puts {{cost 1}}
+             set <<o>> [ expr {{<<t>> % 4}} ]"
+        ];
+        foreach i in [0:{last}] {{
+            int t = f(i);
+            if (g(t) == 0) {{ trace(t); }}
+        }}
+    "#,
+        last = width - 1,
+    )
+}
+
+/// Sum the `cost N` lines in one rank's stdout.
+fn worker_cost(stdout: &str) -> u64 {
+    stdout
+        .lines()
+        .filter_map(|l| l.strip_prefix("cost "))
+        .filter_map(|n| n.parse::<u64>().ok())
+        .sum()
+}
+
+fn main() {
+    banner(
+        "F1",
+        "dataflow pipelines from Fig. 1 (foreach of f->g)",
+        "pipelines are independent; work spreads across workers and virtual makespan shrinks as workers are added",
+    );
+    println!(
+        "host parallelism: {} core(s) — wall time is not a parallelism signal here;",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    println!("virtual makespan = max per-worker assigned cost (units).");
+    println!();
+
+    let width = 32;
+    let total_cost = (3 + 1) * width as u64; // every pipeline runs f and g
+    let program = fig1_program(width);
+
+    header(
+        "workers",
+        &["virt makespan", "ideal", "imbalance", "busy", "virt speedup"],
+    );
+    let mut base = None;
+    for workers in [1usize, 2, 4, 8, 16] {
+        let rt = Runtime::new(workers + 2);
+        let r = rt.run(&program).expect("run failed");
+        let costs: Vec<u64> = r
+            .outputs
+            .iter()
+            .filter(|o| o.role == Role::Worker)
+            .map(|o| worker_cost(&o.stdout))
+            .collect();
+        assert_eq!(costs.iter().sum::<u64>(), total_cost, "all stages ran");
+        let makespan = *costs.iter().max().unwrap();
+        let busy = costs.iter().filter(|&&c| c > 0).count();
+        let ideal = total_cost.div_ceil(workers as u64);
+        let b = *base.get_or_insert(makespan);
+        row(
+            &workers.to_string(),
+            &[
+                makespan.to_string(),
+                ideal.to_string(),
+                format!("{:.2}x", makespan as f64 / ideal as f64),
+                busy.to_string(),
+                format!("{:.2}x", b as f64 / makespan as f64),
+            ],
+        );
+    }
+
+    println!();
+    println!("series: pipeline width sweep at 8 workers");
+    header("width", &["virt makespan", "ideal", "tasks"]);
+    for w in [4usize, 8, 16, 32, 64] {
+        let program = fig1_program(w);
+        let r = Runtime::new(10).run(&program).expect("run failed");
+        let costs: Vec<u64> = r
+            .outputs
+            .iter()
+            .filter(|o| o.role == Role::Worker)
+            .map(|o| worker_cost(&o.stdout))
+            .collect();
+        let makespan = *costs.iter().max().unwrap();
+        let ideal = (4 * w as u64).div_ceil(8);
+        row(
+            &w.to_string(),
+            &[
+                makespan.to_string(),
+                ideal.to_string(),
+                r.total_tasks().to_string(),
+            ],
+        );
+    }
+    println!();
+    println!("shape check: virtual makespan tracks ideal = total/workers until the");
+    println!("pipeline width saturates the worker pool, as Fig. 1's dataflow implies.");
+}

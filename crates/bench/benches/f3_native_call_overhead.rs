@@ -1,0 +1,90 @@
+//! F3 — Fig. 3: calling native code through generated Tcl bindings.
+//!
+//! The paper's claim is architectural: once SWIG has produced Tcl
+//! bindings, native functions are callable from Swift/T at scripting-call
+//! cost. We measure the per-call overhead ladder with criterion:
+//!
+//!   direct Rust call  <  Tcl-bound native call  <  embedded Python  <  embedded R
+//!
+//! The interesting numbers are the *ratios* between rungs, which mirror
+//! the paper's motivation for pushing bulk work into native leaves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn hypot_native(x: f64, y: f64) -> f64 {
+    x.hypot(y)
+}
+
+fn bench_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_native_call_overhead");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    // Rung 0: plain Rust.
+    group.bench_function("direct_rust_call", |b| {
+        b.iter(|| black_box(hypot_native(black_box(3.0), black_box(4.0))))
+    });
+
+    // Rung 1: the same function exposed as a Tcl command (what SWIG
+    // generates), called from a Tcl fragment.
+    let interp = Rc::new(RefCell::new(tclish::Interp::new()));
+    interp.borrow_mut().register("native::hypot", |_, argv| {
+        let x: f64 = argv[1].parse().map_err(|_| tclish::Exception::error("x"))?;
+        let y: f64 = argv[2].parse().map_err(|_| tclish::Exception::error("y"))?;
+        Ok(tclish::format_double(hypot_native(x, y)))
+    });
+    {
+        let interp = interp.clone();
+        group.bench_function("tcl_bound_native_call", |b| {
+            b.iter(|| {
+                black_box(
+                    interp
+                        .borrow_mut()
+                        .eval("native::hypot 3.0 4.0")
+                        .unwrap(),
+                )
+            })
+        });
+    }
+
+    // Rung 1b: the full Swift/T leaf-task body — retrieve-free variant:
+    // template expansion result as it executes on a worker.
+    {
+        let interp = interp.clone();
+        interp
+            .borrow_mut()
+            .eval("proc leaf_task {x y} { return [ native::hypot $x $y ] }")
+            .unwrap();
+        group.bench_function("tcl_leaf_task_body", |b| {
+            b.iter(|| black_box(interp.borrow_mut().eval("leaf_task 3.0 4.0").unwrap()))
+        });
+    }
+
+    // Rung 2: embedded Python evaluating the same computation.
+    let py = Rc::new(RefCell::new(pythonish::Python::new()));
+    py.borrow_mut().exec("import math").unwrap();
+    group.bench_function("embedded_python_call", |b| {
+        b.iter(|| black_box(py.borrow_mut().run("", "math.hypot(3.0, 4.0)").unwrap()))
+    });
+
+    // Rung 3: embedded R evaluating the same computation.
+    let r = Rc::new(RefCell::new(rish::R::new()));
+    group.bench_function("embedded_r_call", |b| {
+        b.iter(|| black_box(r.borrow_mut().run("", "sqrt(3.0^2 + 4.0^2)").unwrap()))
+    });
+
+    // Rung 4: interpreter initialization (what the Reinitialize policy
+    // pays per task, §III.C).
+    group.bench_function("python_interpreter_init", |b| {
+        b.iter(|| black_box(pythonish::Python::new().run("x = 1", "x").unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ladder);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each file in `benches/` regenerates one experiment from DESIGN.md §4,
+//! printing the table/series the paper-style evaluation reports. Absolute
+//! numbers reflect the simulated substrate, not the authors' Blue Gene/Q —
+//! the *shapes* (who wins, crossover locations, scaling slopes) are the
+//! reproduction targets; see EXPERIMENTS.md.
+
+use std::time::{Duration, Instant};
+
+/// Print an experiment header in a uniform style.
+pub fn banner(id: &str, title: &str, claim: &str) {
+    println!();
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("paper claim: {claim}");
+    println!("================================================================");
+}
+
+/// Print one table row: a label column then value columns.
+pub fn row(label: &str, cols: &[String]) {
+    print!("{label:<26}");
+    for c in cols {
+        print!(" {c:>14}");
+    }
+    println!();
+}
+
+/// Print a table header row.
+pub fn header(label: &str, cols: &[&str]) {
+    row(label, &cols.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(26 + cols.len() * 15));
+}
+
+/// Median wall time of `reps` runs of `f` (first run discarded as warmup
+/// when `reps > 1`).
+pub fn time_median<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    assert!(reps >= 1);
+    let mut times = Vec::with_capacity(reps);
+    if reps > 1 {
+        f(); // warmup
+    }
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        times.push(t.elapsed());
+    }
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Format a duration in milliseconds with 2 decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Format simulated nanoseconds as milliseconds.
+pub fn sim_ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// Format a rate.
+pub fn rate(count: u64, d: Duration) -> String {
+    format!("{:.0}", count as f64 / d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_median_is_positive() {
+        let d = time_median(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ms(Duration::from_millis(1500)), "1500.00");
+        assert_eq!(sim_ms(2_000_000), "2.00");
+    }
+}

@@ -1,0 +1,304 @@
+//! The `blobutils_*` Tcl command set.
+//!
+//! These are the commands the paper's blobutils library exposes to Turbine
+//! code: create buffers from script values, peek/poke typed elements, hand
+//! handles to native functions, and release storage. Handles are the only
+//! thing that crosses the string boundary; payload bytes stay in the
+//! registry.
+
+use std::rc::Rc;
+
+use tclish::{Exception, Interp};
+
+use crate::array::FortranArray;
+use crate::blob::Blob;
+use crate::registry::{BlobHandle, SharedRegistry};
+
+fn ex(e: impl std::fmt::Display) -> Exception {
+    Exception::error(e.to_string())
+}
+
+fn parse_f64(s: &str) -> Result<f64, Exception> {
+    s.trim()
+        .parse::<f64>()
+        .map_err(|_| ex(format!("expected double but got \"{s}\"")))
+}
+
+fn parse_usize(s: &str) -> Result<usize, Exception> {
+    s.trim()
+        .parse::<usize>()
+        .map_err(|_| ex(format!("expected non-negative integer but got \"{s}\"")))
+}
+
+fn need(argv: &[String], n: usize, usage: &str) -> Result<(), Exception> {
+    if argv.len() != n {
+        return Err(ex(format!("wrong # args: should be \"{usage}\"")));
+    }
+    Ok(())
+}
+
+/// Register every `blobutils_*` command against a shared registry.
+pub fn register_blob_commands(interp: &mut Interp, reg: SharedRegistry) {
+    // blobutils_create_floats {v1 v2 ...} -> handle
+    {
+        let reg = Rc::clone(&reg);
+        interp.register("blobutils_create_floats", move |_, argv| {
+            need(argv, 2, "blobutils_create_floats valueList")?;
+            let els = tclish::parse_list(&argv[1]).map_err(ex)?;
+            let vals: Result<Vec<f64>, Exception> = els.iter().map(|e| parse_f64(e)).collect();
+            let h = reg.borrow_mut().insert(Blob::from_f64s(&vals?));
+            Ok(h.to_token())
+        });
+    }
+    // blobutils_zeroes n -> handle (n doubles, zero-filled)
+    {
+        let reg = Rc::clone(&reg);
+        interp.register("blobutils_zeroes", move |_, argv| {
+            need(argv, 2, "blobutils_zeroes count")?;
+            let n = parse_usize(&argv[1])?;
+            let h = reg.borrow_mut().insert(Blob::from_f64s(&vec![0.0; n]));
+            Ok(h.to_token())
+        });
+    }
+    // blobutils_create_string text -> handle
+    {
+        let reg = Rc::clone(&reg);
+        interp.register("blobutils_create_string", move |_, argv| {
+            need(argv, 2, "blobutils_create_string text")?;
+            let h = reg.borrow_mut().insert(Blob::from_str(&argv[1]));
+            Ok(h.to_token())
+        });
+    }
+    // blobutils_size handle -> bytes
+    {
+        let reg = Rc::clone(&reg);
+        interp.register("blobutils_size", move |_, argv| {
+            need(argv, 2, "blobutils_size handle")?;
+            let h = BlobHandle::parse(&argv[1]).map_err(ex)?;
+            Ok(reg.borrow().get(h).map_err(ex)?.len().to_string())
+        });
+    }
+    // blobutils_float_count handle -> number of doubles
+    {
+        let reg = Rc::clone(&reg);
+        interp.register("blobutils_float_count", move |_, argv| {
+            need(argv, 2, "blobutils_float_count handle")?;
+            let h = BlobHandle::parse(&argv[1]).map_err(ex)?;
+            Ok(reg
+                .borrow()
+                .get(h)
+                .map_err(ex)?
+                .f64_len()
+                .map_err(ex)?
+                .to_string())
+        });
+    }
+    // blobutils_get_float handle index -> value
+    {
+        let reg = Rc::clone(&reg);
+        interp.register("blobutils_get_float", move |_, argv| {
+            need(argv, 3, "blobutils_get_float handle index")?;
+            let h = BlobHandle::parse(&argv[1]).map_err(ex)?;
+            let i = parse_usize(&argv[2])?;
+            let v = reg.borrow().get(h).map_err(ex)?.get_f64(i).map_err(ex)?;
+            Ok(tclish::format_double(v))
+        });
+    }
+    // blobutils_set_float handle index value
+    {
+        let reg = Rc::clone(&reg);
+        interp.register("blobutils_set_float", move |_, argv| {
+            need(argv, 4, "blobutils_set_float handle index value")?;
+            let h = BlobHandle::parse(&argv[1]).map_err(ex)?;
+            let i = parse_usize(&argv[2])?;
+            let v = parse_f64(&argv[3])?;
+            reg.borrow_mut()
+                .get_mut(h)
+                .map_err(ex)?
+                .set_f64(i, v)
+                .map_err(ex)?;
+            Ok(String::new())
+        });
+    }
+    // blobutils_to_list handle -> Tcl list of doubles
+    {
+        let reg = Rc::clone(&reg);
+        interp.register("blobutils_to_list", move |_, argv| {
+            need(argv, 2, "blobutils_to_list handle")?;
+            let h = BlobHandle::parse(&argv[1]).map_err(ex)?;
+            let vals = reg.borrow().get(h).map_err(ex)?.to_f64s().map_err(ex)?;
+            let strs: Vec<String> = vals
+                .iter()
+                .map(|v| tclish::format_double(*v))
+                .collect();
+            Ok(tclish::format_list(&strs))
+        });
+    }
+    // blobutils_to_string handle -> UTF-8 contents
+    {
+        let reg = Rc::clone(&reg);
+        interp.register("blobutils_to_string", move |_, argv| {
+            need(argv, 2, "blobutils_to_string handle")?;
+            let h = BlobHandle::parse(&argv[1]).map_err(ex)?;
+            reg.borrow().get(h).map_err(ex)?.to_utf8().map_err(ex)
+        });
+    }
+    // blobutils_sum_floats handle -> sum (a tiny "native" kernel)
+    {
+        let reg = Rc::clone(&reg);
+        interp.register("blobutils_sum_floats", move |_, argv| {
+            need(argv, 2, "blobutils_sum_floats handle")?;
+            let h = BlobHandle::parse(&argv[1]).map_err(ex)?;
+            let vals = reg.borrow().get(h).map_err(ex)?.to_f64s().map_err(ex)?;
+            Ok(tclish::format_double(vals.iter().sum()))
+        });
+    }
+    // blobutils_release handle
+    {
+        let reg = Rc::clone(&reg);
+        interp.register("blobutils_release", move |_, argv| {
+            need(argv, 2, "blobutils_release handle")?;
+            let h = BlobHandle::parse(&argv[1]).map_err(ex)?;
+            reg.borrow_mut().release(h).map_err(ex)?;
+            Ok(String::new())
+        });
+    }
+    // blobutils_array_create {d1 d2 ...} -> handle to Fortran-order array blob
+    {
+        let reg = Rc::clone(&reg);
+        interp.register("blobutils_array_create", move |_, argv| {
+            need(argv, 2, "blobutils_array_create dimsList")?;
+            let dims: Result<Vec<usize>, Exception> = tclish::parse_list(&argv[1])
+                .map_err(ex)?
+                .iter()
+                .map(|d| parse_usize(d))
+                .collect();
+            let dims = dims?;
+            if dims.is_empty() || dims.contains(&0) {
+                return Err(ex("dimensions must be positive"));
+            }
+            let arr = FortranArray::zeros(&dims);
+            let h = reg.borrow_mut().insert(arr.to_blob());
+            Ok(h.to_token())
+        });
+    }
+    // blobutils_array_get handle {i j ...} -> value
+    {
+        let reg = Rc::clone(&reg);
+        interp.register("blobutils_array_get", move |_, argv| {
+            need(argv, 3, "blobutils_array_get handle indexList")?;
+            let h = BlobHandle::parse(&argv[1]).map_err(ex)?;
+            let idx: Result<Vec<usize>, Exception> = tclish::parse_list(&argv[2])
+                .map_err(ex)?
+                .iter()
+                .map(|d| parse_usize(d))
+                .collect();
+            let arr = FortranArray::from_blob(reg.borrow().get(h).map_err(ex)?).map_err(ex)?;
+            let v = arr.get(&idx?).map_err(ex)?;
+            Ok(tclish::format_double(v))
+        });
+    }
+    // blobutils_array_set handle {i j ...} value
+    {
+        let reg = Rc::clone(&reg);
+        interp.register("blobutils_array_set", move |_, argv| {
+            need(argv, 4, "blobutils_array_set handle indexList value")?;
+            let h = BlobHandle::parse(&argv[1]).map_err(ex)?;
+            let idx: Result<Vec<usize>, Exception> = tclish::parse_list(&argv[2])
+                .map_err(ex)?
+                .iter()
+                .map(|d| parse_usize(d))
+                .collect();
+            let v = parse_f64(&argv[3])?;
+            let mut rb = reg.borrow_mut();
+            let blob = rb.get_mut(h).map_err(ex)?;
+            let mut arr = FortranArray::from_blob(blob).map_err(ex)?;
+            arr.set(&idx?, v).map_err(ex)?;
+            *blob = arr.to_blob();
+            Ok(String::new())
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::BlobRegistry;
+    use std::cell::RefCell;
+
+    fn setup() -> (Interp, SharedRegistry) {
+        let mut i = Interp::new();
+        let reg: SharedRegistry = Rc::new(RefCell::new(BlobRegistry::new()));
+        register_blob_commands(&mut i, reg.clone());
+        (i, reg)
+    }
+
+    #[test]
+    fn create_and_read_back() {
+        let (mut i, _) = setup();
+        let out = i
+            .eval("set b [blobutils_create_floats {1.5 2.5}]; blobutils_to_list $b")
+            .unwrap();
+        assert_eq!(out, "1.5 2.5");
+    }
+
+    #[test]
+    fn zeroes_and_size() {
+        let (mut i, _) = setup();
+        assert_eq!(
+            i.eval("blobutils_size [blobutils_zeroes 10]").unwrap(),
+            "80"
+        );
+        assert_eq!(
+            i.eval("blobutils_float_count [blobutils_zeroes 10]")
+                .unwrap(),
+            "10"
+        );
+    }
+
+    #[test]
+    fn string_blobs() {
+        let (mut i, _) = setup();
+        assert_eq!(
+            i.eval("blobutils_to_string [blobutils_create_string hi]")
+                .unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn release_frees() {
+        let (mut i, reg) = setup();
+        i.eval("set b [blobutils_zeroes 4]; blobutils_release $b")
+            .unwrap();
+        assert!(reg.borrow().is_empty());
+        assert!(i.eval("blobutils_size $b").is_err());
+    }
+
+    #[test]
+    fn fortran_array_via_tcl() {
+        let (mut i, _) = setup();
+        let script = r#"
+            set a [blobutils_array_create {3 2}]
+            blobutils_array_set $a {2 1} 7.5
+            blobutils_array_get $a {2 1}
+        "#;
+        assert_eq!(i.eval(script).unwrap(), "7.5");
+    }
+
+    #[test]
+    fn out_of_bounds_error_reaches_tcl() {
+        let (mut i, _) = setup();
+        let err = i
+            .eval("blobutils_array_get [blobutils_array_create {2 2}] {5 0}")
+            .unwrap_err();
+        assert!(err.message.contains("out of bounds"));
+    }
+
+    #[test]
+    fn bad_handle_rejected() {
+        let (mut i, _) = setup();
+        assert!(i.eval("blobutils_size nonsense").is_err());
+        assert!(i.eval("blobutils_size blob#9999").is_err());
+    }
+}

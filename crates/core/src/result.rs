@@ -1,0 +1,91 @@
+//! Run results and error types.
+
+use std::time::Duration;
+
+use turbine::{RankOutput, Role};
+
+/// Why a run could not produce a result.
+#[derive(Debug)]
+pub enum SwiftTError {
+    /// The Swift source did not compile.
+    Compile(stc::CompileError),
+    /// A rank failed during execution (Tcl error, dataflow violation,
+    /// double assignment, ...).
+    Runtime(String),
+}
+
+impl std::fmt::Display for SwiftTError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwiftTError::Compile(e) => write!(f, "{e}"),
+            SwiftTError::Runtime(m) => write!(f, "runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SwiftTError {}
+
+impl From<stc::CompileError> for SwiftTError {
+    fn from(e: stc::CompileError) -> Self {
+        SwiftTError::Compile(e)
+    }
+}
+
+/// The outcome of a successful run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// All `printf`/`puts`/embedded-interpreter output, concatenated in
+    /// rank order (within a rank, output is in execution order).
+    pub stdout: String,
+    /// Per-rank details.
+    pub outputs: Vec<RankOutput>,
+    /// Wall-clock duration of the whole world.
+    pub elapsed: Duration,
+    /// Point-to-point messages the run sent (from `mpisim`).
+    pub messages: u64,
+    /// Payload bytes the run sent.
+    pub bytes: u64,
+}
+
+impl RunResult {
+    /// Total leaf tasks executed across all workers.
+    pub fn total_tasks(&self) -> u64 {
+        self.outputs.iter().map(|o| o.tasks_executed).sum()
+    }
+
+    /// Total rules fired across all engines.
+    pub fn total_rules_fired(&self) -> u64 {
+        self.outputs.iter().map(|o| o.rules_fired).sum()
+    }
+
+    /// Total Python/R interpreter initializations.
+    pub fn total_interp_inits(&self) -> u64 {
+        self.outputs.iter().map(|o| o.interp_inits).sum()
+    }
+
+    /// Number of workers that executed at least one task.
+    pub fn busy_workers(&self) -> usize {
+        self.outputs
+            .iter()
+            .filter(|o| o.role == Role::Worker && o.tasks_executed > 0)
+            .count()
+    }
+
+    /// Aggregate server statistics (element-wise sum over servers).
+    pub fn server_totals(&self) -> adlb::ServerStats {
+        let mut total = adlb::ServerStats::default();
+        for o in &self.outputs {
+            if let Some(s) = o.server_stats {
+                total.tasks_accepted += s.tasks_accepted;
+                total.tasks_delivered += s.tasks_delivered;
+                total.steals_attempted += s.steals_attempted;
+                total.steals_successful += s.steals_successful;
+                total.tasks_stolen += s.tasks_stolen;
+                total.tasks_donated += s.tasks_donated;
+                total.data_ops += s.data_ops;
+                total.notifications += s.notifications;
+            }
+        }
+        total
+    }
+}

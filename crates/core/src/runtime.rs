@@ -1,0 +1,256 @@
+//! The runtime: configure a simulated machine, compile Swift, run it.
+
+use std::time::Instant;
+
+use mpisim::World;
+use tclish::PackageInit;
+use turbine::{InterpPolicy, TurbineConfig, TurbineProgram};
+
+use crate::native::NativeLibrary;
+use crate::result::{RunResult, SwiftTError};
+
+/// A configured simulated machine that can run Swift programs.
+///
+/// Builder-style: pick rank counts and policies, register native
+/// libraries and Tcl packages, then [`Runtime::run`].
+#[derive(Clone)]
+pub struct Runtime {
+    ranks: usize,
+    servers: usize,
+    engines: usize,
+    policy: InterpPolicy,
+    steal: bool,
+    natives: Vec<NativeLibrary>,
+    tcl_packages: Vec<(String, String, String)>,
+    args: Vec<(String, String)>,
+}
+
+impl Runtime {
+    /// A machine with `ranks` ranks: 1 engine, 1 ADLB server, and the rest
+    /// workers — the paper's "vast majority of processes are workers"
+    /// shape scaled down.
+    ///
+    /// # Panics
+    /// Panics if `ranks < 3` (need engine + worker + server).
+    pub fn new(ranks: usize) -> Self {
+        assert!(ranks >= 3, "need at least 3 ranks (engine, worker, server)");
+        Runtime {
+            ranks,
+            servers: 1,
+            engines: 1,
+            policy: InterpPolicy::Retain,
+            steal: true,
+            natives: Vec::new(),
+            tcl_packages: Vec::new(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Set the number of ADLB servers.
+    pub fn servers(mut self, n: usize) -> Self {
+        self.servers = n;
+        self
+    }
+
+    /// Set the number of engines.
+    pub fn engines(mut self, n: usize) -> Self {
+        self.engines = n;
+        self
+    }
+
+    /// Set the §III.C interpreter policy.
+    pub fn policy(mut self, p: InterpPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Enable/disable ADLB work stealing (ablation switch).
+    pub fn work_stealing(mut self, on: bool) -> Self {
+        self.steal = on;
+        self
+    }
+
+    /// Register a native library (§III.B): its functions become callable
+    /// from leaf templates after `package require <name>` — which the
+    /// template's package declaration emits automatically.
+    pub fn native_library(mut self, lib: NativeLibrary) -> Self {
+        self.natives.push(lib);
+        self
+    }
+
+    /// Register an in-memory Tcl package (§III.A third benefit: "existing
+    /// components built in Tcl can easily be brought into Swift").
+    pub fn tcl_package(
+        mut self,
+        name: impl Into<String>,
+        version: impl Into<String>,
+        source: impl Into<String>,
+    ) -> Self {
+        self.tcl_packages
+            .push((name.into(), version.into(), source.into()));
+        self
+    }
+
+    /// Pass a program argument, readable from Swift as `argv("key")` (the
+    /// Swift/K-heritage argument interface).
+    pub fn arg(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.args.push((key.into(), value.into()));
+        self
+    }
+
+    /// Number of worker ranks in this configuration.
+    pub fn workers(&self) -> usize {
+        self.ranks - self.servers - self.engines
+    }
+
+    fn turbine_config(&self) -> TurbineConfig {
+        TurbineConfig {
+            servers: self.servers,
+            engines: self.engines,
+            policy: self.policy,
+            server: adlb::ServerConfig {
+                steal_enabled: self.steal,
+                ..adlb::ServerConfig::default()
+            },
+        }
+    }
+
+    /// Compile and run Swift source on this machine.
+    pub fn run(&self, swift_source: &str) -> Result<RunResult, SwiftTError> {
+        let program = stc::compile(swift_source)?;
+        self.run_turbine(TurbineProgram {
+            preamble: program.preamble,
+            main: program.main,
+            args: self.args.clone(),
+        })
+    }
+
+    /// Run already-compiled (or hand-written) Turbine code.
+    pub fn run_turbine(&self, program: TurbineProgram) -> Result<RunResult, SwiftTError> {
+        let config = self.turbine_config();
+        config.validate(self.ranks);
+        let natives = self.natives.clone();
+        let tcl_packages = self.tcl_packages.clone();
+        let start = Instant::now();
+        let world = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            World::run_with_stats(self.ranks, |comm| {
+                turbine::run_rank_with(comm, &config, &program, |interp| {
+                    for lib in &natives {
+                        lib.install(interp);
+                    }
+                    for (name, version, source) in &tcl_packages {
+                        interp.add_package(
+                            name,
+                            version,
+                            PackageInit::Script(std::rc::Rc::from(source.as_str())),
+                        );
+                    }
+                })
+            })
+        }));
+        let elapsed = start.elapsed();
+        match world {
+            Ok((outputs, stats)) => {
+                let stdout = outputs
+                    .iter()
+                    .map(|o| o.stdout.as_str())
+                    .collect::<Vec<_>>()
+                    .join("");
+                Ok(RunResult {
+                    stdout,
+                    outputs,
+                    elapsed,
+                    messages: stats.messages,
+                    bytes: stats.bytes,
+                })
+            }
+            Err(p) => {
+                let msg = p
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "rank panicked".to_string());
+                Err(SwiftTError::Runtime(msg))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::{NativeArg, NativeLibrary};
+
+    #[test]
+    fn workers_count() {
+        let rt = Runtime::new(10).servers(2).engines(2);
+        assert_eq!(rt.workers(), 6);
+    }
+
+    #[test]
+    fn native_library_from_swift_leaf() {
+        // The paper's Fig. 3 flow: native function → Tcl binding →
+        // Swift leaf function → Swift program.
+        let lib = NativeLibrary::new("mathlib", "1.0").function("hypot", |args| {
+            Ok(NativeArg::Float(args[0].as_f64()?.hypot(args[1].as_f64()?)))
+        });
+        let r = Runtime::new(3)
+            .native_library(lib)
+            .run(
+                r#"
+                (float o) hypot (float x, float y) "mathlib" "1.0" [
+                    "set <<o>> [ mathlib::hypot <<x>> <<y>> ]"
+                ];
+                float h = hypot(3.0, 4.0);
+                printf("h = %.1f", h);
+            "#,
+            )
+            .unwrap();
+        assert_eq!(r.stdout, "h = 5.0\n");
+        // Two worker tasks: the hypot leaf and the printf.
+        assert_eq!(r.total_tasks(), 2);
+    }
+
+    #[test]
+    fn tcl_package_from_swift_leaf() {
+        let r = Runtime::new(3)
+            .tcl_package(
+                "my_package",
+                "1.0",
+                "proc my_package::f {a b} { return [expr {$a * 100 + $b}] }",
+            )
+            .run(
+                r#"
+                (int o) f (int i, int j) "my_package" "1.0" [
+                    "set <<o>> [ my_package::f <<i>> <<j>> ]"
+                ];
+                int v = f(4, 2);
+                printf("%d", v);
+            "#,
+            )
+            .unwrap();
+        assert_eq!(r.stdout, "402\n");
+    }
+
+    #[test]
+    fn reinitialize_policy_isolation() {
+        // Two python() calls; under Reinitialize the second can't see the
+        // first's state, so it must fail — surfaced as a runtime error.
+        // `b`'s code input depends on `a`, forcing task order a → b on the
+        // single worker; only the retained interpreter still has `leak`.
+        let src = r#"
+            string a = python("leak = 5", "leak");
+            string b = python(a, "leak + 1");
+            printf("%s %s", a, b);
+        "#;
+        let retained = Runtime::new(3).policy(InterpPolicy::Retain).run(src);
+        assert!(retained.is_ok(), "retain keeps state: {retained:?}");
+        let reinit = Runtime::new(3)
+            .policy(InterpPolicy::Reinitialize)
+            .run(src);
+        match reinit {
+            Err(SwiftTError::Runtime(m)) => assert!(m.contains("NameError"), "{m}"),
+            other => panic!("expected NameError under Reinitialize, got {other:?}"),
+        }
+    }
+}

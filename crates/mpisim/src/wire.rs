@@ -1,0 +1,246 @@
+//! Explicit wire-format helpers.
+//!
+//! ADLB and Turbine ship small, hand-laid-out binary messages (real ADLB
+//! does the same with packed C structs). These helpers keep every field
+//! explicit so the protocol is inspectable, rather than hiding layout
+//! behind a serialization framework.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Error produced when decoding a malformed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What the reader was trying to decode.
+    pub context: &'static str,
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "wire decode error: {} at byte offset {}",
+            self.context, self.offset
+        )
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only message builder.
+#[derive(Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a writer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        WireWriter {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Append a single byte.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    /// Append a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) -> &mut Self {
+        self.buf.put_i64_le(v);
+        self
+    }
+
+    /// Append a little-endian `f64`.
+    pub fn put_f64(&mut self, v: f64) -> &mut Self {
+        self.buf.put_f64_le(v);
+        self
+    }
+
+    /// Append a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_u32_le(v.len() as u32);
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) -> &mut Self {
+        self.put_bytes(v.as_bytes())
+    }
+
+    /// Finish and take the assembled message.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Sequential message decoder over a byte slice.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Start decoding at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError {
+                context,
+                offset: self.pos,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Decode a single byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Decode a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+    }
+
+    /// Decode a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    /// Decode a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8, "i64")?.try_into().unwrap()))
+    }
+
+    /// Decode a little-endian `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8, "f64")?.try_into().unwrap()))
+    }
+
+    /// Decode a length-prefixed byte slice (borrowed from the input).
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.get_u32()? as usize;
+        self.take(len, "bytes body")
+    }
+
+    /// Decode a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str, WireError> {
+        let b = self.get_bytes()?;
+        std::str::from_utf8(b).map_err(|_| WireError {
+            context: "utf8 string",
+            offset: self.pos,
+        })
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Assert the message was fully consumed.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError {
+                context: "trailing bytes",
+                offset: self.pos,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = WireWriter::new();
+        w.put_u8(7)
+            .put_u32(0xDEAD_BEEF)
+            .put_u64(u64::MAX - 1)
+            .put_i64(-42)
+            .put_f64(std::f64::consts::PI)
+            .put_str("héllo")
+            .put_bytes(&[1, 2, 3]);
+        let msg = w.finish();
+
+        let mut r = WireReader::new(&msg);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap(), std::f64::consts::PI);
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(r.get_bytes().unwrap(), &[1, 2, 3]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_errors_with_offset() {
+        let mut w = WireWriter::new();
+        w.put_u64(5);
+        let msg = w.finish();
+        let mut r = WireReader::new(&msg[..4]);
+        let err = r.get_u64().unwrap_err();
+        assert_eq!(err.offset, 0);
+        assert_eq!(err.context, "u64");
+    }
+
+    #[test]
+    fn bad_utf8_is_rejected() {
+        let mut w = WireWriter::new();
+        w.put_bytes(&[0xFF, 0xFE]);
+        let msg = w.finish();
+        let mut r = WireReader::new(&msg);
+        assert!(r.get_str().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = WireWriter::new();
+        w.put_u8(1).put_u8(2);
+        let msg = w.finish();
+        let mut r = WireReader::new(&msg);
+        r.get_u8().unwrap();
+        assert!(r.expect_end().is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! World launch: run `n` ranks as scoped OS threads sharing mailboxes.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::comm::Comm;
+use crate::mailbox::Mailbox;
+use crate::Rank;
+
+/// Aggregate traffic counters for a finished world, used by the benchmark
+/// harness to report message volumes alongside wall time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorldStats {
+    /// Total point-to-point messages sent (collective traffic included).
+    pub messages: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+}
+
+pub(crate) struct Shared {
+    pub mailboxes: Vec<Mailbox>,
+    pub msg_count: AtomicU64,
+    pub byte_count: AtomicU64,
+    pub poisoned: AtomicBool,
+}
+
+impl Shared {
+    fn new(size: usize) -> Self {
+        Shared {
+            mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
+            msg_count: AtomicU64::new(0),
+            byte_count: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        for mb in &self.mailboxes {
+            mb.poison();
+        }
+    }
+}
+
+/// Entry point for launching a simulated MPI job.
+pub struct World;
+
+impl World {
+    /// Run `size` ranks, each executing `body` on its own OS thread, and
+    /// return the per-rank results indexed by rank.
+    ///
+    /// If any rank panics, the world is poisoned (waking blocked receivers)
+    /// and the panic is propagated to the caller with the rank attached.
+    pub fn run<T, F>(size: usize, body: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
+        Self::run_with_stats(size, body).0
+    }
+
+    /// Like [`World::run`] but also returns traffic counters.
+    pub fn run_with_stats<T, F>(size: usize, body: F) -> (Vec<T>, WorldStats)
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
+        assert!(size > 0, "world size must be at least 1");
+        let shared = Arc::new(Shared::new(size));
+        let body = &body;
+
+        let results: Vec<Option<T>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..size)
+                .map(|rank| {
+                    let shared = Arc::clone(&shared);
+                    scope.spawn(move || {
+                        let comm = Comm::new(rank as Rank, shared.clone());
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || body(comm),
+                        ));
+                        if out.is_err() {
+                            shared.poison();
+                        }
+                        (rank, out)
+                    })
+                })
+                .collect();
+
+            let mut slots: Vec<Option<T>> = (0..size).map(|_| None).collect();
+            // Prefer reporting the root-cause panic over the secondary
+            // "recv on poisoned world" panics it induces in other ranks.
+            let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+            let is_secondary = |p: &Box<dyn std::any::Any + Send>| {
+                p.downcast_ref::<String>()
+                    .map(|s| s.contains("poisoned world"))
+                    .or_else(|| {
+                        p.downcast_ref::<&str>().map(|s| s.contains("poisoned world"))
+                    })
+                    .unwrap_or(false)
+            };
+            for h in handles {
+                match h.join() {
+                    Ok((rank, Ok(v))) => slots[rank] = Some(v),
+                    Ok((rank, Err(p))) => {
+                        let secondary = is_secondary(&p);
+                        match &first_panic {
+                            None => first_panic = Some((rank, p)),
+                            Some((_, prev)) if is_secondary(prev) && !secondary => {
+                                first_panic = Some((rank, p));
+                            }
+                            _ => {}
+                        }
+                    }
+                    Err(p) => {
+                        if first_panic.is_none() {
+                            first_panic = Some((usize::MAX, p));
+                        }
+                    }
+                }
+            }
+            if let Some((rank, p)) = first_panic {
+                eprintln!("mpisim: rank {rank} panicked; propagating");
+                std::panic::resume_unwind(p);
+            }
+            slots
+        });
+
+        let stats = WorldStats {
+            messages: shared.msg_count.load(Ordering::Relaxed),
+            bytes: shared.byte_count.load(Ordering::Relaxed),
+        };
+        (
+            results
+                .into_iter()
+                .map(|s| s.expect("rank produced no result"))
+                .collect(),
+            stats,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Src, TagSel};
+
+    #[test]
+    fn results_are_indexed_by_rank() {
+        let out = World::run(8, |comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let (_, stats) = World::run_with_stats(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, vec![0u8; 100]);
+            } else {
+                comm.recv(Src::Of(0), TagSel::Of(3));
+            }
+        });
+        assert_eq!(stats.messages, 1);
+        assert_eq!(stats.bytes, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn rank_panic_propagates() {
+        World::run(3, |comm| {
+            if comm.rank() == 2 {
+                panic!("boom");
+            }
+            // Other ranks block forever; poisoning must wake them so the
+            // world tears down instead of hanging.
+            let _ = comm.recv(Src::Any, TagSel::Any);
+        });
+    }
+}

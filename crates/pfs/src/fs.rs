@@ -1,0 +1,413 @@
+//! The simulated filesystem: namespace, server queues, per-client clocks.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::model::PfsConfig;
+
+/// Filesystem error (missing file, duplicate create, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PfsError {
+    /// POSIX-flavored description.
+    pub message: String,
+}
+
+impl PfsError {
+    fn new(msg: impl Into<String>) -> Self {
+        PfsError {
+            message: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for PfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pfs: {}", self.message)
+    }
+}
+
+impl std::error::Error for PfsError {}
+
+/// Aggregate operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PfsStats {
+    /// Metadata operations serviced (open/create/stat/unlink/readdir).
+    pub metadata_ops: u64,
+    /// Data operations serviced (read/write).
+    pub data_ops: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Total simulated nanoseconds clients spent waiting in the metadata
+    /// queue (excludes service + RTT) — the contention signal.
+    pub md_queue_wait_ns: u64,
+}
+
+struct Inner {
+    files: HashMap<String, Vec<u8>>,
+    /// Virtual time at which the metadata server next becomes free.
+    md_free_at: u64,
+    /// Virtual time at which each data server next becomes free.
+    data_free_at: Vec<u64>,
+    stats: PfsStats,
+}
+
+/// The shared filesystem. Create one per simulated machine and hand every
+/// rank a [`PfsClient`] via [`Pfs::client`].
+pub struct Pfs {
+    config: PfsConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Pfs {
+    /// A new, empty filesystem.
+    pub fn new(config: PfsConfig) -> Self {
+        Pfs {
+            inner: Mutex::new(Inner {
+                files: HashMap::new(),
+                md_free_at: 0,
+                data_free_at: vec![0; config.data_servers.max(1)],
+                stats: PfsStats::default(),
+            }),
+            config,
+        }
+    }
+
+    /// A client with its own virtual clock starting at zero.
+    pub fn client(self: &Arc<Self>) -> PfsClient {
+        PfsClient {
+            fs: Arc::clone(self),
+            clock: 0,
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> PfsStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of files in the namespace.
+    pub fn file_count(&self) -> usize {
+        self.inner.lock().files.len()
+    }
+}
+
+/// One rank's view of the filesystem, carrying a simulated clock.
+///
+/// The clock advances on every operation by the operation's modeled
+/// latency, including time spent queued behind other clients at the
+/// metadata/data servers. [`PfsClient::now`] is the rank's simulated time.
+pub struct PfsClient {
+    fs: Arc<Pfs>,
+    clock: u64,
+}
+
+impl PfsClient {
+    /// Current simulated time for this client, in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advance this client's clock by non-filesystem work (compute).
+    pub fn compute(&mut self, ns: u64) {
+        self.clock += ns;
+    }
+
+    /// Charge one metadata operation: queue at the MD server, pay service
+    /// time, pay RTT.
+    fn metadata_op(&mut self) {
+        let cfg = self.fs.config;
+        let mut inner = self.fs.inner.lock();
+        let start = self.clock.max(inner.md_free_at);
+        let wait = start - self.clock;
+        inner.md_free_at = start + cfg.md_service_ns;
+        inner.stats.metadata_ops += 1;
+        inner.stats.md_queue_wait_ns += wait;
+        self.clock = start + cfg.md_service_ns + cfg.rtt_ns;
+    }
+
+    /// Charge a data operation of `bytes` on the data server owning `path`.
+    fn data_op(&mut self, path: &str, bytes: usize, write: bool) {
+        let cfg = self.fs.config;
+        let mut inner = self.fs.inner.lock();
+        let n = inner.data_free_at.len();
+        let server = {
+            // Cheap stable hash to pick the stripe's primary server.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in path.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            (h % n as u64) as usize
+        };
+        let start = self.clock.max(inner.data_free_at[server]);
+        let busy = cfg.data_op_ns + cfg.transfer_ns(bytes);
+        inner.data_free_at[server] = start + busy;
+        inner.stats.data_ops += 1;
+        if write {
+            inner.stats.bytes_written += bytes as u64;
+        } else {
+            inner.stats.bytes_read += bytes as u64;
+        }
+        self.clock = start + busy + cfg.rtt_ns;
+    }
+
+    /// Create an empty file (metadata op). Errors if it already exists.
+    pub fn create(&mut self, path: &str) -> Result<(), PfsError> {
+        self.metadata_op();
+        let mut inner = self.fs.inner.lock();
+        if inner.files.contains_key(path) {
+            return Err(PfsError::new(format!("{path}: file exists")));
+        }
+        inner.files.insert(path.to_string(), Vec::new());
+        Ok(())
+    }
+
+    /// Open a file (metadata op). Errors if missing.
+    pub fn open(&mut self, path: &str) -> Result<(), PfsError> {
+        self.metadata_op();
+        let inner = self.fs.inner.lock();
+        if !inner.files.contains_key(path) {
+            return Err(PfsError::new(format!("{path}: no such file")));
+        }
+        Ok(())
+    }
+
+    /// Stat a file (metadata op); returns its size.
+    pub fn stat(&mut self, path: &str) -> Result<usize, PfsError> {
+        self.metadata_op();
+        let inner = self.fs.inner.lock();
+        inner
+            .files
+            .get(path)
+            .map(Vec::len)
+            .ok_or_else(|| PfsError::new(format!("{path}: no such file")))
+    }
+
+    /// Whether a path exists (metadata op).
+    pub fn exists(&mut self, path: &str) -> bool {
+        self.metadata_op();
+        self.fs.inner.lock().files.contains_key(path)
+    }
+
+    /// Overwrite a file's contents (metadata op to locate + data op).
+    pub fn write(&mut self, path: &str, data: &[u8]) -> Result<(), PfsError> {
+        self.metadata_op();
+        {
+            let inner = self.fs.inner.lock();
+            if !inner.files.contains_key(path) {
+                return Err(PfsError::new(format!("{path}: no such file")));
+            }
+        }
+        self.data_op(path, data.len(), true);
+        self.fs
+            .inner
+            .lock()
+            .files
+            .insert(path.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    /// Create-or-overwrite convenience (one metadata op, one data op).
+    pub fn put(&mut self, path: &str, data: &[u8]) -> Result<(), PfsError> {
+        self.metadata_op();
+        self.data_op(path, data.len(), true);
+        self.fs
+            .inner
+            .lock()
+            .files
+            .insert(path.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    /// Read a whole file (metadata op + data op).
+    pub fn read(&mut self, path: &str) -> Result<Vec<u8>, PfsError> {
+        self.metadata_op();
+        let data = {
+            let inner = self.fs.inner.lock();
+            inner
+                .files
+                .get(path)
+                .cloned()
+                .ok_or_else(|| PfsError::new(format!("{path}: no such file")))?
+        };
+        self.data_op(path, data.len(), false);
+        Ok(data)
+    }
+
+    /// Remove a file (metadata op).
+    pub fn unlink(&mut self, path: &str) -> Result<(), PfsError> {
+        self.metadata_op();
+        self.fs
+            .inner
+            .lock()
+            .files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| PfsError::new(format!("{path}: no such file")))
+    }
+
+    /// List paths under a prefix (metadata op).
+    pub fn readdir(&mut self, prefix: &str) -> Vec<String> {
+        self.metadata_op();
+        let inner = self.fs.inner.lock();
+        let mut out: Vec<String> = inner
+            .files
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs(config: PfsConfig) -> Arc<Pfs> {
+        Arc::new(Pfs::new(config))
+    }
+
+    #[test]
+    fn namespace_semantics() {
+        let fs = fs(PfsConfig::instant());
+        let mut c = fs.client();
+        assert!(c.open("/x").is_err());
+        c.create("/x").unwrap();
+        assert!(c.create("/x").is_err());
+        c.write("/x", b"hello").unwrap();
+        assert_eq!(c.read("/x").unwrap(), b"hello");
+        assert_eq!(c.stat("/x").unwrap(), 5);
+        c.unlink("/x").unwrap();
+        assert!(c.read("/x").is_err());
+    }
+
+    #[test]
+    fn readdir_prefix() {
+        let fs = fs(PfsConfig::instant());
+        let mut c = fs.client();
+        c.create("/pkg/a.tcl").unwrap();
+        c.create("/pkg/b.tcl").unwrap();
+        c.create("/other/c.tcl").unwrap();
+        assert_eq!(c.readdir("/pkg/"), vec!["/pkg/a.tcl", "/pkg/b.tcl"]);
+    }
+
+    #[test]
+    fn metadata_ops_advance_clock() {
+        let fs = fs(PfsConfig::default());
+        let mut c = fs.client();
+        let t0 = c.now();
+        c.create("/f").unwrap();
+        assert_eq!(c.now() - t0, 50_000 + 100_000);
+    }
+
+    #[test]
+    fn metadata_server_serializes_clients() {
+        // Two clients at virtual time 0 both issue an op: the second one
+        // queued behind the first pays the wait.
+        let fs = fs(PfsConfig::default());
+        let mut a = fs.client();
+        let mut b = fs.client();
+        a.create("/a").unwrap();
+        b.create("/b").unwrap();
+        assert_eq!(a.now(), 150_000);
+        // b arrived at 0 but the server was busy until 50 000.
+        assert_eq!(b.now(), 50_000 + 50_000 + 100_000);
+        assert_eq!(fs.stats().md_queue_wait_ns, 50_000);
+    }
+
+    #[test]
+    fn metadata_storm_scales_linearly() {
+        // N clients each opening one file: the last client's clock grows
+        // linearly with N — the many-small-files wall.
+        let fs = fs(PfsConfig::default());
+        let mut seed = fs.client();
+        seed.create("/shared").unwrap();
+        let n = 100;
+        let mut last = 0;
+        for _ in 0..n {
+            let mut c = fs.client();
+            c.open("/shared").unwrap();
+            last = last.max(c.now());
+        }
+        let cfg = PfsConfig::default();
+        // All 101 ops serialize: the last waits ~100 service times.
+        assert!(last >= 100 * cfg.md_service_ns);
+    }
+
+    fn slow_net() -> PfsConfig {
+        PfsConfig {
+            data_bandwidth_bps: 1_000_000, // 1 MB/s: tiny buffers, big costs
+            ..PfsConfig::default()
+        }
+    }
+
+    #[test]
+    fn data_ops_charge_bandwidth() {
+        let fs = fs(slow_net());
+        let mut c = fs.client();
+        c.create("/big").unwrap();
+        let t0 = c.now();
+        c.write("/big", &vec![0u8; 1_000_000]).unwrap();
+        // 1 s transfer dominates.
+        assert!(c.now() - t0 >= 1_000_000_000);
+    }
+
+    #[test]
+    fn data_servers_run_in_parallel() {
+        // Files hashing to different servers do not queue behind each
+        // other; with 8 servers and 16 files, the makespan is far below
+        // 16 serialized transfers.
+        let cfg = slow_net();
+        let fs = fs(cfg);
+        let payload = vec![0u8; 100_000]; // 0.1 s per transfer
+        let mut worst = 0u64;
+        for i in 0..16 {
+            let mut c = fs.client();
+            c.put(&format!("/data/{i}"), &payload).unwrap();
+            worst = worst.max(c.now());
+        }
+        let serial = 16 * cfg.transfer_ns(100_000);
+        assert!(
+            worst < serial / 2,
+            "striping should parallelize: worst {worst} vs serial {serial}"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let fs = fs(PfsConfig::instant());
+        let mut c = fs.client();
+        c.create("/s").unwrap();
+        c.write("/s", b"abcd").unwrap();
+        c.read("/s").unwrap();
+        let st = fs.stats();
+        assert_eq!(st.bytes_written, 4);
+        assert_eq!(st.bytes_read, 4);
+        assert_eq!(st.data_ops, 2);
+        assert!(st.metadata_ops >= 3);
+    }
+
+    #[test]
+    fn concurrent_clients_from_threads() {
+        let fs = fs(PfsConfig::default());
+        let mut seed = fs.client();
+        seed.create("/f").unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let fs = Arc::clone(&fs);
+                s.spawn(move || {
+                    let mut c = fs.client();
+                    for _ in 0..50 {
+                        c.open("/f").unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(fs.stats().metadata_ops, 1 + 8 * 50);
+    }
+}

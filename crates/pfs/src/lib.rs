@@ -1,0 +1,43 @@
+//! # pfs — a simulated parallel filesystem with metadata contention
+//!
+//! The paper's central motivation for embedding interpreters is that
+//! exec-based scripting "at large scale \[has\] unacceptable filesystem
+//! overheads" and that the "many small file problem common in scripted
+//! solutions" is addressed by static packages (Wozniak et al., CLUSTER
+//! 2015, §III.C, §IV). Quantifying those claims requires a parallel
+//! filesystem to abuse — GPFS/Lustre on a Blue Gene/Q in the paper, this
+//! simulation here.
+//!
+//! The model captures the two properties that make metadata storms hurt:
+//!
+//! 1. **A centralized metadata service.** Every `open`/`create`/`stat`/
+//!    `unlink` is serviced serially by the metadata server; concurrent
+//!    clients queue. Client-observed latency = queue wait + service time
+//!    + round-trip.
+//! 2. **Parallel data servers.** Bulk reads/writes are striped over `N`
+//!    data servers, each with its own queue, so data bandwidth scales but
+//!    metadata throughput does not — exactly the asymmetry that punishes
+//!    many-small-files workloads.
+//!
+//! Time is **virtual**: each [`PfsClient`] carries a simulated clock, and
+//! shared server state advances as operations are issued. Experiments run
+//! in milliseconds of wall time but report simulated seconds, so
+//! contention curves are deterministic and machine-independent.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pfs::{Pfs, PfsConfig};
+//!
+//! let fs = Arc::new(Pfs::new(PfsConfig::default()));
+//! let mut client = fs.client();
+//! client.create("/data/input.dat").unwrap();
+//! client.write("/data/input.dat", &vec![0u8; 1 << 20]).unwrap();
+//! assert_eq!(client.read("/data/input.dat").unwrap().len(), 1 << 20);
+//! assert!(client.now() > 0);
+//! ```
+
+mod fs;
+mod model;
+
+pub use fs::{Pfs, PfsClient, PfsError, PfsStats};
+pub use model::PfsConfig;

@@ -1,0 +1,73 @@
+//! Cost-model parameters for the simulated filesystem.
+
+/// Timing parameters, loosely calibrated to a production Lustre/GPFS
+/// installation under load. All times in nanoseconds of *simulated* time.
+#[derive(Debug, Clone, Copy)]
+pub struct PfsConfig {
+    /// Service time per metadata operation at the (single) metadata
+    /// server. 50 µs ⇒ a hard ceiling of 20 k metadata ops/s for the whole
+    /// machine, no matter how many clients.
+    pub md_service_ns: u64,
+    /// Client↔server round-trip added to every operation.
+    pub rtt_ns: u64,
+    /// Number of data servers (OSTs); data operations stripe across them.
+    pub data_servers: usize,
+    /// Per-data-server streaming bandwidth, bytes per second.
+    pub data_bandwidth_bps: u64,
+    /// Fixed overhead per data operation at a data server.
+    pub data_op_ns: u64,
+}
+
+impl Default for PfsConfig {
+    fn default() -> Self {
+        PfsConfig {
+            md_service_ns: 50_000,            // 50 µs
+            rtt_ns: 100_000,                  // 100 µs
+            data_servers: 8,
+            data_bandwidth_bps: 500_000_000,  // 500 MB/s per OST
+            data_op_ns: 200_000,              // 200 µs
+        }
+    }
+}
+
+impl PfsConfig {
+    /// A configuration with effectively free operations, for tests that
+    /// need the namespace semantics but not the cost model.
+    pub fn instant() -> Self {
+        PfsConfig {
+            md_service_ns: 0,
+            rtt_ns: 0,
+            data_servers: 1,
+            data_bandwidth_bps: u64::MAX,
+            data_op_ns: 0,
+        }
+    }
+
+    /// Transfer time for `bytes` on one data server.
+    pub fn transfer_ns(&self, bytes: usize) -> u64 {
+        if self.data_bandwidth_bps == u64::MAX {
+            return 0;
+        }
+        (bytes as u128 * 1_000_000_000 / self.data_bandwidth_bps as u128) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let c = PfsConfig::default();
+        assert_eq!(c.transfer_ns(0), 0);
+        // 500 MB at 500 MB/s = 1 s.
+        assert_eq!(c.transfer_ns(500_000_000), 1_000_000_000);
+    }
+
+    #[test]
+    fn instant_config_is_free() {
+        let c = PfsConfig::instant();
+        assert_eq!(c.transfer_ns(1 << 30), 0);
+        assert_eq!(c.md_service_ns, 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! # pythonish — an embeddable mini-Python interpreter
+//!
+//! Swift/T calls Python by *embedding the interpreter as a library* rather
+//! than exec-ing `python` (Wozniak et al., CLUSTER 2015, §III.C): launching
+//! external programs is impossible on Blue Gene/Q and the filesystem
+//! overheads are unacceptable at scale. The production system links
+//! `libpython`; this reproduction substitutes a from-scratch interpreter
+//! for a practical Python subset, which exercises the identical
+//! architecture — in-process code-fragment evaluation, value marshaling
+//! through strings, and the retain-vs-reinitialize state policy — without
+//! the FFI gate (see DESIGN.md §2).
+//!
+//! Supported subset: integers/floats/strings/bools/None/lists/dicts,
+//! arithmetic (`+ - * / // % **`), comparisons, boolean logic, `if`/`elif`/
+//! `else`, `while`, `for .. in`, `def` with recursion, `return`/`break`/
+//! `continue`, `global`, indexing, method calls (`append`, `split`,
+//! `upper`, ...), f-strings, and a `math` module.
+//!
+//! The Swift/T convention is a two-part leaf call: run a *code* fragment,
+//! then evaluate an *expression* whose string form is the task result —
+//! [`Python::run`] implements exactly that.
+//!
+//! ```
+//! use pythonish::Python;
+//!
+//! let mut py = Python::new();
+//! let out = py.run("x = 6\ny = 7", "x * y").unwrap();
+//! assert_eq!(out, "42");
+//! ```
+
+mod interp;
+mod lexer;
+mod parser;
+mod value;
+
+pub use interp::Python;
+pub use value::{PyError, Value};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_code_then_expr() {
+        let mut py = Python::new();
+        assert_eq!(py.run("a = [1, 2, 3]", "sum(a)").unwrap(), "6");
+    }
+
+    #[test]
+    fn state_retained_between_calls() {
+        let mut py = Python::new();
+        py.exec("counter = 10").unwrap();
+        py.exec("counter = counter + 5").unwrap();
+        assert_eq!(py.eval("counter").unwrap().to_display(), "15");
+    }
+
+    #[test]
+    fn fresh_interpreter_has_no_state() {
+        let mut py = Python::new();
+        py.exec("leak = 1").unwrap();
+        let mut py2 = Python::new();
+        assert!(py2.eval("leak").is_err());
+    }
+
+    #[test]
+    fn fibonacci() {
+        let mut py = Python::new();
+        let code = r#"
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+"#;
+        assert_eq!(py.run(code, "fib(15)").unwrap(), "610");
+    }
+
+    #[test]
+    fn string_processing() {
+        let mut py = Python::new();
+        let code = r#"
+words = "the quick brown fox".split()
+caps = []
+for w in words:
+    caps.append(w.upper())
+result = ",".join(caps)
+"#;
+        assert_eq!(py.run(code, "result").unwrap(), "THE,QUICK,BROWN,FOX");
+    }
+}

@@ -1,0 +1,210 @@
+//! Runtime values and errors for the mini-Python.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Error raised during parsing or evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PyError {
+    /// Exception-style message (`NameError: ...`, `TypeError: ...`).
+    pub message: String,
+}
+
+impl PyError {
+    pub(crate) fn new(kind: &str, msg: impl std::fmt::Display) -> Self {
+        PyError {
+            message: format!("{kind}: {msg}"),
+        }
+    }
+}
+
+impl std::fmt::Display for PyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for PyError {}
+
+/// A Python value. Lists and dicts have reference semantics, as in Python.
+#[derive(Debug, Clone)]
+pub enum Value {
+    None,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(Rc<String>),
+    List(Rc<RefCell<Vec<Value>>>),
+    Dict(Rc<RefCell<BTreeMap<String, Value>>>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(Rc::new(s.into()))
+    }
+
+    /// Build a list value.
+    pub fn list(items: Vec<Value>) -> Self {
+        Value::List(Rc::new(RefCell::new(items)))
+    }
+
+    /// Python truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::None => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::List(l) => !l.borrow().is_empty(),
+            Value::Dict(d) => !d.borrow().is_empty(),
+        }
+    }
+
+    /// `str(v)` — what `print` shows and what the leaf-task result is.
+    pub fn to_display(&self) -> String {
+        match self {
+            Value::None => "None".to_string(),
+            Value::Bool(b) => if *b { "True" } else { "False" }.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format_float(*f),
+            Value::Str(s) => (**s).clone(),
+            Value::List(_) | Value::Dict(_) => self.to_repr(),
+        }
+    }
+
+    /// `repr(v)` — strings get quotes, containers recurse.
+    pub fn to_repr(&self) -> String {
+        match self {
+            Value::Str(s) => format!("'{}'", s.replace('\\', "\\\\").replace('\'', "\\'")),
+            Value::List(l) => {
+                let items: Vec<String> = l.borrow().iter().map(|v| v.to_repr()).collect();
+                format!("[{}]", items.join(", "))
+            }
+            Value::Dict(d) => {
+                let items: Vec<String> = d
+                    .borrow()
+                    .iter()
+                    .map(|(k, v)| format!("'{k}': {}", v.to_repr()))
+                    .collect();
+                format!("{{{}}}", items.join(", "))
+            }
+            other => other.to_display(),
+        }
+    }
+
+    /// Python type name (for error messages).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::None => "NoneType",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::List(_) => "list",
+            Value::Dict(_) => "dict",
+        }
+    }
+
+    /// Structural equality (`==`).
+    pub fn py_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::None, Value::None) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::List(a), Value::List(b)) => {
+                let (a, b) = (a.borrow(), b.borrow());
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.py_eq(y))
+            }
+            (Value::Dict(a), Value::Dict(b)) => {
+                let (a, b) = (a.borrow(), b.borrow());
+                a.len() == b.len()
+                    && a.iter()
+                        .all(|(k, v)| b.get(k).map(|w| v.py_eq(w)).unwrap_or(false))
+            }
+            // Numeric cross-type equality (bool counts as int, like Python).
+            (a, b) => match (a.as_number(), b.as_number()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+
+    /// Numeric view for arithmetic (bools are 0/1, like Python).
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(*b as i64 as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view when exactly representable.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+}
+
+/// Python float formatting: `str(2.0)` is `"2.0"`.
+pub fn format_float(f: f64) -> String {
+    if f.is_nan() {
+        return "nan".to_string();
+    }
+    if f.is_infinite() {
+        return if f > 0.0 { "inf" } else { "-inf" }.to_string();
+    }
+    let s = format!("{f}");
+    if s.contains('.') || s.contains('e') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::None.truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-1).truthy());
+        assert!(!Value::str("").truthy());
+        assert!(Value::str("x").truthy());
+        assert!(!Value::list(vec![]).truthy());
+    }
+
+    #[test]
+    fn display_and_repr() {
+        assert_eq!(Value::Float(2.0).to_display(), "2.0");
+        assert_eq!(Value::str("hi").to_display(), "hi");
+        assert_eq!(Value::str("hi").to_repr(), "'hi'");
+        let l = Value::list(vec![Value::Int(1), Value::str("a")]);
+        assert_eq!(l.to_display(), "[1, 'a']");
+    }
+
+    #[test]
+    fn equality_across_numeric_types() {
+        assert!(Value::Int(2).py_eq(&Value::Float(2.0)));
+        assert!(Value::Bool(true).py_eq(&Value::Int(1)));
+        assert!(!Value::str("2").py_eq(&Value::Int(2)));
+    }
+
+    #[test]
+    fn list_reference_semantics() {
+        let a = Value::list(vec![Value::Int(1)]);
+        let b = a.clone();
+        if let Value::List(l) = &a {
+            l.borrow_mut().push(Value::Int(2));
+        }
+        assert_eq!(b.to_display(), "[1, 2]");
+    }
+}

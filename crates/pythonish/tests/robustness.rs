@@ -1,0 +1,33 @@
+//! Mini-Python must return `PyError`, never panic, on arbitrary code.
+
+use proptest::prelude::*;
+use pythonish::Python;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn exec_never_panics_on_arbitrary_input(src in ".{0,160}") {
+        let mut py = Python::new();
+        let _ = py.exec(&src);
+    }
+
+    #[test]
+    fn exec_never_panics_on_pythonic_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("def"), Just("f"), Just("("), Just(")"), Just(":"),
+                Just("return"), Just("if"), Just("else"), Just("for"),
+                Just("in"), Just("range"), Just("x"), Just("="), Just("1"),
+                Just("+"), Just("["), Just("]"), Just("{"), Just("}"),
+                Just("'s'"), Just("f'{x}'"), Just("\n"), Just("\n    "),
+                Just("."), Just(","), Just("*"),
+            ],
+            0..30,
+        )
+    ) {
+        let src: String = tokens.join(" ");
+        let mut py = Python::new();
+        let _ = py.exec(&src);
+    }
+}

@@ -1,0 +1,73 @@
+//! # rish — an embeddable mini-R interpreter
+//!
+//! The companion of `pythonish` for the paper's other scripting language:
+//! Swift/T embeds GNU R as a library (via a Tcl extension) so statistical
+//! post-processing can run in-process on compute nodes (Wozniak et al.,
+//! CLUSTER 2015, §III.C). This reproduction substitutes a from-scratch
+//! interpreter for an R subset with the defining R semantics: **everything
+//! is a vector**, arithmetic is vectorized with recycling, indexing is
+//! 1-based, and functions are first-class.
+//!
+//! Supported subset: numeric/character/logical vectors, `c()`, `a:b`,
+//! `seq`/`rep`, vectorized `+ - * / ^ %% %/%` and comparisons, `&`/`|`/`!`,
+//! `<-`/`=` assignment, `if`/`else`, `for`, `while`, `{}` blocks,
+//! `function(...)` closures, `sapply`, and a statistics-flavored builtin
+//! library (`sum`, `mean`, `sd`, `var`, `quantile`, ...).
+//!
+//! ```
+//! use rish::R;
+//!
+//! let mut r = R::new();
+//! let out = r.run("x <- c(1, 2, 3, 4)", "mean(x * 2)").unwrap();
+//! assert_eq!(out, "5");
+//! ```
+
+mod interp;
+mod lexer;
+mod parser;
+mod value;
+
+pub use interp::R;
+pub use value::{RError, RValue};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vectorized_arithmetic() {
+        let mut r = R::new();
+        assert_eq!(r.run("", "c(1, 2, 3) * 10 + 1").unwrap(), "11 21 31");
+    }
+
+    #[test]
+    fn recycling() {
+        let mut r = R::new();
+        assert_eq!(r.run("", "c(1, 2, 3, 4) + c(10, 20)").unwrap(), "11 22 13 24");
+    }
+
+    #[test]
+    fn statistics() {
+        let mut r = R::new();
+        r.exec("x <- c(2, 4, 4, 4, 5, 5, 7, 9)").unwrap();
+        assert_eq!(r.eval("mean(x)").unwrap().to_display(), "5");
+        // Sample sd of this classic dataset is ~2.138.
+        let sd: f64 = r.eval("sd(x)").unwrap().as_scalar().unwrap();
+        assert!((sd - 2.13809).abs() < 1e-4);
+    }
+
+    #[test]
+    fn closures_and_sapply() {
+        let mut r = R::new();
+        let code = "sq <- function(v) v * v";
+        assert_eq!(r.run(code, "sapply(1:4, sq)").unwrap(), "1 4 9 16");
+    }
+
+    #[test]
+    fn state_retained() {
+        let mut r = R::new();
+        r.exec("acc <- 0").unwrap();
+        r.exec("acc <- acc + 10").unwrap();
+        assert_eq!(r.eval("acc").unwrap().to_display(), "10");
+    }
+}

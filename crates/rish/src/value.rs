@@ -1,0 +1,199 @@
+//! R values: vectors all the way down.
+
+use std::rc::Rc;
+
+use crate::parser::{Expr, Param};
+
+/// Error raised during parsing or evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RError {
+    /// Message in R's style (`object 'x' not found`, ...).
+    pub message: String,
+}
+
+impl RError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        RError {
+            message: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for RError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RError {}
+
+/// A user-defined function (closure over the global environment).
+#[derive(Debug)]
+pub struct RFunction {
+    pub params: Vec<Param>,
+    pub body: Expr,
+}
+
+/// An R value.
+#[derive(Debug, Clone)]
+pub enum RValue {
+    /// `NULL` — the empty value.
+    Null,
+    /// A numeric vector (R's default numeric type is double).
+    Num(Vec<f64>),
+    /// A character vector.
+    Str(Vec<String>),
+    /// A logical vector.
+    Logical(Vec<bool>),
+    /// A function value.
+    Function(Rc<RFunction>),
+}
+
+impl RValue {
+    /// Scalar numeric constructor.
+    pub fn scalar(v: f64) -> Self {
+        RValue::Num(vec![v])
+    }
+
+    /// Scalar string constructor.
+    pub fn string(s: impl Into<String>) -> Self {
+        RValue::Str(vec![s.into()])
+    }
+
+    /// Vector length (`length()`).
+    pub fn len(&self) -> usize {
+        match self {
+            RValue::Null => 0,
+            RValue::Num(v) => v.len(),
+            RValue::Str(v) => v.len(),
+            RValue::Logical(v) => v.len(),
+            RValue::Function(_) => 1,
+        }
+    }
+
+    /// True when `length()` is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Numeric view; logicals coerce to 0/1 (as in R).
+    pub fn as_nums(&self) -> Result<Vec<f64>, RError> {
+        match self {
+            RValue::Num(v) => Ok(v.clone()),
+            RValue::Logical(v) => Ok(v.iter().map(|&b| b as i64 as f64).collect()),
+            RValue::Null => Ok(vec![]),
+            other => Err(RError::new(format!(
+                "cannot coerce {} to numeric",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Single-number view (errors unless length 1).
+    pub fn as_scalar(&self) -> Result<f64, RError> {
+        let v = self.as_nums()?;
+        if v.len() != 1 {
+            return Err(RError::new(format!(
+                "expected a single value, got length {}",
+                v.len()
+            )));
+        }
+        Ok(v[0])
+    }
+
+    /// Condition view: first element's truthiness, as `if` does.
+    pub fn as_condition(&self) -> Result<bool, RError> {
+        match self {
+            RValue::Logical(v) if !v.is_empty() => Ok(v[0]),
+            RValue::Num(v) if !v.is_empty() => Ok(v[0] != 0.0),
+            _ => Err(RError::new("argument is not interpretable as logical")),
+        }
+    }
+
+    /// The `class()`-style name for errors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RValue::Null => "NULL",
+            RValue::Num(_) => "numeric",
+            RValue::Str(_) => "character",
+            RValue::Logical(_) => "logical",
+            RValue::Function(_) => "function",
+        }
+    }
+
+    /// Coerce to character (`as.character`, `paste` semantics).
+    pub fn as_strings(&self) -> Vec<String> {
+        match self {
+            RValue::Null => vec![],
+            RValue::Num(v) => v.iter().map(|n| format_num(*n)).collect(),
+            RValue::Str(v) => v.clone(),
+            RValue::Logical(v) => v
+                .iter()
+                .map(|b| if *b { "TRUE" } else { "FALSE" }.to_string())
+                .collect(),
+            RValue::Function(_) => vec!["<function>".to_string()],
+        }
+    }
+
+    /// Space-joined display form — what the Swift/T leaf returns and what
+    /// our `print` shows (without R's `[1]` index gutters, which carry no
+    /// data).
+    pub fn to_display(&self) -> String {
+        match self {
+            RValue::Null => "NULL".to_string(),
+            _ => self.as_strings().join(" "),
+        }
+    }
+}
+
+/// Format a double the way R prints it (up to 7 significant digits,
+/// integers without a decimal point).
+pub fn format_num(v: f64) -> String {
+    if v.is_nan() {
+        return "NaN".to_string();
+    }
+    if v.is_infinite() {
+        return if v > 0.0 { "Inf" } else { "-Inf" }.to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        return format!("{}", v as i64);
+    }
+    let s = format!("{:.7}", v);
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    s.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RValue::Num(vec![1.0, 2.5]).to_display(), "1 2.5");
+        assert_eq!(RValue::Logical(vec![true, false]).to_display(), "TRUE FALSE");
+        assert_eq!(RValue::Null.to_display(), "NULL");
+        assert_eq!(RValue::string("hi").to_display(), "hi");
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(
+            RValue::Logical(vec![true, false]).as_nums().unwrap(),
+            vec![1.0, 0.0]
+        );
+        assert!(RValue::string("x").as_nums().is_err());
+    }
+
+    #[test]
+    fn scalar_checks() {
+        assert_eq!(RValue::scalar(4.0).as_scalar().unwrap(), 4.0);
+        assert!(RValue::Num(vec![1.0, 2.0]).as_scalar().is_err());
+    }
+
+    #[test]
+    fn num_formatting() {
+        assert_eq!(format_num(3.0), "3");
+        assert_eq!(format_num(3.25), "3.25");
+        assert_eq!(format_num(1.0 / 3.0), "0.3333333");
+    }
+}

@@ -1,0 +1,32 @@
+//! Mini-R must return `RError`, never panic, on arbitrary code.
+
+use proptest::prelude::*;
+use rish::R;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn exec_never_panics_on_arbitrary_input(src in ".{0,160}") {
+        let mut r = R::new();
+        let _ = r.exec(&src);
+    }
+
+    #[test]
+    fn exec_never_panics_on_r_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("c"), Just("("), Just(")"), Just("<-"), Just("x"),
+                Just("function"), Just("{"), Just("}"), Just("for"),
+                Just("in"), Just("1"), Just(":"), Just("9"), Just("+"),
+                Just("["), Just("]"), Just("sum"), Just("if"), Just("else"),
+                Just("\n"), Just(","), Just("'s'"), Just("%%"), Just("$"),
+            ],
+            0..30,
+        )
+    ) {
+        let src: String = tokens.join(" ");
+        let mut r = R::new();
+        let _ = r.exec(&src);
+    }
+}

@@ -1,0 +1,173 @@
+//! AST for the Swift subset.
+
+/// Swift data types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    Int,
+    Float,
+    Str,
+    Bool,
+    Void,
+    Blob,
+    /// `T[]`
+    Array(Box<Type>),
+}
+
+impl Type {
+    /// The Turbine scalar type name used in generated code.
+    pub fn turbine_name(&self) -> &'static str {
+        match self {
+            Type::Int | Type::Bool => "integer",
+            Type::Float => "float",
+            Type::Str => "string",
+            Type::Void => "void",
+            Type::Blob => "blob",
+            Type::Array(_) => "container",
+        }
+    }
+
+    /// Display form matching Swift syntax.
+    pub fn swift_name(&self) -> String {
+        match self {
+            Type::Int => "int".into(),
+            Type::Float => "float".into(),
+            Type::Str => "string".into(),
+            Type::Bool => "boolean".into(),
+            Type::Void => "void".into(),
+            Type::Blob => "blob".into(),
+            Type::Array(e) => format!("{}[]", e.swift_name()),
+        }
+    }
+}
+
+/// A typed parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub ty: Type,
+    pub name: String,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    pub name: String,
+    pub outputs: Vec<Param>,
+    pub inputs: Vec<Param>,
+    pub body: FuncBody,
+    pub line: usize,
+}
+
+/// Function body: Swift statements, or an inline Tcl leaf template
+/// (§III.A).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuncBody {
+    Composite(Vec<Stmt>),
+    TclLeaf {
+        /// `package require` target, if given.
+        package: Option<(String, String)>,
+        /// Template with `<<name>>` placeholders.
+        template: String,
+    },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `type name = expr?;` (one per declared name).
+    Decl {
+        ty: Type,
+        name: String,
+        init: Option<Expr>,
+        line: usize,
+    },
+    /// `lvalue = expr;`
+    Assign {
+        target: LValue,
+        value: Expr,
+        line: usize,
+    },
+    /// Bare call statement (void function or ignored outputs).
+    Call {
+        call: CallExpr,
+        line: usize,
+    },
+    /// `a, b = f(x);` — multi-output call.
+    MultiAssign {
+        targets: Vec<String>,
+        call: CallExpr,
+        line: usize,
+    },
+    /// `foreach v, i in <iterable> { ... }`
+    Foreach {
+        value_var: String,
+        index_var: Option<String>,
+        iterable: Iterable,
+        body: Vec<Stmt>,
+        line: usize,
+    },
+    /// `if (cond) { ... } else { ... }`
+    If {
+        cond: Expr,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+        line: usize,
+    },
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    Var(String),
+    /// `a[i]`
+    Index(String, Expr),
+}
+
+/// What a foreach iterates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Iterable {
+    /// `[start:end]` or `[start:end:step]`
+    Range(Expr, Expr, Option<Expr>),
+    /// An array-typed expression (currently: a variable).
+    Array(Expr),
+}
+
+/// A function call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallExpr {
+    pub name: String,
+    pub args: Vec<Expr>,
+    pub line: usize,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    IntLit(i64),
+    FloatLit(f64),
+    StrLit(String),
+    BoolLit(bool),
+    Var(String),
+    /// `a[i]`
+    Index(String, Box<Expr>, usize),
+    Call(CallExpr),
+    Unary(&'static str, Box<Expr>, usize),
+    Binary(&'static str, Box<Expr>, Box<Expr>, usize),
+}
+
+impl Expr {
+    /// Source line, best effort.
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::Index(_, _, l) | Expr::Unary(_, _, l) | Expr::Binary(_, _, _, l) => *l,
+            Expr::Call(c) => c.line,
+            _ => 0,
+        }
+    }
+}
+
+/// A whole program: functions plus main statements.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    pub functions: Vec<FuncDef>,
+    pub main: Vec<Stmt>,
+}

@@ -1,0 +1,94 @@
+//! # stc — the Swift-to-Turbine compiler
+//!
+//! STC translates user Swift code into *Turbine code*: Tcl that drives the
+//! `turbine::*` runtime (Wozniak et al., CLUSTER 2015, §III.A). Tcl was
+//! chosen deliberately — "a straightforward way to ship code fragments
+//! through ADLB for load balancing and evaluation elsewhere, a textual,
+//! easily readable format, and a runtime that did not require the user to
+//! run the C compiler".
+//!
+//! The supported Swift subset covers the paper's examples and the
+//! experiments:
+//!
+//! * types `int`, `float`, `string`, `boolean`, `void`, `blob`, arrays
+//!   `T[]`;
+//! * implicit dataflow: declarations create futures, statement order is
+//!   irrelevant, `foreach` iterations and independent calls run
+//!   concurrently (§II.A, Fig. 1);
+//! * `foreach v, i in [a:b]` range loops (distributed via loop splitting)
+//!   and `foreach v, i in array` loops;
+//! * `if`/`else` on futures;
+//! * composite functions, and **leaf functions defined by inline Tcl
+//!   templates** with `<<var>>` placeholders — the paper's §III.A feature:
+//!
+//! ```text
+//! (int o) f (int i, int j) "my_package" "1.0" [
+//!     "set <<o>> [ my_package::f <<i>> <<j>> ]"
+//! ];
+//! ```
+//!
+//! * builtins: `printf`, `trace`, `assert`, `strcat`, `strlen`, `toint`,
+//!   `fromint`, `tofloat`, `fromfloat`, `itof`, `ftoi`, float math
+//!   (`sqrt`, `exp`, `log`, `sin`, `cos`), `size`, and the interlanguage
+//!   leaves `python(code, expr)`, `r(code, expr)`, `sh(cmd)`.
+//!
+//! Compilation produces a [`CompiledProgram`]: a *preamble* (proc
+//! definitions, loaded by every engine and worker) and a *main* body
+//! (evaluated on engine 0). Both are plain Tcl strings — inspect them with
+//! [`CompiledProgram::listing`].
+//!
+//! ```
+//! let program = stc::compile(r#"
+//!     int x = 6;
+//!     int y = x * 7;
+//!     printf("answer: %d", y);
+//! "#).unwrap();
+//! assert!(program.main.contains("swt:ibinop *"));
+//! ```
+
+mod ast;
+mod codegen;
+mod lexer;
+mod parser;
+
+pub use ast::Type;
+pub use codegen::{compile, CompileError, CompiledProgram};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_program_compiles() {
+        let p = compile("printf(\"hi\");").unwrap();
+        assert!(p.main.contains("swt:printf"));
+    }
+
+    #[test]
+    fn undefined_variable_is_an_error() {
+        let err = compile("int y = x + 1;").unwrap_err();
+        assert!(err.message.contains("undefined variable"), "{}", err.message);
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        let err = compile("string s = \"a\"; int x = s + 1;").unwrap_err();
+        assert!(err.message.contains("type"), "{}", err.message);
+    }
+
+    #[test]
+    fn leaf_template_substitution() {
+        let p = compile(
+            r#"
+            (int o) twice (int i) "mypkg" "1.0" [
+                "set <<o>> [ expr {2 * <<i>>} ]"
+            ];
+            int r = twice(4);
+            trace(r);
+        "#,
+        )
+        .unwrap();
+        assert!(p.preamble.contains("package require mypkg"));
+        assert!(p.preamble.contains("set o [ expr {2 * $i} ]"));
+    }
+}

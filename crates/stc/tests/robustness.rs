@@ -1,0 +1,57 @@
+//! The compiler must never panic: arbitrary input produces Ok or a
+//! CompileError with a line number, nothing else.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn compile_never_panics_on_arbitrary_input(src in ".{0,200}") {
+        let _ = stc::compile(&src);
+    }
+
+    #[test]
+    fn compile_never_panics_on_swifty_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("int".to_string()), Just("float".to_string()),
+                Just("foreach".to_string()), Just("if".to_string()),
+                Just("else".to_string()), Just("in".to_string()),
+                Just("x".to_string()), Just("f".to_string()),
+                Just("=".to_string()), Just(";".to_string()),
+                Just("(".to_string()), Just(")".to_string()),
+                Just("{".to_string()), Just("}".to_string()),
+                Just("[".to_string()), Just("]".to_string()),
+                Just(":".to_string()), Just(",".to_string()),
+                Just("+".to_string()), Just("1".to_string()),
+                Just("\"s\"".to_string()), Just("2.5".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = stc::compile(&src);
+    }
+}
+
+#[test]
+fn pathological_nesting_is_rejected_not_crashed() {
+    // Deep parens.
+    let mut src = String::from("int x = ");
+    for _ in 0..200 {
+        src.push('(');
+    }
+    src.push('1');
+    for _ in 0..200 {
+        src.push(')');
+    }
+    src.push(';');
+    let _ = stc::compile(&src);
+
+    // Unbalanced everything.
+    assert!(stc::compile("((((((").is_err());
+    assert!(stc::compile("foreach foreach foreach").is_err());
+    assert!(stc::compile("int int int").is_err());
+    assert!(stc::compile("\"unterminated").is_err());
+}

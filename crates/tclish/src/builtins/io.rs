@@ -1,0 +1,160 @@
+//! I/O-ish commands: `puts`, `clock`, `exec`, and a minimal `file`.
+//!
+//! `exec` is the "rich shell interface" of the paper (§I, §IV): any
+//! external program may be called through the shell-based technique. On a
+//! real Blue Gene/Q this path is unavailable — which is exactly why the
+//! embedded-interpreter work exists — and experiment E2 quantifies its cost
+//! against the simulated parallel filesystem instead of the host one.
+
+use super::{arity, arity_range, ok};
+use crate::error::{Exception, TclResult};
+use crate::interp::Interp;
+
+pub fn register(i: &mut Interp) {
+    i.register("puts", cmd_puts);
+    i.register("clock", cmd_clock);
+    i.register("exec", cmd_exec);
+    i.register("file", cmd_file);
+    i.register("flush", |_, _| ok());
+}
+
+fn cmd_puts(i: &mut Interp, argv: &[String]) -> TclResult {
+    let mut idx = 1;
+    let mut newline = true;
+    if argv.get(idx).map(String::as_str) == Some("-nonewline") {
+        newline = false;
+        idx += 1;
+    }
+    // Optional channel argument; both standard channels go to the sink.
+    if argv.len() > idx + 1 && matches!(argv[idx].as_str(), "stdout" | "stderr") {
+        idx += 1;
+    }
+    let text = argv
+        .get(idx)
+        .ok_or_else(|| Exception::error("wrong # args: should be \"puts ?-nonewline? ?channelId? string\""))?;
+    if argv.len() > idx + 1 {
+        return Err(Exception::error(
+            "wrong # args: should be \"puts ?-nonewline? ?channelId? string\"",
+        ));
+    }
+    i.write_output(text);
+    if newline {
+        i.write_output("\n");
+    }
+    ok()
+}
+
+fn cmd_clock(_i: &mut Interp, argv: &[String]) -> TclResult {
+    arity(argv, 2, "clock subcommand")?;
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default();
+    match argv[1].as_str() {
+        "seconds" => Ok(now.as_secs().to_string()),
+        "milliseconds" => Ok(now.as_millis().to_string()),
+        "microseconds" | "clicks" => Ok(now.as_micros().to_string()),
+        other => Err(Exception::error(format!(
+            "unknown clock subcommand \"{other}\""
+        ))),
+    }
+}
+
+fn cmd_exec(_i: &mut Interp, argv: &[String]) -> TclResult {
+    if argv.len() < 2 {
+        return Err(Exception::error("wrong # args: should be \"exec arg ?arg ...?\""));
+    }
+    let output = std::process::Command::new(&argv[1])
+        .args(&argv[2..])
+        .output()
+        .map_err(|e| Exception::error(format!("couldn't execute \"{}\": {e}", argv[1])))?;
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    if !output.status.success() {
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        return Err(Exception::error(format!(
+            "child process exited abnormally: {}",
+            if stderr.is_empty() { &stdout } else { &stderr }
+        )));
+    }
+    Ok(stdout.trim_end_matches('\n').to_string())
+}
+
+fn cmd_file(_i: &mut Interp, argv: &[String]) -> TclResult {
+    arity_range(argv, 3, usize::MAX, "file subcommand name ?arg ...?")?;
+    match argv[1].as_str() {
+        "exists" => Ok((std::path::Path::new(&argv[2]).exists() as i64).to_string()),
+        "join" => {
+            let mut p = std::path::PathBuf::new();
+            for part in &argv[2..] {
+                p.push(part);
+            }
+            Ok(p.to_string_lossy().into_owned())
+        }
+        "tail" => Ok(std::path::Path::new(&argv[2])
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default()),
+        "dirname" => Ok(std::path::Path::new(&argv[2])
+            .parent()
+            .map(|s| s.to_string_lossy().into_owned())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| ".".to_string())),
+        "extension" => Ok(std::path::Path::new(&argv[2])
+            .extension()
+            .map(|s| format!(".{}", s.to_string_lossy()))
+            .unwrap_or_default()),
+        "rootname" => {
+            let p = &argv[2];
+            Ok(match p.rfind('.') {
+                Some(idx) if !p[idx..].contains('/') => p[..idx].to_string(),
+                _ => p.clone(),
+            })
+        }
+        other => Err(Exception::error(format!(
+            "unknown or unsupported subcommand \"file {other}\""
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+
+    #[test]
+    fn puts_variants() {
+        let mut i = Interp::new();
+        let buf = i.capture_output();
+        i.eval("puts a; puts -nonewline b; puts stderr c").unwrap();
+        assert_eq!(&*buf.borrow(), "a\nbc\n");
+    }
+
+    #[test]
+    fn clock_monotonicity() {
+        let mut i = Interp::new();
+        let a: u128 = i.eval("clock microseconds").unwrap().parse().unwrap();
+        let b: u128 = i.eval("clock microseconds").unwrap().parse().unwrap();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn exec_echo() {
+        let mut i = Interp::new();
+        assert_eq!(i.eval("exec echo hello").unwrap(), "hello");
+    }
+
+    #[test]
+    fn exec_missing_binary_errors() {
+        let mut i = Interp::new();
+        assert!(i.eval("exec definitely_not_a_real_binary_xyz").is_err());
+    }
+
+    #[test]
+    fn file_path_ops() {
+        let mut i = Interp::new();
+        assert_eq!(i.eval("file join a b c").unwrap(), "a/b/c");
+        assert_eq!(i.eval("file tail /x/y/z.dat").unwrap(), "z.dat");
+        assert_eq!(i.eval("file dirname /x/y/z.dat").unwrap(), "/x/y");
+        assert_eq!(i.eval("file extension z.dat").unwrap(), ".dat");
+        assert_eq!(i.eval("file rootname z.dat").unwrap(), "z");
+        assert_eq!(i.eval("file exists /").unwrap(), "1");
+    }
+}

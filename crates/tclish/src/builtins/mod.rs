@@ -1,0 +1,72 @@
+//! Standard command set registration.
+
+mod control;
+mod io;
+mod lists;
+mod package;
+mod strings;
+
+use crate::error::{Exception, TclResult};
+use crate::interp::Interp;
+
+pub fn register_all(interp: &mut Interp) {
+    control::register(interp);
+    strings::register(interp);
+    lists::register(interp);
+    io::register(interp);
+    package::register(interp);
+}
+
+/// Check exact argument count (argv includes the command name).
+pub(crate) fn arity(argv: &[String], n: usize, usage: &str) -> Result<(), Exception> {
+    if argv.len() != n {
+        return Err(Exception::error(format!(
+            "wrong # args: should be \"{usage}\""
+        )));
+    }
+    Ok(())
+}
+
+/// Check an argument count range (inclusive); `max = usize::MAX` for open.
+pub(crate) fn arity_range(
+    argv: &[String],
+    min: usize,
+    max: usize,
+    usage: &str,
+) -> Result<(), Exception> {
+    if argv.len() < min || argv.len() > max {
+        return Err(Exception::error(format!(
+            "wrong # args: should be \"{usage}\""
+        )));
+    }
+    Ok(())
+}
+
+/// Parse an integer argument with a Tcl-style error.
+pub(crate) fn int_arg(s: &str) -> Result<i64, Exception> {
+    s.trim()
+        .parse::<i64>()
+        .map_err(|_| Exception::error(format!("expected integer but got \"{s}\"")))
+}
+
+/// Parse a Tcl index (`N`, `end`, `end-N`) against a length.
+pub(crate) fn index_arg(s: &str, len: usize) -> Result<i64, Exception> {
+    let s = s.trim();
+    if s == "end" {
+        return Ok(len as i64 - 1);
+    }
+    if let Some(rest) = s.strip_prefix("end-") {
+        let off = int_arg(rest)?;
+        return Ok(len as i64 - 1 - off);
+    }
+    if let Some(rest) = s.strip_prefix("end+") {
+        let off = int_arg(rest)?;
+        return Ok(len as i64 - 1 + off);
+    }
+    int_arg(s)
+}
+
+/// The empty-string success result.
+pub(crate) fn ok() -> TclResult {
+    Ok(String::new())
+}

@@ -1,0 +1,110 @@
+//! Error and non-local control flow types.
+//!
+//! Tcl models `return`, `break`, and `continue` as exceptional return codes
+//! alongside genuine errors; `catch` observes the numeric code. We mirror
+//! that with the [`Exception`] enum so `Result<String, Exception>` threads
+//! through the evaluator.
+
+/// A genuine Tcl error (`error` command, undefined variable, bad arity...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TclError {
+    /// Human-readable error message, as `catch` would capture it.
+    pub message: String,
+    /// Rough evaluation trace: innermost command first.
+    pub trace: Vec<String>,
+}
+
+impl TclError {
+    /// Build an error with an empty trace.
+    pub fn new(message: impl Into<String>) -> Self {
+        TclError {
+            message: message.into(),
+            trace: Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Display for TclError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)?;
+        if !self.trace.is_empty() {
+            write!(f, "\n    while executing")?;
+            for t in &self.trace {
+                write!(f, "\n    \"{t}\"")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for TclError {}
+
+/// Non-local control flow raised during evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Exception {
+    /// A real error (Tcl return code 1).
+    Error(TclError),
+    /// `return value` (Tcl return code 2).
+    Return(String),
+    /// `break` (Tcl return code 3).
+    Break,
+    /// `continue` (Tcl return code 4).
+    Continue,
+}
+
+impl Exception {
+    /// Construct an error exception.
+    pub fn error(message: impl Into<String>) -> Self {
+        Exception::Error(TclError::new(message))
+    }
+
+    /// The numeric Tcl return code (`catch` result).
+    pub fn code(&self) -> i64 {
+        match self {
+            Exception::Error(_) => 1,
+            Exception::Return(_) => 2,
+            Exception::Break => 3,
+            Exception::Continue => 4,
+        }
+    }
+
+    /// The value `catch` stores into its message variable.
+    pub fn result_value(&self) -> String {
+        match self {
+            Exception::Error(e) => e.message.clone(),
+            Exception::Return(v) => v.clone(),
+            Exception::Break | Exception::Continue => String::new(),
+        }
+    }
+}
+
+impl From<TclError> for Exception {
+    fn from(e: TclError) -> Self {
+        Exception::Error(e)
+    }
+}
+
+/// The evaluator result type: a string value or an exception.
+pub type TclResult = Result<String, Exception>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_tcl() {
+        assert_eq!(Exception::error("x").code(), 1);
+        assert_eq!(Exception::Return("v".into()).code(), 2);
+        assert_eq!(Exception::Break.code(), 3);
+        assert_eq!(Exception::Continue.code(), 4);
+    }
+
+    #[test]
+    fn display_includes_trace() {
+        let mut e = TclError::new("bad thing");
+        e.trace.push("cmd a".into());
+        let s = format!("{e}");
+        assert!(s.contains("bad thing"));
+        assert!(s.contains("cmd a"));
+    }
+}

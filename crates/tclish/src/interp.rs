@@ -1,0 +1,577 @@
+//! The interpreter: frames, variables, command dispatch, substitution.
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::builtins;
+use crate::error::{Exception, TclError, TclResult};
+use crate::expr::{self, ExprHost};
+use crate::list;
+use crate::parser::{self, Command, Part, Script, Word};
+
+/// Marker prefix a `{*}` word carries after parsing.
+pub(crate) const EXPAND_MARKER: &str = "\u{1}EXPAND\u{1}";
+
+/// A native command implementation. Receives the interpreter and the fully
+/// substituted argument words (`argv[0]` is the command name).
+pub type CommandFn = Rc<dyn Fn(&mut Interp, &[String]) -> TclResult>;
+
+/// A user-defined `proc`.
+#[derive(Clone)]
+pub(crate) struct ProcDef {
+    /// `(name, default)` pairs; a trailing `args` param collects the rest.
+    pub params: Vec<(String, Option<String>)>,
+    pub varargs: bool,
+    pub body: Rc<str>,
+}
+
+/// How a registered package initializes itself on `package require`.
+#[derive(Clone)]
+pub enum PackageInit {
+    /// Evaluate a Tcl script (the "static package" of §IV: code bundled
+    /// in-memory instead of thousands of small files on the FS).
+    Script(Rc<str>),
+    /// Run a native loader that registers commands.
+    Native(Rc<dyn Fn(&mut Interp)>),
+}
+
+struct Frame {
+    vars: HashMap<String, String>,
+    /// Names in this frame linked to globals via `global`.
+    global_links: std::collections::HashSet<String>,
+}
+
+impl Frame {
+    fn new() -> Self {
+        Frame {
+            vars: HashMap::new(),
+            global_links: std::collections::HashSet::new(),
+        }
+    }
+}
+
+enum Output {
+    Stdout,
+    Buffer(Rc<RefCell<String>>),
+    Custom(Box<dyn FnMut(&str)>),
+}
+
+/// A Tcl interpreter instance.
+///
+/// Each Turbine worker/engine rank embeds one `Interp` — the paper's model
+/// of treating script interpreters "as native code libraries" (§III.C).
+pub struct Interp {
+    frames: Vec<Frame>,
+    commands: HashMap<String, CommandFn>,
+    procs: HashMap<String, ProcDef>,
+    packages: HashMap<String, (String, PackageInit)>,
+    provided: HashMap<String, String>,
+    script_cache: HashMap<String, Rc<Script>>,
+    context: HashMap<TypeId, Box<dyn Any>>,
+    output: Output,
+    rand_state: u64,
+    depth: usize,
+    /// Statistics: number of commands dispatched (used by benches).
+    pub commands_executed: u64,
+}
+
+impl Default for Interp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interp {
+    /// Create an interpreter with the standard command set registered.
+    pub fn new() -> Self {
+        let mut interp = Interp {
+            frames: vec![Frame::new()],
+            commands: HashMap::new(),
+            procs: HashMap::new(),
+            packages: HashMap::new(),
+            provided: HashMap::new(),
+            script_cache: HashMap::new(),
+            context: HashMap::new(),
+            output: Output::Stdout,
+            rand_state: 0x9E3779B97F4A7C15,
+            depth: 0,
+            commands_executed: 0,
+        };
+        builtins::register_all(&mut interp);
+        interp
+    }
+
+    // -- embedding API ---------------------------------------------------
+
+    /// Register (or replace) a native command.
+    pub fn register<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&mut Interp, &[String]) -> TclResult + 'static,
+    {
+        self.commands.insert(name.to_string(), Rc::new(f));
+    }
+
+    /// Remove a command; returns whether it existed.
+    pub fn unregister(&mut self, name: &str) -> bool {
+        self.commands.remove(name).is_some() | self.procs.remove(name).is_some()
+    }
+
+    /// True if a command or proc with this name exists.
+    pub fn has_command(&self, name: &str) -> bool {
+        self.procs.contains_key(name) || self.commands.contains_key(name)
+    }
+
+    /// Names of all user-defined procs.
+    pub fn proc_names(&self) -> Vec<String> {
+        self.procs.keys().cloned().collect()
+    }
+
+    /// Attach host state retrievable from native commands. Stored by type;
+    /// wrap in `Rc<RefCell<..>>` if commands must mutate it.
+    pub fn context_insert<T: 'static>(&mut self, value: T) {
+        self.context.insert(TypeId::of::<T>(), Box::new(value));
+    }
+
+    /// Fetch host state by type (cloned out; use `Rc` types).
+    pub fn context_get<T: 'static + Clone>(&self) -> Option<T> {
+        self.context
+            .get(&TypeId::of::<T>())
+            .and_then(|b| b.downcast_ref::<T>())
+            .cloned()
+    }
+
+    /// Register a loadable package (the analog of placing it on
+    /// `TCLLIBPATH`).
+    pub fn add_package(&mut self, name: &str, version: &str, init: PackageInit) {
+        self.packages
+            .insert(name.to_string(), (version.to_string(), init));
+    }
+
+    pub(crate) fn require_package(&mut self, name: &str) -> TclResult {
+        if let Some(v) = self.provided.get(name) {
+            return Ok(v.clone());
+        }
+        let (version, init) = self
+            .packages
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Exception::error(format!("can't find package {name}")))?;
+        // Mark provided before running init so recursive requires terminate.
+        self.provided.insert(name.to_string(), version.clone());
+        match init {
+            PackageInit::Script(src) => {
+                self.eval_internal(&src)?;
+            }
+            PackageInit::Native(f) => f(self),
+        }
+        Ok(version)
+    }
+
+    pub(crate) fn provide_package(&mut self, name: &str, version: &str) {
+        self.provided.insert(name.to_string(), version.to_string());
+    }
+
+    /// Redirect `puts` into an internal buffer and return it.
+    pub fn capture_output(&mut self) -> Rc<RefCell<String>> {
+        let buf = Rc::new(RefCell::new(String::new()));
+        self.output = Output::Buffer(buf.clone());
+        buf
+    }
+
+    /// Route `puts` to a custom sink.
+    pub fn set_output<F: FnMut(&str) + 'static>(&mut self, sink: F) {
+        self.output = Output::Custom(Box::new(sink));
+    }
+
+    /// Write text to the interpreter's output sink (what `puts` uses).
+    /// Host commands use this to merge embedded-interpreter output into
+    /// the rank's stdout stream.
+    pub fn write_output(&mut self, text: &str) {
+        match &mut self.output {
+            Output::Stdout => print!("{text}"),
+            Output::Buffer(b) => b.borrow_mut().push_str(text),
+            Output::Custom(f) => f(text),
+        }
+    }
+
+    // -- variables --------------------------------------------------------
+
+    fn frame_for(&mut self, name: &str) -> (usize, String) {
+        // Qualified names (`a::b`) and `::x` live in the global frame.
+        if let Some(stripped) = name.strip_prefix("::") {
+            if !stripped.contains("::") {
+                return (0, stripped.to_string());
+            }
+            return (0, name.to_string());
+        }
+        if name.contains("::") {
+            return (0, name.to_string());
+        }
+        let top = self.frames.len() - 1;
+        if top > 0 && self.frames[top].global_links.contains(name) {
+            return (0, name.to_string());
+        }
+        (top, name.to_string())
+    }
+
+    /// Read a variable.
+    pub fn get_var(&mut self, name: &str) -> TclResult {
+        let (fi, key) = self.frame_for(name);
+        self.frames[fi]
+            .vars
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| Exception::error(format!("can't read \"{name}\": no such variable")))
+    }
+
+    /// Write a variable.
+    pub fn set_var(&mut self, name: &str, value: impl Into<String>) {
+        let (fi, key) = self.frame_for(name);
+        self.frames[fi].vars.insert(key, value.into());
+    }
+
+    /// Remove a variable; true if it existed.
+    pub fn unset_var(&mut self, name: &str) -> bool {
+        let (fi, key) = self.frame_for(name);
+        self.frames[fi].vars.remove(&key).is_some()
+    }
+
+    /// Whether a variable is currently set.
+    pub fn var_exists(&mut self, name: &str) -> bool {
+        let (fi, key) = self.frame_for(name);
+        self.frames[fi].vars.contains_key(&key)
+    }
+
+    pub(crate) fn link_global(&mut self, name: &str) {
+        let top = self.frames.len() - 1;
+        if top > 0 {
+            self.frames[top].global_links.insert(name.to_string());
+        }
+    }
+
+    /// Current proc-call nesting level (0 = global).
+    pub fn level(&self) -> usize {
+        self.frames.len() - 1
+    }
+
+    // -- evaluation --------------------------------------------------------
+
+    /// Evaluate a script; this is the embedding entry point.
+    ///
+    /// A top-level `return` yields its value; `break`/`continue` outside a
+    /// loop are errors, as in Tcl.
+    pub fn eval(&mut self, script: &str) -> Result<String, TclError> {
+        match self.eval_internal(script) {
+            Ok(v) => Ok(v),
+            Err(Exception::Return(v)) => Ok(v),
+            Err(Exception::Error(e)) => Err(e),
+            Err(Exception::Break) => Err(TclError::new("invoked \"break\" outside of a loop")),
+            Err(Exception::Continue) => {
+                Err(TclError::new("invoked \"continue\" outside of a loop"))
+            }
+        }
+    }
+
+    /// Evaluate with full exception semantics (for control-flow commands).
+    pub fn eval_internal(&mut self, script: &str) -> TclResult {
+        let parsed = self.parse_cached(script)?;
+        self.eval_parsed(&parsed)
+    }
+
+    fn parse_cached(&mut self, script: &str) -> Result<Rc<Script>, Exception> {
+        if let Some(hit) = self.script_cache.get(script) {
+            return Ok(hit.clone());
+        }
+        let parsed = Rc::new(parser::parse_script(script)?);
+        if self.script_cache.len() >= 4096 {
+            self.script_cache.clear();
+        }
+        self.script_cache
+            .insert(script.to_string(), parsed.clone());
+        Ok(parsed)
+    }
+
+    fn eval_parsed(&mut self, script: &Script) -> TclResult {
+        let mut result = String::new();
+        for cmd in &script.commands {
+            result = self.eval_command(cmd).map_err(|e| annotate(e, cmd))?;
+        }
+        Ok(result)
+    }
+
+    fn eval_command(&mut self, cmd: &Command) -> TclResult {
+        let mut argv: Vec<String> = Vec::with_capacity(cmd.words.len());
+        for w in &cmd.words {
+            let expand = matches!(w.parts.first(), Some(Part::Lit(l)) if l == EXPAND_MARKER);
+            let text = self.subst_word(w, expand)?;
+            if expand {
+                argv.extend(list::parse_list(&text).map_err(Exception::from)?);
+            } else {
+                argv.push(text);
+            }
+        }
+        if argv.is_empty() {
+            return Ok(String::new());
+        }
+        self.invoke(&argv)
+    }
+
+    fn subst_word(&mut self, word: &Word, skip_marker: bool) -> TclResult {
+        let parts = if skip_marker {
+            &word.parts[1..]
+        } else {
+            &word.parts[..]
+        };
+        if let [Part::Lit(s)] = parts {
+            return Ok(s.clone());
+        }
+        let mut out = String::new();
+        for p in parts {
+            match p {
+                Part::Lit(s) => out.push_str(s),
+                Part::Var(name) => out.push_str(&self.get_var(name)?),
+                Part::Script(src) => out.push_str(&self.eval_internal(src)?),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Perform Tcl `subst`-style substitution on a string ($vars and
+    /// `[commands]`), used by the `subst` command and string templating.
+    pub fn subst(&mut self, text: &str) -> TclResult {
+        // Reuse the quoted-word parser by wrapping in quotes after escaping
+        // embedded quotes and backslashes minimally: simpler to scan here.
+        let wrapped = format!("\"{}\"", text.replace('\\', "\\\\").replace('"', "\\\""));
+        let script = parser::parse_script(&format!("return {wrapped}"))?;
+        match self.eval_parsed(&script) {
+            Err(Exception::Return(v)) => Ok(v),
+            Ok(v) => Ok(v),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Invoke a command by argv. Dispatch order: procs, then natives.
+    pub fn invoke(&mut self, argv: &[String]) -> TclResult {
+        self.commands_executed += 1;
+        let name = argv[0].as_str();
+        if let Some(p) = self.procs.get(name).cloned() {
+            return self.call_proc(name, &p, &argv[1..]);
+        }
+        if let Some(f) = self.commands.get(name).cloned() {
+            return f(self, argv);
+        }
+        Err(Exception::error(format!(
+            "invalid command name \"{name}\""
+        )))
+    }
+
+    pub(crate) fn define_proc(&mut self, name: &str, def: ProcDef) {
+        self.procs.insert(name.to_string(), def);
+    }
+
+    fn call_proc(&mut self, name: &str, p: &ProcDef, args: &[String]) -> TclResult {
+        if self.depth >= 500 {
+            return Err(Exception::error(format!(
+                "too many nested proc calls (infinite recursion in \"{name}\"?)"
+            )));
+        }
+        let mut frame = Frame::new();
+        let required = p.params.iter().filter(|(_, d)| d.is_none()).count();
+        if args.len() < required || (!p.varargs && args.len() > p.params.len()) {
+            return Err(Exception::error(format!(
+                "wrong # args: should be \"{name} {}\"",
+                p.params
+                    .iter()
+                    .map(|(n, d)| if d.is_some() {
+                        format!("?{n}?")
+                    } else {
+                        n.clone()
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ")
+                    + if p.varargs { " ?arg ...?" } else { "" }
+            )));
+        }
+        let mut ai = 0usize;
+        for (pname, default) in &p.params {
+            if ai < args.len() {
+                frame.vars.insert(pname.clone(), args[ai].clone());
+                ai += 1;
+            } else if let Some(d) = default {
+                frame.vars.insert(pname.clone(), d.clone());
+            }
+        }
+        if p.varargs {
+            let rest: Vec<&String> = args[ai.min(args.len())..].iter().collect();
+            frame
+                .vars
+                .insert("args".to_string(), list::format_list(&rest));
+        }
+        self.frames.push(frame);
+        self.depth += 1;
+        let body = p.body.clone();
+        let result = self.eval_internal(&body);
+        self.depth -= 1;
+        self.frames.pop();
+        match result {
+            Err(Exception::Return(v)) => Ok(v),
+            Ok(v) => Ok(v),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Evaluate a Tcl expression string (the `expr` engine).
+    pub fn expr(&mut self, src: &str) -> TclResult {
+        expr::eval_expr(self, src).map(|v| v.to_tcl_string())
+    }
+
+    /// Evaluate an expression as a boolean (for `if`/`while` conditions).
+    pub fn expr_bool(&mut self, src: &str) -> Result<bool, Exception> {
+        let v = self.expr(src)?;
+        match v.trim() {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            "" => Err(Exception::error("empty boolean expression")),
+            other => match other.parse::<f64>() {
+                Ok(f) => Ok(f != 0.0),
+                Err(_) => match other.to_ascii_lowercase().as_str() {
+                    "true" | "yes" | "on" => Ok(true),
+                    "false" | "no" | "off" => Ok(false),
+                    _ => Err(Exception::error(format!(
+                        "expected boolean value but got \"{other}\""
+                    ))),
+                },
+            },
+        }
+    }
+}
+
+impl ExprHost for Interp {
+    fn get_var(&mut self, name: &str) -> TclResult {
+        Interp::get_var(self, name)
+    }
+    fn eval_script(&mut self, script: &str) -> TclResult {
+        self.eval_internal(script)
+    }
+    fn next_rand(&mut self) -> f64 {
+        // xorshift64*: deterministic per-interp stream for expr's rand().
+        let mut x = self.rand_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rand_state = x;
+        (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn annotate(e: Exception, cmd: &Command) -> Exception {
+    match e {
+        Exception::Error(mut err) => {
+            if err.trace.len() < 8 {
+                err.trace.push(cmd.source.clone());
+            }
+            Exception::Error(err)
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globals_vs_locals() {
+        let mut i = Interp::new();
+        i.eval("set g 1").unwrap();
+        i.eval("proc f {} { global g; set l 2; return [expr {$g + $l}] }")
+            .unwrap();
+        assert_eq!(i.eval("f").unwrap(), "3");
+        // Local `l` did not leak.
+        assert!(i.eval("set l").is_err());
+    }
+
+    #[test]
+    fn qualified_names_are_global() {
+        let mut i = Interp::new();
+        i.eval("proc f {} { set turbine::rank 7 }").unwrap();
+        i.eval("f").unwrap();
+        assert_eq!(i.eval("set turbine::rank").unwrap(), "7");
+    }
+
+    #[test]
+    fn context_round_trip() {
+        let mut i = Interp::new();
+        i.context_insert(Rc::new(RefCell::new(41u32)));
+        let c: Rc<RefCell<u32>> = i.context_get().unwrap();
+        *c.borrow_mut() += 1;
+        let c2: Rc<RefCell<u32>> = i.context_get().unwrap();
+        assert_eq!(*c2.borrow(), 42);
+    }
+
+    #[test]
+    fn native_command_dispatch() {
+        let mut i = Interp::new();
+        i.register("double_it", |_, argv| {
+            let n: i64 = argv[1].parse().unwrap();
+            Ok((n * 2).to_string())
+        });
+        assert_eq!(i.eval("double_it 21").unwrap(), "42");
+    }
+
+    #[test]
+    fn package_require_runs_init_once() {
+        let mut i = Interp::new();
+        i.add_package(
+            "mypkg",
+            "1.0",
+            PackageInit::Script(Rc::from("set ::loads [expr {[info exists ::loads] ? $::loads + 1 : 1}]; proc mypkg_f {} { return ok }")),
+        );
+        assert_eq!(i.eval("package require mypkg").unwrap(), "1.0");
+        assert_eq!(i.eval("package require mypkg").unwrap(), "1.0");
+        assert_eq!(i.eval("set ::loads").unwrap(), "1");
+        assert_eq!(i.eval("mypkg_f").unwrap(), "ok");
+    }
+
+    #[test]
+    fn missing_package_errors() {
+        let mut i = Interp::new();
+        assert!(i.eval("package require nope").is_err());
+    }
+
+    #[test]
+    fn capture_output() {
+        let mut i = Interp::new();
+        let buf = i.capture_output();
+        i.eval("puts hello; puts world").unwrap();
+        assert_eq!(&*buf.borrow(), "hello\nworld\n");
+    }
+
+    #[test]
+    fn infinite_recursion_is_caught() {
+        let mut i = Interp::new();
+        i.eval("proc f {} { f }").unwrap();
+        let err = i.eval("f").unwrap_err();
+        assert!(err.message.contains("recursion"), "{}", err.message);
+    }
+
+    #[test]
+    fn expand_marker_expands_lists() {
+        let mut i = Interp::new();
+        i.eval("set l {1 2 3}").unwrap();
+        assert_eq!(i.eval("llength $l").unwrap(), "3");
+        assert_eq!(i.eval("expr {*}{1 + 2}").unwrap(), "3");
+    }
+
+    #[test]
+    fn error_trace_accumulates() {
+        let mut i = Interp::new();
+        i.eval("proc inner {} { error deep }").unwrap();
+        i.eval("proc outer {} { inner }").unwrap();
+        let err = i.eval("outer").unwrap_err();
+        assert_eq!(err.message, "deep");
+        assert!(!err.trace.is_empty());
+    }
+}

@@ -1,0 +1,471 @@
+//! Per-rank driver: role assignment, program startup, engine loop, output
+//! collection.
+//!
+//! This is the analogue of `turbine::start`: given a compiled program
+//! (preamble of proc definitions + a main body), each rank takes its role
+//! from the layout (Fig. 2) and runs to global termination.
+
+use adlb::{AdlbClient, Layout, ServerConfig, ServerStats};
+use mpisim::{Comm, Rank};
+use tclish::Interp;
+
+use crate::commands::{self, Ctx, SharedCtx};
+use crate::types::InterpPolicy;
+use crate::worker;
+
+/// The role a rank plays (Fig. 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Evaluates Swift logic: rules, control actions.
+    Engine,
+    /// Executes leaf tasks.
+    Worker,
+    /// ADLB server: queues, data store, load balancing.
+    Server,
+}
+
+/// Machine configuration for a run.
+#[derive(Debug, Clone)]
+pub struct TurbineConfig {
+    /// Number of ADLB server ranks (at the top of the rank space).
+    pub servers: usize,
+    /// Number of engine ranks (at the bottom of the rank space). Engine 0
+    /// evaluates the program's main body.
+    pub engines: usize,
+    /// §III.C interpreter policy on workers.
+    pub policy: InterpPolicy,
+    /// ADLB server tunables.
+    pub server: ServerConfig,
+}
+
+impl Default for TurbineConfig {
+    fn default() -> Self {
+        TurbineConfig {
+            servers: 1,
+            engines: 1,
+            policy: InterpPolicy::Retain,
+            server: ServerConfig::default(),
+        }
+    }
+}
+
+impl TurbineConfig {
+    /// The ADLB layout for a world of `size` ranks.
+    pub fn layout(&self, size: usize) -> Layout {
+        Layout::new(size, self.servers)
+    }
+
+    /// The role of `rank` in a world of `size` ranks.
+    pub fn role(&self, size: usize, rank: Rank) -> Role {
+        let layout = self.layout(size);
+        if layout.is_server(rank) {
+            Role::Server
+        } else if rank < self.engines {
+            Role::Engine
+        } else {
+            Role::Worker
+        }
+    }
+
+    /// Validate against a world size: need at least one engine, and a
+    /// worker if any leaf tasks are to run.
+    pub fn validate(&self, size: usize) {
+        let clients = size - self.servers;
+        assert!(self.engines >= 1, "need at least one engine");
+        assert!(
+            clients > self.engines,
+            "need at least one worker rank (size {size}, servers {}, engines {})",
+            self.servers,
+            self.engines
+        );
+    }
+}
+
+/// A compiled Turbine program.
+#[derive(Debug, Clone, Default)]
+pub struct TurbineProgram {
+    /// Proc definitions and package setup; evaluated on every engine and
+    /// worker before any task runs.
+    pub preamble: String,
+    /// The program body; evaluated on engine 0 only.
+    pub main: String,
+    /// Program arguments, readable via `turbine::argv` / Swift `argv()`.
+    pub args: Vec<(String, String)>,
+}
+
+/// What one rank reports after the run.
+#[derive(Debug, Clone)]
+pub struct RankOutput {
+    /// The role this rank played.
+    pub role: Role,
+    /// Everything the rank's interpreter wrote via `puts` (and embedded
+    /// interpreter output).
+    pub stdout: String,
+    /// Leaf tasks executed (workers).
+    pub tasks_executed: u64,
+    /// Rules created (engines).
+    pub rules_created: u64,
+    /// Rules fired (engines).
+    pub rules_fired: u64,
+    /// Python/R interpreter initializations.
+    pub interp_inits: u64,
+    /// Server statistics (servers only).
+    pub server_stats: Option<ServerStats>,
+}
+
+/// Run one rank of the machine to global termination.
+///
+/// # Panics
+/// Panics on Tcl errors in the program (poisoning the world so other
+/// ranks fail fast rather than hanging).
+pub fn run_rank(comm: Comm, config: &TurbineConfig, program: &TurbineProgram) -> RankOutput {
+    run_rank_with(comm, config, program, |_| {})
+}
+
+/// Like [`run_rank`], with a hook that customizes each engine/worker
+/// interpreter after the `turbine::*` commands are registered — this is
+/// where the host attaches native libraries (the SWIG path of §III.B) and
+/// extra in-memory Tcl packages.
+pub fn run_rank_with(
+    comm: Comm,
+    config: &TurbineConfig,
+    program: &TurbineProgram,
+    setup: impl Fn(&mut Interp),
+) -> RankOutput {
+    let size = comm.size();
+    config.validate(size);
+    let rank = comm.rank();
+    let role = config.role(size, rank);
+    let layout = config.layout(size);
+
+    if role == Role::Server {
+        let stats = adlb::serve(comm, layout, config.server.clone());
+        return RankOutput {
+            role,
+            stdout: String::new(),
+            tasks_executed: 0,
+            rules_created: 0,
+            rules_fired: 0,
+            interp_inits: 0,
+            server_stats: Some(stats),
+        };
+    }
+
+    let client = AdlbClient::new(comm, layout);
+    let ctx = Ctx::new(client, role == Role::Engine, config.policy);
+    ctx.borrow_mut().args = program.args.iter().cloned().collect();
+    let mut interp = Interp::new();
+    let buf = interp.capture_output();
+    commands::register(&mut interp, ctx.clone());
+    setup(&mut interp);
+
+    // The runtime library plus the program's own definitions are an
+    // in-memory "static package" (§IV): no filesystem involved.
+    interp
+        .eval(crate::library::TURBINE_LIB)
+        .unwrap_or_else(|e| panic!("turbine library failed to load: {e}"));
+    if !program.preamble.is_empty() {
+        interp
+            .eval(&program.preamble)
+            .unwrap_or_else(|e| panic!("program preamble failed on rank {rank}: {e}"));
+    }
+    interp.set_var("turbine::n_engines", config.engines.to_string());
+    interp.set_var(
+        "turbine::n_workers",
+        (size - config.servers - config.engines).to_string(),
+    );
+
+    match role {
+        Role::Engine => {
+            if rank == 0 {
+                interp
+                    .eval(&program.main)
+                    .unwrap_or_else(|e| panic!("program main failed: {e}"));
+            }
+            engine_loop(&mut interp, &ctx)
+                .unwrap_or_else(|e| panic!("engine {rank} failed: {e}"));
+        }
+        Role::Worker => {
+            worker::worker_loop(&mut interp, &ctx)
+                .unwrap_or_else(|e| panic!("worker {rank} task failed: {e}"));
+        }
+        Role::Server => unreachable!(),
+    }
+
+    let c = ctx.borrow();
+    let stdout = buf.borrow().clone();
+    RankOutput {
+        role,
+        stdout,
+        tasks_executed: c.tasks_executed,
+        rules_created: c.engine.rules_created,
+        rules_fired: c.engine.rules_fired,
+        interp_inits: c.interp_inits,
+        server_stats: None,
+    }
+}
+
+/// The engine loop: drain locally ready actions, then block on control
+/// tasks and data-close notifications until global termination.
+pub fn engine_loop(interp: &mut Interp, ctx: &SharedCtx) -> Result<(), tclish::TclError> {
+    loop {
+        // Drain everything ready to run on this engine.
+        loop {
+            let action = ctx.borrow_mut().engine.ready.pop_front();
+            match action {
+                Some(a) => {
+                    interp.eval(&a)?;
+                }
+                None => break,
+            }
+        }
+        let task = ctx
+            .borrow_mut()
+            .client
+            .get(&[adlb::WORK_TYPE_CONTROL, adlb::WORK_TYPE_NOTIFY]);
+        match task {
+            None => {
+                // Global termination with rules still waiting means their
+                // input futures can never close: a dataflow deadlock in
+                // the user program (e.g. reading a never-assigned
+                // variable). Report it like Swift/T does.
+                let waiting = ctx.borrow().engine.rules_waiting();
+                if waiting > 0 {
+                    return Err(tclish::TclError::new(format!(
+                        "dataflow deadlock: {waiting} rule(s) never fired;                          some futures were never assigned"
+                    )));
+                }
+                return Ok(());
+            }
+            Some(t) if t.work_type == adlb::WORK_TYPE_NOTIFY => {
+                let id = u64::from_le_bytes(
+                    t.payload[..8]
+                        .try_into()
+                        .expect("notify payload must be 8 bytes"),
+                );
+                let dispatches = ctx.borrow_mut().engine.fire(id);
+                let c = ctx.borrow();
+                for d in dispatches {
+                    c.perform(d);
+                }
+            }
+            Some(t) => {
+                let code = String::from_utf8(t.payload.to_vec())
+                    .map_err(|_| tclish::TclError::new("non-UTF-8 control task"))?;
+                interp.eval(&code)?;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::World;
+
+    /// Run a whole machine; returns concatenated stdout (rank order) and
+    /// the per-rank outputs.
+    pub fn run_machine(
+        size: usize,
+        config: TurbineConfig,
+        program: TurbineProgram,
+    ) -> (String, Vec<RankOutput>) {
+        let outs = World::run(size, move |comm| run_rank(comm, &config, &program));
+        let stdout = outs
+            .iter()
+            .map(|o| o.stdout.as_str())
+            .collect::<Vec<_>>()
+            .join("");
+        (stdout, outs)
+    }
+
+    #[test]
+    fn hello_world_from_main() {
+        let (stdout, outs) = run_machine(
+            3,
+            TurbineConfig::default(),
+            TurbineProgram {
+                preamble: String::new(),
+                main: "puts {hello distributed world}".into(),
+                args: Vec::new(),
+            },
+        );
+        assert_eq!(stdout, "hello distributed world\n");
+        assert_eq!(outs[2].role, Role::Server);
+    }
+
+    #[test]
+    fn work_task_runs_on_worker() {
+        let (_, outs) = run_machine(
+            3,
+            TurbineConfig::default(),
+            TurbineProgram {
+                preamble: String::new(),
+                main: "turbine::spawn work 0 {puts {from worker}}".into(),
+                args: Vec::new(),
+            },
+        );
+        assert_eq!(outs[1].role, Role::Worker);
+        assert_eq!(outs[1].stdout, "from worker\n");
+        assert_eq!(outs[1].tasks_executed, 1);
+    }
+
+    #[test]
+    fn dataflow_pipeline_end_to_end() {
+        // x -> f(x) on a worker -> printed by a trace rule on the engine.
+        let main = r#"
+            set x [turbine::unique]; turbine::create $x integer
+            set y [turbine::unique]; turbine::create $y integer
+            turbine::rule [list $x] "swt:double_task $y $x" work
+            turbine::rule [list $y] "swt:trace_body {integer} $y" control
+            turbine::store_integer $x 21
+        "#;
+        let preamble = r#"
+            proc swt:double_task {o i} {
+                turbine::store_integer $o [expr {2 * [turbine::retrieve_integer $i]}]
+            }
+        "#;
+        let (stdout, outs) = run_machine(
+            4,
+            TurbineConfig::default(),
+            TurbineProgram {
+                preamble: preamble.into(),
+                main: main.into(),
+                args: Vec::new(),
+            },
+        );
+        assert_eq!(stdout, "trace: 42\n");
+        let total_tasks: u64 = outs.iter().map(|o| o.tasks_executed).sum();
+        assert_eq!(total_tasks, 1);
+        assert!(outs[0].rules_fired >= 2);
+    }
+
+    #[test]
+    fn range_foreach_distributes_chunks() {
+        // Sum of squares over [1..32] via distributed chunks feeding a
+        // container, printed when the container closes.
+        let preamble = r#"
+            proc loop_body {i idx c} {
+                set t [turbine::unique]; turbine::create $t integer
+                turbine::write_refcount_incr $c 1
+                swt:container_deferred_insert $c $i $t integer
+                turbine::rule {} "swt:square_task $t $i" work
+            }
+            proc swt:square_task {o i} {
+                turbine::store_integer $o [expr {$i * $i}]
+            }
+            proc report {k v} { }
+        "#;
+        let main = r#"
+            set c [turbine::unique]; turbine::create $c container
+            swt:range_foreach loop_body [list $c] [list $c] 1 32 4
+            turbine::container_close $c
+            turbine::rule [list $c] "print_sum $c" control
+            proc print_sum {c} {
+                set total 0
+                foreach v [turbine::container_values $c] { incr total $v }
+                puts "sum=$total"
+            }
+        "#;
+        let (stdout, outs) = run_machine(
+            6,
+            TurbineConfig {
+                engines: 2,
+                ..TurbineConfig::default()
+            },
+            TurbineProgram {
+                preamble: preamble.into(),
+                main: main.into(),
+                args: Vec::new(),
+            },
+        );
+        // 1^2 + ... + 32^2 = 32*33*65/6 = 11440.
+        assert_eq!(stdout, "sum=11440\n");
+        let tasks: u64 = outs.iter().map(|o| o.tasks_executed).sum();
+        assert_eq!(tasks, 32, "one leaf task per iteration");
+    }
+
+    #[test]
+    fn multiple_workers_share_leaf_tasks() {
+        let main = r#"
+            for {set i 0} {$i < 40} {incr i} {
+                turbine::spawn work 0 "puts task-$i"
+            }
+        "#;
+        let (stdout, outs) = run_machine(
+            7,
+            TurbineConfig {
+                servers: 2,
+                ..TurbineConfig::default()
+            },
+            TurbineProgram {
+                preamble: String::new(),
+                main: main.into(),
+                args: Vec::new(),
+            },
+        );
+        let lines = stdout.lines().count();
+        assert_eq!(lines, 40);
+        let busy_workers = outs
+            .iter()
+            .filter(|o| o.role == Role::Worker && o.tasks_executed > 0)
+            .count();
+        assert!(
+            busy_workers >= 2,
+            "load balancing must involve more than one worker, got {busy_workers}"
+        );
+    }
+
+    #[test]
+    fn python_leaf_through_dataflow() {
+        let main = r#"
+            set code [turbine::unique]; turbine::create $code string
+            set sexpr [turbine::unique]; turbine::create $sexpr string
+            set out [turbine::unique]; turbine::create $out string
+            swt:python $out $code $sexpr
+            turbine::rule [list $out] "swt:trace_body {string} $out" control
+            turbine::store_string $code {n = 10
+result = sum(range(n))}
+            turbine::store_string $sexpr {result}
+        "#;
+        let (stdout, _) = run_machine(
+            3,
+            TurbineConfig::default(),
+            TurbineProgram {
+                preamble: String::new(),
+                main: main.into(),
+                args: Vec::new(),
+            },
+        );
+        assert_eq!(stdout, "trace: 45\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "program main failed")]
+    fn main_error_panics_cleanly() {
+        run_machine(
+            3,
+            TurbineConfig::default(),
+            TurbineProgram {
+                preamble: String::new(),
+                main: "no_such_command_anywhere".into(),
+                args: Vec::new(),
+            },
+        );
+    }
+
+    #[test]
+    fn roles_assigned_as_documented() {
+        let cfg = TurbineConfig {
+            servers: 2,
+            engines: 2,
+            ..TurbineConfig::default()
+        };
+        assert_eq!(cfg.role(8, 0), Role::Engine);
+        assert_eq!(cfg.role(8, 1), Role::Engine);
+        assert_eq!(cfg.role(8, 2), Role::Worker);
+        assert_eq!(cfg.role(8, 5), Role::Worker);
+        assert_eq!(cfg.role(8, 6), Role::Server);
+        assert_eq!(cfg.role(8, 7), Role::Server);
+    }
+}

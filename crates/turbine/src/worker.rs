@@ -1,0 +1,147 @@
+//! The worker: leaf-task executor with embedded interpreters.
+//!
+//! Workers are the vast majority of ranks (Fig. 2). Each one loops on
+//! `ADLB_Get(WORK)`, evaluating each task's Tcl fragment in its embedded
+//! interpreter. The per-task interpreter policy of §III.C (retain vs.
+//! reinitialize Python/R state) is applied between tasks.
+
+use tclish::{Interp, TclError};
+
+use crate::commands::SharedCtx;
+use crate::types::InterpPolicy;
+
+/// Run the worker loop until global termination. Returns the number of
+/// tasks executed.
+pub fn worker_loop(interp: &mut Interp, ctx: &SharedCtx) -> Result<u64, TclError> {
+    let mut count = 0u64;
+    loop {
+        let task = ctx.borrow_mut().client.get(&[adlb::WORK_TYPE_WORK]);
+        let Some(task) = task else {
+            return Ok(count);
+        };
+        let code = String::from_utf8(task.payload.to_vec())
+            .map_err(|_| TclError::new("worker received non-UTF-8 task payload"))?;
+        interp.eval(&code)?;
+        count += 1;
+        let mut c = ctx.borrow_mut();
+        c.tasks_executed += 1;
+        if c.policy == InterpPolicy::Reinitialize {
+            // §III.C: clear interpreter state between tasks. The next task
+            // that needs Python/R pays a fresh initialization; blobs from
+            // the finished task are released.
+            c.python = None;
+            c.r = None;
+            c.blobs.borrow_mut().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use adlb::{AdlbClient, Layout};
+    use mpisim::World;
+    use tclish::Interp;
+
+    use crate::commands::{self, Ctx};
+    use crate::types::InterpPolicy;
+
+    /// 1 submitter + 1 worker + 1 server; submitter sends raw Tcl tasks.
+    fn run_worker(tasks: &'static [&'static str], policy: InterpPolicy) -> (String, u64, u64) {
+        let layout = Layout::new(3, 1);
+        let out = World::run(3, move |comm| {
+            let rank = comm.rank();
+            if layout.is_server(rank) {
+                adlb::serve(comm, layout, adlb::ServerConfig::default());
+                return None;
+            }
+            if rank == 0 {
+                let mut client = AdlbClient::new(comm, layout);
+                for t in tasks {
+                    client.put(adlb::WORK_TYPE_WORK, 0, Some(1), t.as_bytes().to_vec());
+                }
+                client.finish();
+                return None;
+            }
+            let client = AdlbClient::new(comm, layout);
+            let ctx = Ctx::new(client, false, policy);
+            let mut interp = Interp::new();
+            let buf = interp.capture_output();
+            commands::register(&mut interp, ctx.clone());
+            interp.eval(crate::library::TURBINE_LIB).unwrap();
+            let n = super::worker_loop(&mut interp, &ctx).unwrap();
+            let inits = ctx.borrow().interp_inits;
+            let stdout = buf.borrow().clone();
+            Some((stdout, n, inits))
+        });
+        out.into_iter().flatten().next().unwrap()
+    }
+
+    #[test]
+    fn executes_tasks_in_order_for_same_source() {
+        let (stdout, n, _) = run_worker(&["puts one", "puts two"], InterpPolicy::Retain);
+        assert_eq!(n, 2);
+        assert_eq!(stdout, "one\ntwo\n");
+    }
+
+    #[test]
+    fn retain_keeps_python_state() {
+        let (stdout, _, inits) = run_worker(
+            &[
+                "puts [python {x = 10} {x}]",
+                "puts [python {x = x + 1} {x}]",
+            ],
+            InterpPolicy::Retain,
+        );
+        assert_eq!(stdout, "10\n11\n");
+        assert_eq!(inits, 1, "retained interpreter initializes once");
+    }
+
+    #[test]
+    fn reinitialize_isolates_state() {
+        let (stdout, _, inits) = run_worker(
+            &[
+                "puts [python {x = 10} {x}]",
+                "puts [catch {python {} {x}}]",
+            ],
+            InterpPolicy::Reinitialize,
+        );
+        assert_eq!(stdout, "10\n1\n", "second task must not see x");
+        assert_eq!(inits, 2, "one init per task under Reinitialize");
+    }
+
+    #[test]
+    fn worker_rejects_rules() {
+        let (stdout, _, _) = run_worker(
+            &["puts [catch {turbine::rule {} {noop} control} msg]; puts $msg"],
+            InterpPolicy::Retain,
+        );
+        assert!(stdout.contains("1"));
+        assert!(stdout.contains("only run on an engine"));
+    }
+
+    #[test]
+    fn task_errors_propagate() {
+        let layout = Layout::new(3, 1);
+        let out = World::run(3, move |comm| {
+            let rank = comm.rank();
+            if layout.is_server(rank) {
+                adlb::serve(comm, layout, adlb::ServerConfig::default());
+                return None;
+            }
+            if rank == 0 {
+                let mut client = AdlbClient::new(comm, layout);
+                client.put(adlb::WORK_TYPE_WORK, 0, Some(1), b"error kaboom".to_vec());
+                client.finish();
+                return None;
+            }
+            let client = AdlbClient::new(comm, layout);
+            let ctx = Ctx::new(client, false, InterpPolicy::Retain);
+            let mut interp = Interp::new();
+            commands::register(&mut interp, ctx.clone());
+            let err = super::worker_loop(&mut interp, &ctx).unwrap_err();
+            ctx.borrow_mut().client.finish();
+            Some(err.message)
+        });
+        assert_eq!(out.into_iter().flatten().next().unwrap(), "kaboom");
+    }
+}

@@ -1,0 +1,116 @@
+//! Why embed interpreters at all? The filesystem numbers.
+//!
+//! ```sh
+//! cargo run --example filesystem_pressure
+//! ```
+//!
+//! This example reproduces, interactively, the paper's two filesystem
+//! arguments (§III.C and §IV) against the simulated parallel filesystem:
+//!
+//! 1. exec'ing an interpreter per task hammers the metadata server —
+//!    the cost grows linearly with ranks × tasks, and the *queue wait*
+//!    quadratically;
+//! 2. loading script packages as trees of small files does the same at
+//!    job start, which "static packages" reduce to one read per rank —
+//!    and the in-memory packages this runtime uses reduce to zero.
+//!
+//! Everything here is deterministic simulated time: run it anywhere and
+//! get the same table.
+
+use std::sync::Arc;
+
+use pfs::{Pfs, PfsConfig};
+
+const RANKS: &[usize] = &[32, 128, 512, 2048];
+
+fn main() {
+    println!("simulated parallel filesystem: 1 metadata server (50 us/op),");
+    println!("8 data servers (500 MB/s each), 100 us client RTT\n");
+
+    // --- scenario 1: exec-per-task vs embedded -------------------------
+    println!("scenario 1: one Python task per rank, four tasks each");
+    println!("{:<8} {:>16} {:>16} {:>8}", "ranks", "exec (sim ms)", "embedded (ms)", "ratio");
+    for &ranks in RANKS {
+        // exec path: interpreter + 40 module opens per task.
+        let fs = Arc::new(Pfs::new(PfsConfig::default()));
+        let mut admin = fs.client();
+        admin.put("/sw/python", &vec![0u8; 4 << 20]).unwrap();
+        for m in 0..40 {
+            admin.put(&format!("/sw/lib/mod{m}.py"), b"module").unwrap();
+        }
+        let mut exec_ms = 0u64;
+        for _ in 0..ranks {
+            let mut c = fs.client();
+            for _ in 0..4 {
+                for m in 0..40 {
+                    c.open(&format!("/sw/lib/mod{m}.py")).unwrap();
+                }
+                c.read("/sw/python").unwrap();
+            }
+            exec_ms = exec_ms.max(c.now());
+        }
+
+        // embedded path: one package image read per rank, ever.
+        let fs = Arc::new(Pfs::new(PfsConfig::default()));
+        let mut admin = fs.client();
+        admin.put("/sw/bundle", &vec![0u8; 1 << 20]).unwrap();
+        let mut embed_ms = 0u64;
+        for _ in 0..ranks {
+            let mut c = fs.client();
+            c.read("/sw/bundle").unwrap();
+            embed_ms = embed_ms.max(c.now());
+        }
+        println!(
+            "{:<8} {:>16.1} {:>16.1} {:>7.1}x",
+            ranks,
+            exec_ms as f64 / 1e6,
+            embed_ms as f64 / 1e6,
+            exec_ms as f64 / embed_ms as f64
+        );
+    }
+
+    // --- scenario 2: package trees vs static bundles --------------------
+    println!();
+    println!("scenario 2: job startup, 60-file Tcl package tree per rank");
+    println!("{:<8} {:>16} {:>16} {:>12}", "ranks", "tree (sim ms)", "bundle (ms)", "md ops saved");
+    for &ranks in RANKS {
+        let fs = Arc::new(Pfs::new(PfsConfig::default()));
+        let mut admin = fs.client();
+        for i in 0..60 {
+            admin.put(&format!("/pkg/f{i}.tcl"), &vec![0u8; 2000]).unwrap();
+        }
+        let mut tree_ms = 0u64;
+        for _ in 0..ranks {
+            let mut c = fs.client();
+            c.readdir("/pkg/");
+            for i in 0..60 {
+                c.read(&format!("/pkg/f{i}.tcl")).unwrap();
+            }
+            tree_ms = tree_ms.max(c.now());
+        }
+        let tree_ops = fs.stats().metadata_ops;
+
+        let fs = Arc::new(Pfs::new(PfsConfig::default()));
+        let mut admin = fs.client();
+        admin.put("/pkg.bundle", &vec![0u8; 60 * 2000]).unwrap();
+        let mut bundle_ms = 0u64;
+        for _ in 0..ranks {
+            let mut c = fs.client();
+            c.read("/pkg.bundle").unwrap();
+            bundle_ms = bundle_ms.max(c.now());
+        }
+        let bundle_ops = fs.stats().metadata_ops;
+        println!(
+            "{:<8} {:>16.1} {:>16.1} {:>12}",
+            ranks,
+            tree_ms as f64 / 1e6,
+            bundle_ms as f64 / 1e6,
+            tree_ops - bundle_ops
+        );
+    }
+
+    println!();
+    println!("the in-memory packages this runtime uses (Interp::add_package)");
+    println!("perform zero filesystem operations — the limit of the static-");
+    println!("package idea the paper describes in section IV.");
+}

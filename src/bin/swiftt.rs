@@ -1,0 +1,187 @@
+//! `swiftt` — run a Swift dataflow script on a simulated machine.
+//!
+//! ```text
+//! swiftt [OPTIONS] <script.swift>
+//! swiftt --expr 'printf("hi");'
+//!
+//! OPTIONS:
+//!   -n, --ranks N        total ranks (default 8)
+//!   -s, --servers N      ADLB servers (default 1)
+//!   -e, --engines N      engines (default 1)
+//!       --reinitialize   reinitialize Python/R interpreters per task
+//!       --no-steal       disable ADLB work stealing
+//!       --emit-tcl       print the compiled Turbine code and exit
+//!       --report         print the run report after program output
+//!   -h, --help           this text
+//! ```
+//!
+//! This is the analogue of the real system's `swift-t` launcher: compile
+//! with STC, then run the Turbine code on an engines/servers/workers
+//! machine (paper Fig. 2).
+
+use std::process::ExitCode;
+
+use swiftt::core::{InterpPolicy, Runtime, SwiftTError};
+
+struct Options {
+    ranks: usize,
+    servers: usize,
+    engines: usize,
+    policy: InterpPolicy,
+    steal: bool,
+    emit_tcl: bool,
+    report: bool,
+    args: Vec<(String, String)>,
+    source: Option<SourceSpec>,
+}
+
+enum SourceSpec {
+    File(String),
+    Expr(String),
+}
+
+const USAGE: &str = "\
+usage: swiftt [OPTIONS] <script.swift>
+       swiftt [OPTIONS] --expr '<swift code>'
+
+options:
+  -n, --ranks N        total ranks (default 8)
+  -s, --servers N      ADLB servers (default 1)
+  -e, --engines N      engines (default 1)
+      --reinitialize   reinitialize Python/R interpreters per task
+      --no-steal       disable ADLB work stealing
+      --arg K=V        program argument, readable as argv(\"K\")
+      --emit-tcl       print the compiled Turbine code and exit
+      --report         print the run report after program output
+  -h, --help           this text";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        ranks: 8,
+        servers: 1,
+        engines: 1,
+        policy: InterpPolicy::Retain,
+        steal: true,
+        emit_tcl: false,
+        report: false,
+        args: Vec::new(),
+        source: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |name: &str| -> Result<usize, String> {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|_| format!("{name} needs an integer"))
+        };
+        match a.as_str() {
+            "-n" | "--ranks" => opts.ranks = num("--ranks")?,
+            "-s" | "--servers" => opts.servers = num("--servers")?,
+            "-e" | "--engines" => opts.engines = num("--engines")?,
+            "--reinitialize" => opts.policy = InterpPolicy::Reinitialize,
+            "--no-steal" => opts.steal = false,
+            "--emit-tcl" => opts.emit_tcl = true,
+            "--report" => opts.report = true,
+            "--arg" => {
+                let kv = args.next().ok_or("--arg needs K=V")?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--arg needs K=V, got {kv}"))?;
+                opts.args.push((k.to_string(), v.to_string()));
+            }
+            "--expr" => {
+                let code = args.next().ok_or("--expr needs swift code")?;
+                opts.source = Some(SourceSpec::Expr(code));
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => {
+                if opts.source.is_some() {
+                    return Err("multiple scripts given".into());
+                }
+                opts.source = Some(SourceSpec::File(other.to_string()));
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("swiftt: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match &opts.source {
+        Some(SourceSpec::Expr(code)) => code.clone(),
+        Some(SourceSpec::File(path)) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("swiftt: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            eprintln!("swiftt: no script given\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.emit_tcl {
+        return match stc::compile(&source) {
+            Ok(p) => {
+                println!("{}", p.listing());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if opts.ranks < opts.servers + opts.engines + 1 || opts.ranks < 3 {
+        eprintln!(
+            "swiftt: need at least servers + engines + 1 worker ranks (got {})",
+            opts.ranks
+        );
+        return ExitCode::from(2);
+    }
+    let mut rt = Runtime::new(opts.ranks)
+        .servers(opts.servers)
+        .engines(opts.engines)
+        .policy(opts.policy)
+        .work_stealing(opts.steal);
+    for (k, v) in &opts.args {
+        rt = rt.arg(k, v);
+    }
+    match rt.run(&source) {
+        Ok(result) => {
+            print!("{}", result.stdout);
+            if opts.report {
+                eprintln!("--- swiftt report ---------------------------");
+                eprintln!("ranks              : {}", opts.ranks);
+                eprintln!("leaf tasks         : {}", result.total_tasks());
+                eprintln!("rules fired        : {}", result.total_rules_fired());
+                eprintln!("busy workers       : {}", result.busy_workers());
+                eprintln!("messages / bytes   : {} / {}", result.messages, result.bytes);
+                eprintln!("wall time          : {:?}", result.elapsed);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(SwiftTError::Compile(e)) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+        Err(SwiftTError::Runtime(m)) => {
+            eprintln!("swiftt: runtime error: {m}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # swiftt — interlanguage parallel scripting for distributed memory
+//!
+//! Umbrella crate of the workspace reproducing Wozniak et al., *"Toward
+//! Interlanguage Parallel Scripting for Distributed-Memory Scientific
+//! Computing"* (CLUSTER 2015). It re-exports the public API of every layer
+//! so examples and downstream users need a single dependency.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use adlb;
+pub use blobutils;
+pub use mpisim;
+pub use pfs;
+pub use pythonish;
+pub use rish;
+pub use stc;
+pub use swiftt_core as core;
+pub use tclish;
+pub use turbine;

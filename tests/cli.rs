@@ -1,0 +1,83 @@
+//! Integration tests for the `swiftt` command-line launcher.
+
+use std::process::Command;
+
+fn swiftt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_swiftt"))
+}
+
+#[test]
+fn expr_runs_and_prints() {
+    let out = swiftt()
+        .args(["--expr", r#"printf("answer %d", 6 * 7);"#])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "answer 42\n");
+}
+
+#[test]
+fn script_file_with_args_and_report() {
+    let dir = std::env::temp_dir().join("swiftt_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("prog.swift");
+    std::fs::write(
+        &path,
+        r#"
+        int n = toint(argv("n"));
+        foreach i in [1:n] { trace(i); }
+    "#,
+    )
+    .unwrap();
+    let out = swiftt()
+        .args(["-n", "5", "--arg", "n=3", "--report"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 3);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("swiftt report"));
+    assert!(stderr.contains("leaf tasks"));
+}
+
+#[test]
+fn emit_tcl_prints_turbine_code() {
+    let out = swiftt()
+        .args(["--emit-tcl", "--expr", "int x = 1 + 2; trace(x);"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("swt:ibinop + "));
+    assert!(stdout.contains("---- main ----"));
+}
+
+#[test]
+fn compile_error_sets_exit_code() {
+    let out = swiftt()
+        .args(["--expr", "int x = nope;"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("undefined"), "{stderr}");
+}
+
+#[test]
+fn runtime_error_sets_exit_code() {
+    let out = swiftt()
+        .args(["--expr", r#"assert(false, "boom");"#])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("boom"));
+}
+
+#[test]
+fn unknown_flag_usage() {
+    let out = swiftt().args(["--frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

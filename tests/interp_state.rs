@@ -1,0 +1,128 @@
+//! Experiment E3 (correctness side): the retain-vs-reinitialize
+//! interpreter policy of §III.C.
+//!
+//! "One approach is to finalize the interpreter at the end of each task and
+//! reinitialize it when the next task is started, thus clearing any state.
+//! This approach raises concerns about performance [...] Thus, we provide
+//! options to either retain the interpreter or reinitialize it."
+
+use swiftt::core::{InterpPolicy, Runtime, SwiftTError};
+
+/// A chain of python tasks where each later task needs state from the
+/// previous one. Dataflow forces task order via the string outputs.
+fn stateful_chain() -> &'static str {
+    r#"
+        string a = python("acc = 1", "acc");
+        string b = python(strcat("acc = acc + ", a), "acc");
+        string c = python(strcat("acc = acc + ", b), "acc");
+        printf("%s %s %s", a, b, c);
+    "#
+}
+
+#[test]
+fn retain_shares_state_between_tasks() {
+    let r = Runtime::new(3)
+        .policy(InterpPolicy::Retain)
+        .run(stateful_chain())
+        .unwrap();
+    // acc: 1, then 1+1=2, then 2+2=4.
+    assert_eq!(r.stdout, "1 2 4\n");
+    // A single Python initialization for all three tasks.
+    assert_eq!(r.total_interp_inits(), 1);
+}
+
+#[test]
+fn reinitialize_isolates_tasks() {
+    let err = Runtime::new(3)
+        .policy(InterpPolicy::Reinitialize)
+        .run(stateful_chain())
+        .unwrap_err();
+    // Task b references `acc`, which was cleared after task a.
+    match err {
+        SwiftTError::Runtime(m) => assert!(m.contains("NameError"), "{m}"),
+        other => panic!("expected NameError, got {other:?}"),
+    }
+}
+
+#[test]
+fn reinitialize_pays_one_init_per_task() {
+    // Self-contained tasks succeed under both policies; the observable
+    // difference is the interpreter initialization count.
+    let src = r#"
+        string a = python("x = 10", "x");
+        string b = python(strcat("x = ", a), "x + 1");
+        string c = python(strcat("x = ", b), "x + 1");
+        printf("%s %s %s", a, b, c);
+    "#;
+    let retain = Runtime::new(3)
+        .policy(InterpPolicy::Retain)
+        .run(src)
+        .unwrap();
+    let reinit = Runtime::new(3)
+        .policy(InterpPolicy::Reinitialize)
+        .run(src)
+        .unwrap();
+    assert_eq!(retain.stdout, "10 11 12\n");
+    assert_eq!(reinit.stdout, "10 11 12\n");
+    assert_eq!(retain.total_interp_inits(), 1);
+    assert_eq!(reinit.total_interp_inits(), 3);
+}
+
+#[test]
+fn r_interpreter_follows_the_same_policy() {
+    let src = r#"
+        string a = r("acc <- 5", "acc");
+        string b = r(strcat("acc <- acc + ", a), "acc");
+        printf("%s %s", a, b);
+    "#;
+    let retain = Runtime::new(3)
+        .policy(InterpPolicy::Retain)
+        .run(src)
+        .unwrap();
+    assert_eq!(retain.stdout, "5 10\n");
+    let reinit = Runtime::new(3)
+        .policy(InterpPolicy::Reinitialize)
+        .run(src);
+    assert!(reinit.is_err(), "R state must not survive reinitialize");
+}
+
+#[test]
+fn deliberate_state_reuse_as_cache() {
+    // §III.C: "old interpreter state can also be used to store useful data
+    // if the programmer is careful" — a memo table surviving across tasks.
+    let src = r#"
+        string warm = python("memo = {}
+def fib(n):
+    if n < 2:
+        return n
+    k = str(n)
+    if k in memo:
+        return memo[k]
+    v = fib(n - 1) + fib(n - 2)
+    memo[k] = v
+    return v
+fib(30)", "len(memo)");
+        string hot = python(strcat("warm_entries = ", warm), "fib(31)");
+        printf("memo=%s fib31=%s", warm, hot);
+    "#;
+    let r = Runtime::new(3)
+        .policy(InterpPolicy::Retain)
+        .run(src)
+        .unwrap();
+    assert_eq!(r.stdout, "memo=29 fib31=1346269\n");
+}
+
+#[test]
+fn policies_do_not_affect_pure_tcl_tasks() {
+    // The Tcl interpreter is the runtime itself and persists either way.
+    let src = r#"
+        (int o) inc (int x) [ "set <<o>> [ expr {<<x>> + 1} ]" ];
+        int a = inc(1);
+        int b = inc(a);
+        printf("%d", b);
+    "#;
+    for policy in [InterpPolicy::Retain, InterpPolicy::Reinitialize] {
+        let r = Runtime::new(3).policy(policy).run(src).unwrap();
+        assert_eq!(r.stdout, "3\n");
+    }
+}

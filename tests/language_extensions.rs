@@ -1,0 +1,155 @@
+//! Tests for language/runtime extensions beyond the minimal paper demo:
+//! multi-output calls, program arguments, and dataflow deadlock
+//! detection.
+
+use swiftt::core::{Runtime, SwiftTError};
+
+#[test]
+fn multi_output_call() {
+    let r = Runtime::new(4)
+        .run(
+            r#"
+            (int q, int rem) divmod (int a, int b) {
+                q = a / b;
+                rem = a % b;
+            }
+            int q;
+            int m;
+            q, m = divmod(17, 5);
+            printf("%d r %d", q, m);
+        "#,
+        )
+        .unwrap();
+    assert_eq!(r.stdout, "3 r 2\n");
+}
+
+#[test]
+fn multi_output_leaf() {
+    let r = Runtime::new(4)
+        .run(
+            r#"
+            (int lo, int hi) order (int a, int b) [
+                "if {<<a>> < <<b>>} {
+                     set <<lo>> <<a>>; set <<hi>> <<b>>
+                 } else {
+                     set <<lo>> <<b>>; set <<hi>> <<a>>
+                 }"
+            ];
+            int lo;
+            int hi;
+            lo, hi = order(9, 4);
+            printf("%d..%d", lo, hi);
+        "#,
+        )
+        .unwrap();
+    assert_eq!(r.stdout, "4..9\n");
+}
+
+#[test]
+fn multi_output_arity_mismatch_is_compile_error() {
+    let err = Runtime::new(3)
+        .run(
+            r#"
+            (int a, int b) two (int x) { a = x; b = x; }
+            int p;
+            p = two(1);
+        "#,
+        )
+        .unwrap_err();
+    match err {
+        SwiftTError::Compile(e) => assert!(e.message.contains("outputs"), "{}", e.message),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn argv_values_and_defaults() {
+    let r = Runtime::new(3)
+        .arg("name", "turbine")
+        .arg("n", "3")
+        .run(
+            r#"
+            string who = argv("name");
+            int n = toint(argv("n"));
+            string mode = argv("mode", "fast");
+            printf("%s %d %s", who, n * 2, mode);
+        "#,
+        )
+        .unwrap();
+    assert_eq!(r.stdout, "turbine 6 fast\n");
+}
+
+#[test]
+fn missing_argv_without_default_fails() {
+    let err = Runtime::new(3)
+        .run(r#"string x = argv("nope"); trace(x);"#)
+        .unwrap_err();
+    match err {
+        SwiftTError::Runtime(m) => {
+            assert!(m.contains("missing program argument --nope"), "{m}")
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn deadlock_detected_for_unassigned_future() {
+    let err = Runtime::new(3)
+        .run(
+            r#"
+            int x;
+            int y = x + 1;
+            trace(y);
+        "#,
+        )
+        .unwrap_err();
+    match err {
+        SwiftTError::Runtime(m) => assert!(m.contains("dataflow deadlock"), "{m}"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn deadlock_detected_for_half_assigned_if() {
+    // Only one branch assigns `y`; when the other branch runs, the trace
+    // rule waits forever.
+    let err = Runtime::new(3)
+        .run(
+            r#"
+            int cond = 0;
+            int y;
+            if (cond == 1) { y = 10; }
+            trace(y);
+        "#,
+        )
+        .unwrap_err();
+    match err {
+        SwiftTError::Runtime(m) => assert!(m.contains("dataflow deadlock"), "{m}"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn no_false_deadlock_on_clean_program() {
+    let r = Runtime::new(4)
+        .run("int x = 1; int y = x + 1; trace(y);")
+        .unwrap();
+    assert_eq!(r.stdout, "trace: 2\n");
+}
+
+#[test]
+fn argv_from_cli_shape_program() {
+    // Sweep-style program parameterized by argv, like the CLI would run.
+    let r = Runtime::new(5)
+        .arg("width", "6")
+        .run(
+            r#"
+            int w = toint(argv("width"));
+            foreach i in [1:w] {
+                trace(i * i);
+            }
+        "#,
+        )
+        .unwrap();
+    assert_eq!(r.stdout.lines().count(), 6);
+}

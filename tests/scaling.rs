@@ -1,0 +1,147 @@
+//! Runtime-architecture tests (Fig. 2 / F2, E5 correctness side): the
+//! engine/server/worker split at various shapes, multiple servers,
+//! multiple engines, work stealing on and off — all must produce the same
+//! program results.
+
+use swiftt::core::Runtime;
+
+/// A bag of independent leaf tasks with recognizable output.
+fn task_bag(n: usize) -> String {
+    format!(
+        r#"
+        (int o) work (int i) [ "set <<o>> [ expr {{<<i>> * <<i>>}} ]" ];
+        foreach i in [1:{n}] {{
+            int s = work(i);
+            trace(s);
+        }}
+    "#
+    )
+}
+
+fn squares_from(stdout: &str) -> Vec<i64> {
+    let mut v: Vec<i64> = stdout
+        .lines()
+        .map(|l| l.trim_start_matches("trace: ").parse().unwrap())
+        .collect();
+    v.sort();
+    v
+}
+
+fn expected_squares(n: i64) -> Vec<i64> {
+    let mut v: Vec<i64> = (1..=n).map(|i| i * i).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn one_server_many_workers() {
+    let r = Runtime::new(10).run(&task_bag(40)).unwrap();
+    assert_eq!(squares_from(&r.stdout), expected_squares(40));
+    assert!(r.busy_workers() >= 3, "{} busy workers", r.busy_workers());
+}
+
+#[test]
+fn multiple_servers_share_the_load() {
+    // Tasks must be slow enough that queues actually build up; instant
+    // tasks drain to parked workers before any steal request lands.
+    let src = r#"
+        (int o) work (int i) [
+            "set acc 0
+             for {set k 0} {$k < 6000} {incr k} { incr acc $k }
+             set <<o>> [ expr {<<i>> * <<i>>} ]"
+        ];
+        foreach i in [1:60] {
+            int s = work(i);
+            trace(s);
+        }
+    "#;
+    let r = Runtime::new(12).servers(3).run(src).unwrap();
+    assert_eq!(squares_from(&r.stdout), expected_squares(60));
+    let totals = r.server_totals();
+    assert!(
+        totals.tasks_stolen > 0,
+        "with all puts on engine 0's server, other servers must steal: {totals:?}"
+    );
+}
+
+#[test]
+fn multiple_engines_split_control() {
+    // Loop splitting spawns distributable control tasks; with 2 engines
+    // the second picks some up.
+    let r = Runtime::new(10)
+        .engines(2)
+        .run(&task_bag(64))
+        .unwrap();
+    assert_eq!(squares_from(&r.stdout), expected_squares(64));
+    let engine_rules: Vec<u64> = r
+        .outputs
+        .iter()
+        .filter(|o| o.role == swiftt::core::Role::Engine)
+        .map(|o| o.rules_created)
+        .collect();
+    assert_eq!(engine_rules.len(), 2);
+    assert!(
+        engine_rules.iter().all(|&n| n > 0),
+        "both engines must create rules, got {engine_rules:?}"
+    );
+}
+
+#[test]
+fn stealing_disabled_still_completes() {
+    // Ablation: correctness must not depend on stealing (only speed and
+    // balance do).
+    let r = Runtime::new(8)
+        .servers(2)
+        .work_stealing(false)
+        .run(&task_bag(30))
+        .unwrap();
+    assert_eq!(squares_from(&r.stdout), expected_squares(30));
+    assert_eq!(r.server_totals().tasks_stolen, 0);
+}
+
+#[test]
+fn uneven_task_sizes_are_balanced() {
+    // Tasks with wildly varying runtimes (the paper's f()/g() "varying
+    // runtimes" case): busy-wait loops sized by the iteration index.
+    let src = r#"
+        (int o) work (int i) [
+            "set acc 0
+             set reps [expr {(<<i>> % 7) * 400}]
+             for {set k 0} {$k < $reps} {incr k} { incr acc $k }
+             set <<o>> <<i>>"
+        ];
+        foreach i in [1:40] {
+            int s = work(i);
+            trace(s);
+        }
+    "#;
+    let r = Runtime::new(9).servers(2).run(src).unwrap();
+    assert_eq!(r.stdout.lines().count(), 40);
+    assert!(
+        r.busy_workers() >= 3,
+        "uneven work must still spread: {} busy",
+        r.busy_workers()
+    );
+}
+
+#[test]
+fn worker_heavy_shape_like_the_paper() {
+    // "Typically the vast majority of processes (99%+) are designated as
+    // workers" — scaled to a simulated 24 ranks: 1 engine, 1 server, 22
+    // workers.
+    let r = Runtime::new(24).run(&task_bag(200)).unwrap();
+    assert_eq!(squares_from(&r.stdout), expected_squares(200));
+    assert!(
+        r.busy_workers() >= 8,
+        "expected broad worker participation, got {}",
+        r.busy_workers()
+    );
+}
+
+#[test]
+fn message_counts_are_reported() {
+    let r = Runtime::new(6).run(&task_bag(10)).unwrap();
+    assert!(r.messages > 0);
+    assert!(r.bytes > 0);
+    assert!(r.elapsed.as_nanos() > 0);
+}
