@@ -17,6 +17,14 @@ pub struct AdlbClient {
     my_server: Rank,
     shutdown_seen: bool,
     finished_sent: bool,
+    /// A task was delivered and its lease not yet acknowledged. The ack
+    /// piggybacks on the next `get`/`finish` (success) or is sent
+    /// explicitly by [`AdlbClient::task_failed`].
+    lease_outstanding: bool,
+    /// Quarantine reports the server attached to its shutdown notice:
+    /// tasks that exhausted their retry budget, with the error that
+    /// killed the last attempt.
+    quarantine_reports: Vec<String>,
     next_id: u64,
 }
 
@@ -33,6 +41,8 @@ impl AdlbClient {
             my_server,
             shutdown_seen: false,
             finished_sent: false,
+            lease_outstanding: false,
+            quarantine_reports: Vec::new(),
             next_id: 0,
         }
     }
@@ -71,38 +81,87 @@ impl AdlbClient {
     pub fn put(&self, work_type: u32, priority: i32, target: Option<Rank>, payload: Vec<u8>) {
         let resp = self.request(
             self.my_server,
-            &Request::Put(Task {
-                work_type,
-                priority,
-                target,
-                payload: Bytes::from(payload),
-            }),
+            &Request::Put(Task::new(work_type, priority, target, Bytes::from(payload))),
         );
         match resp {
             Response::Ok => {}
-            other => panic!("put failed: {other:?}"),
+            other => eprintln!(
+                "adlb client {}: put got unexpected response {other:?}; task may be lost",
+                self.comm.rank()
+            ),
         }
     }
 
+    /// Acknowledge the outstanding lease, if any. Non-overtaking delivery
+    /// guarantees the server sees this before whatever request follows it
+    /// on the same connection.
+    fn ack_lease(&mut self, ok: bool, error: &str) {
+        if !self.lease_outstanding {
+            return;
+        }
+        self.lease_outstanding = false;
+        self.comm.send(
+            self.my_server,
+            TAG_REQ,
+            Request::TaskDone {
+                ok,
+                error: error.to_string(),
+            }
+            .encode(),
+        );
+    }
+
+    /// Report that the most recently delivered task failed in a contained
+    /// way (its execution errored with `error` but this rank survives).
+    /// The server will retry the task elsewhere or quarantine it per its
+    /// [`crate::RetryPolicy`].
+    pub fn task_failed(&mut self, error: &str) {
+        self.ack_lease(false, error);
+    }
+
+    /// Quarantine reports this client's server attached to its shutdown
+    /// notice (empty before [`AdlbClient::get`] has returned `None`, and
+    /// when no task was quarantined). Each entry describes one task that
+    /// exhausted its retry budget and the error of its final attempt.
+    pub fn quarantine_reports(&self) -> &[String] {
+        &self.quarantine_reports
+    }
+
     /// Block until a task of one of `work_types` is available, or global
-    /// termination (`None`).
+    /// termination (`None`). Calling `get` acknowledges success of the
+    /// previously delivered task; call [`AdlbClient::task_failed`] first
+    /// if it failed.
     pub fn get(&mut self, work_types: &[u32]) -> Option<Task> {
         if self.shutdown_seen {
             return None;
         }
-        let resp = self.request(
-            self.my_server,
-            &Request::Get {
-                work_types: work_types.to_vec(),
-            },
-        );
-        match resp {
-            Response::DeliverTask(t) => Some(t),
-            Response::NoMore => {
-                self.shutdown_seen = true;
-                None
+        self.ack_lease(true, "");
+        loop {
+            let resp = self.request(
+                self.my_server,
+                &Request::Get {
+                    work_types: work_types.to_vec(),
+                },
+            );
+            match resp {
+                Response::DeliverTask(t) => {
+                    self.lease_outstanding = true;
+                    return Some(t);
+                }
+                Response::NoMore { quarantined } => {
+                    self.shutdown_seen = true;
+                    self.quarantine_reports = quarantined;
+                    return None;
+                }
+                other => {
+                    // A confused server response must not take this rank
+                    // down; log it and ask again.
+                    eprintln!(
+                        "adlb client {}: unexpected get response {other:?}; retrying",
+                        self.comm.rank()
+                    );
+                }
             }
-            other => panic!("get failed: {other:?}"),
         }
     }
 
@@ -113,6 +172,7 @@ impl AdlbClient {
         if self.shutdown_seen || self.finished_sent {
             return;
         }
+        self.ack_lease(true, "");
         self.finished_sent = true;
         self.comm
             .send(self.my_server, TAG_REQ, Request::Finished.encode());
@@ -120,11 +180,17 @@ impl AdlbClient {
 
     // -- data -------------------------------------------------------------
 
+    fn unexpected(op: &str, resp: Response) -> DataError {
+        DataError {
+            message: format!("{op}: unexpected response {resp:?}"),
+        }
+    }
+
     fn expect_ok(resp: Response, op: &str) -> Result<(), DataError> {
         match resp {
             Response::Ok => Ok(()),
             Response::Error(e) => Err(DataError { message: e }),
-            other => panic!("{op}: unexpected response {other:?}"),
+            other => Err(Self::unexpected(op, other)),
         }
     }
 
@@ -155,7 +221,7 @@ impl AdlbClient {
         match self.data_request(id, &Request::DataRetrieve { id }) {
             Response::MaybeBytes(v) => Ok(v),
             Response::Error(e) => Err(DataError { message: e }),
-            other => panic!("retrieve: unexpected response {other:?}"),
+            other => Err(Self::unexpected("retrieve", other)),
         }
     }
 
@@ -171,7 +237,7 @@ impl AdlbClient {
         ) {
             Response::Bool(closed) => Ok(closed),
             Response::Error(e) => Err(DataError { message: e }),
-            other => panic!("subscribe: unexpected response {other:?}"),
+            other => Err(Self::unexpected("subscribe", other)),
         }
     }
 
@@ -201,7 +267,7 @@ impl AdlbClient {
         ) {
             Response::MaybeBytes(v) => Ok(v),
             Response::Error(e) => Err(DataError { message: e }),
-            other => panic!("lookup: unexpected response {other:?}"),
+            other => Err(Self::unexpected("lookup", other)),
         }
     }
 
@@ -210,7 +276,7 @@ impl AdlbClient {
         match self.data_request(id, &Request::DataEnumerate { id }) {
             Response::Pairs(p) => Ok(p),
             Response::Error(e) => Err(DataError { message: e }),
-            other => panic!("enumerate: unexpected response {other:?}"),
+            other => Err(Self::unexpected("enumerate", other)),
         }
     }
 
@@ -233,7 +299,7 @@ impl AdlbClient {
         match self.data_request(id, &Request::DataExists { id }) {
             Response::Bool(b) => Ok(b),
             Response::Error(e) => Err(DataError { message: e }),
-            other => panic!("exists: unexpected response {other:?}"),
+            other => Err(Self::unexpected("exists", other)),
         }
     }
 }
@@ -404,9 +470,7 @@ mod tests {
                         match c.subscribe(id, 1) {
                             Ok(false) => break,
                             Ok(true) => return id, // already closed
-                            Err(_) => std::thread::sleep(
-                                std::time::Duration::from_millis(1),
-                            ),
+                            Err(_) => std::thread::sleep(std::time::Duration::from_millis(1)),
                         }
                     }
                     let t = c.get(&[WORK_TYPE_NOTIFY]).expect("notify task");
@@ -469,7 +533,12 @@ mod tests {
         let out = with_runtime(n + 2, 2, move |mut c| {
             if c.rank() == 0 {
                 for i in 0..200u32 {
-                    c.put(WORK_TYPE_WORK, (i % 3) as i32, None, i.to_le_bytes().to_vec());
+                    c.put(
+                        WORK_TYPE_WORK,
+                        (i % 3) as i32,
+                        None,
+                        i.to_le_bytes().to_vec(),
+                    );
                 }
                 c.finish();
                 return 0u64;

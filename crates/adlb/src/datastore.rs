@@ -135,9 +135,7 @@ impl DataStore {
             )));
         }
         if matches!(d.value, DatumValue::Container(_)) {
-            return Err(DataError::new(format!(
-                "<{id}> is a container; use insert"
-            )));
+            return Err(DataError::new(format!("<{id}> is a container; use insert")));
         }
         d.value = DatumValue::Scalar(value);
         d.closed = true;
@@ -234,9 +232,7 @@ impl DataStore {
         }
         d.write_refs += delta;
         if d.write_refs < 0 {
-            return Err(DataError::new(format!(
-                "<{id}> writer count went negative"
-            )));
+            return Err(DataError::new(format!("<{id}> writer count went negative")));
         }
         if d.write_refs == 0 {
             d.closed = true;
@@ -312,7 +308,12 @@ mod tests {
         ds.insert(2, "2", Bytes::from_static(b"c")).unwrap();
         assert_eq!(ds.lookup(2, "10").unwrap().unwrap(), &b"b"[..]);
         assert_eq!(ds.lookup(2, "99").unwrap(), None);
-        let keys: Vec<String> = ds.enumerate(2).unwrap().into_iter().map(|(k, _)| k).collect();
+        let keys: Vec<String> = ds
+            .enumerate(2)
+            .unwrap()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
         assert_eq!(keys, vec!["0", "2", "10"], "numeric subscript order");
         ds.close(2).unwrap();
         assert!(ds.insert(2, "3", Bytes::new()).is_err());

@@ -61,7 +61,9 @@ impl Layout {
     pub fn clients_of(&self, server: Rank) -> Vec<Rank> {
         assert!(self.is_server(server));
         let idx = server - self.first_server();
-        (0..self.clients()).filter(|c| c % self.servers == idx).collect()
+        (0..self.clients())
+            .filter(|c| c % self.servers == idx)
+            .collect()
     }
 
     /// The server hosting datum `id` (sharded by id).

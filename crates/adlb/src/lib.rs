@@ -64,4 +64,4 @@ pub use client::AdlbClient;
 pub use datastore::{DataError, Datum, DatumValue, TYPE_TAG_CONTAINER};
 pub use layout::Layout;
 pub use msg::{Task, WORK_TYPE_CONTROL, WORK_TYPE_NOTIFY, WORK_TYPE_WORK};
-pub use server::{serve, ServerConfig, ServerStats};
+pub use server::{serve, RetryPolicy, ServerConfig, ServerStats};

@@ -25,15 +25,30 @@ pub struct Task {
     pub priority: i32,
     /// Pinned destination rank, if any.
     pub target: Option<Rank>,
+    /// Delivery attempts so far (0 for a fresh task). Incremented by the
+    /// server each time the task is requeued after a failure.
+    pub attempts: u32,
     /// Opaque payload (Turbine ships Tcl fragments here).
     pub payload: Bytes,
 }
 
 impl Task {
+    /// A fresh (never-attempted) task.
+    pub fn new(work_type: u32, priority: i32, target: Option<Rank>, payload: Bytes) -> Task {
+        Task {
+            work_type,
+            priority,
+            target,
+            attempts: 0,
+            payload,
+        }
+    }
+
     fn encode_into(&self, w: &mut WireWriter) {
         w.put_u32(self.work_type);
         w.put_i64(self.priority as i64);
         w.put_i64(self.target.map(|t| t as i64).unwrap_or(-1));
+        w.put_u32(self.attempts);
         w.put_bytes(&self.payload);
     }
 
@@ -44,11 +59,13 @@ impl Task {
             -1 => None,
             t => Some(t as Rank),
         };
+        let attempts = r.get_u32()?;
         let payload = Bytes::copy_from_slice(r.get_bytes()?);
         Ok(Task {
             work_type,
             priority,
             target,
+            attempts,
             payload,
         })
     }
@@ -58,19 +75,56 @@ impl Task {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     Put(Task),
-    Get { work_types: Vec<u32> },
+    Get {
+        work_types: Vec<u32>,
+    },
     /// Client will issue no further requests; counts as permanently parked.
     Finished,
-    DataCreate { id: u64, type_tag: u8 },
-    DataStore { id: u64, value: Bytes },
-    DataRetrieve { id: u64 },
-    DataSubscribe { id: u64, rank: Rank },
-    DataInsert { id: u64, key: String, value: Bytes },
-    DataLookup { id: u64, key: String },
-    DataEnumerate { id: u64 },
-    DataClose { id: u64 },
-    DataExists { id: u64 },
-    DataIncrWriters { id: u64, delta: i64 },
+    /// Acknowledge the task most recently delivered to this client,
+    /// releasing its lease. `ok: false` reports a contained task failure
+    /// (`error` says why); the server retries or quarantines the task.
+    /// `error` is empty on success.
+    TaskDone {
+        ok: bool,
+        error: String,
+    },
+    DataCreate {
+        id: u64,
+        type_tag: u8,
+    },
+    DataStore {
+        id: u64,
+        value: Bytes,
+    },
+    DataRetrieve {
+        id: u64,
+    },
+    DataSubscribe {
+        id: u64,
+        rank: Rank,
+    },
+    DataInsert {
+        id: u64,
+        key: String,
+        value: Bytes,
+    },
+    DataLookup {
+        id: u64,
+        key: String,
+    },
+    DataEnumerate {
+        id: u64,
+    },
+    DataClose {
+        id: u64,
+    },
+    DataExists {
+        id: u64,
+    },
+    DataIncrWriters {
+        id: u64,
+        delta: i64,
+    },
 }
 
 /// Server → client responses.
@@ -81,8 +135,12 @@ pub enum Response {
     MaybeBytes(Option<Bytes>),
     Pairs(Vec<(String, Bytes)>),
     DeliverTask(Task),
-    /// Shutdown: no more work will ever arrive.
-    NoMore,
+    /// Shutdown: no more work will ever arrive. Carries the (capped)
+    /// quarantine reports of the responding server so clients can explain
+    /// why some dataflow never completed.
+    NoMore {
+        quarantined: Vec<String>,
+    },
     Error(String),
 }
 
@@ -91,10 +149,17 @@ pub enum Response {
 pub enum ServerMsg {
     /// Move a task to the server owning its destination.
     Forward(Task),
-    StealReq { thief: Rank, work_types: Vec<u32> },
-    StealResp { tasks: Vec<Task> },
+    StealReq {
+        thief: Rank,
+        work_types: Vec<u32>,
+    },
+    StealResp {
+        tasks: Vec<Task>,
+    },
     /// Termination-detection poll from the master.
-    Check { round: u64 },
+    Check {
+        round: u64,
+    },
     CheckResp {
         round: u64,
         quiescent: bool,
@@ -180,6 +245,11 @@ impl Request {
                 w.put_u64(*id);
                 w.put_i64(*delta);
             }
+            Request::TaskDone { ok, error } => {
+                w.put_u8(13);
+                w.put_u8(*ok as u8);
+                w.put_str(error);
+            }
         }
         w.finish()
     }
@@ -222,6 +292,10 @@ impl Request {
             12 => Request::DataIncrWriters {
                 id: r.get_u64()?,
                 delta: r.get_i64()?,
+            },
+            13 => Request::TaskDone {
+                ok: r.get_u8()? != 0,
+                error: r.get_str()?.to_string(),
             },
             _ => {
                 return Err(WireError {
@@ -271,8 +345,12 @@ impl Response {
                 w.put_u8(4);
                 t.encode_into(&mut w);
             }
-            Response::NoMore => {
+            Response::NoMore { quarantined } => {
                 w.put_u8(5);
+                w.put_u32(quarantined.len() as u32);
+                for q in quarantined {
+                    w.put_str(q);
+                }
             }
             Response::Error(e) => {
                 w.put_u8(6);
@@ -306,7 +384,14 @@ impl Response {
                 Response::Pairs(pairs)
             }
             4 => Response::DeliverTask(Task::decode_from(&mut r)?),
-            5 => Response::NoMore,
+            5 => {
+                let n = r.get_u32()? as usize;
+                let mut quarantined = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    quarantined.push(r.get_str()?.to_string());
+                }
+                Response::NoMore { quarantined }
+            }
             6 => Response::Error(r.get_str()?.to_string()),
             _ => {
                 return Err(WireError {
@@ -383,7 +468,9 @@ impl ServerMsg {
                 }
                 ServerMsg::StealResp { tasks }
             }
-            3 => ServerMsg::Check { round: r.get_u64()? },
+            3 => ServerMsg::Check {
+                round: r.get_u64()?,
+            },
             4 => ServerMsg::CheckResp {
                 round: r.get_u64()?,
                 quiescent: r.get_u8()? != 0,
@@ -413,6 +500,7 @@ mod tests {
             work_type: t,
             priority: p,
             target,
+            attempts: 2,
             payload: Bytes::from_static(b"payload \x00\xFF bytes"),
         }
     }
@@ -426,6 +514,14 @@ mod tests {
                 work_types: vec![0, 1, 2],
             },
             Request::Finished,
+            Request::TaskDone {
+                ok: true,
+                error: String::new(),
+            },
+            Request::TaskDone {
+                ok: false,
+                error: "NameError: x is not defined".into(),
+            },
             Request::DataCreate { id: 7, type_tag: 3 },
             Request::DataStore {
                 id: 9,
@@ -466,7 +562,12 @@ mod tests {
                 ("b".into(), Bytes::new()),
             ]),
             Response::DeliverTask(task(2, 0, Some(0))),
-            Response::NoMore,
+            Response::NoMore {
+                quarantined: vec![],
+            },
+            Response::NoMore {
+                quarantined: vec!["task failed 4 attempts: boom".into()],
+            },
             Response::Error("bad thing".into()),
         ];
         for c in cases {

@@ -132,6 +132,26 @@ impl WorkQueue {
         }
     }
 
+    /// Remove every task targeted at `rank` (all work types). Used when a
+    /// rank dies: its pinned tasks must be dropped or retargeted, or they
+    /// would sit in the queue forever and block termination.
+    pub fn drain_targeted(&mut self, rank: Rank) -> Vec<Task> {
+        let keys: Vec<(Rank, u32)> = self
+            .targeted
+            .keys()
+            .filter(|(r, _)| *r == rank)
+            .copied()
+            .collect();
+        let mut out = Vec::new();
+        for k in keys {
+            if let Some(heap) = self.targeted.remove(&k) {
+                self.len -= heap.len();
+                out.extend(heap.into_iter().map(|e| e.task));
+            }
+        }
+        out
+    }
+
     /// Remove up to half the untargeted tasks of the given types (at least
     /// one if any exist) — the work-stealing donation.
     pub fn steal(&mut self, work_types: &[u32]) -> Vec<Task> {
@@ -149,7 +169,12 @@ impl WorkQueue {
         while out.len() < take {
             let wt = work_types
                 .iter()
-                .filter(|wt| self.untargeted.get(wt).map(|h| !h.is_empty()).unwrap_or(false))
+                .filter(|wt| {
+                    self.untargeted
+                        .get(wt)
+                        .map(|h| !h.is_empty())
+                        .unwrap_or(false)
+                })
                 .max_by_key(|wt| self.untargeted.get(wt).map(BinaryHeap::len).unwrap_or(0));
             let Some(&wt) = wt else { break };
             let heap = self.untargeted.get_mut(&wt).unwrap();
@@ -171,12 +196,7 @@ mod tests {
     use bytes::Bytes;
 
     fn task(wt: u32, prio: i32, target: Option<Rank>, tag: u8) -> Task {
-        Task {
-            work_type: wt,
-            priority: prio,
-            target,
-            payload: Bytes::from(vec![tag]),
-        }
+        Task::new(wt, prio, target, Bytes::from(vec![tag]))
     }
 
     #[test]
@@ -255,6 +275,21 @@ mod tests {
     }
 
     #[test]
+    fn drain_targeted_takes_all_types_for_rank() {
+        let mut q = WorkQueue::new();
+        q.push(task(0, 0, Some(2), 1));
+        q.push(task(1, 5, Some(2), 2));
+        q.push(task(1, 0, Some(3), 3));
+        q.push(task(1, 0, None, 4));
+        let drained = q.drain_targeted(2);
+        assert_eq!(drained.len(), 2);
+        assert!(drained.iter().all(|t| t.target == Some(2)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_for(3, &[1]).unwrap().payload[0], 3);
+        assert_eq!(q.pop_for(9, &[1]).unwrap().payload[0], 4);
+    }
+
+    #[test]
     fn multi_type_get_prefers_best_priority() {
         let mut q = WorkQueue::new();
         q.push(task(0, 1, None, 1));
@@ -283,7 +318,12 @@ mod queue_properties {
     }
 
     fn op_strategy() -> impl Strategy<Value = Op> {
-        (any::<bool>(), -3i32..4, prop_oneof![Just(None), (0usize..3).prop_map(Some)], 0u32..2)
+        (
+            any::<bool>(),
+            -3i32..4,
+            prop_oneof![Just(None), (0usize..3).prop_map(Some)],
+            0u32..2,
+        )
             .prop_map(|(push, prio, target, wt)| Op {
                 push,
                 prio,
@@ -293,7 +333,11 @@ mod queue_properties {
     }
 
     /// Naive reference: linear scan for the best candidate.
-    fn model_pop(model: &mut Vec<(i32, u64, Option<Rank>, u32, u64)>, rank: Rank, wts: &[u32]) -> Option<u64> {
+    fn model_pop(
+        model: &mut Vec<(i32, u64, Option<Rank>, u32, u64)>,
+        rank: Rank,
+        wts: &[u32],
+    ) -> Option<u64> {
         let mut best: Option<usize> = None;
         for (idx, (prio, seq, target, wt, _id)) in model.iter().enumerate() {
             if !wts.contains(wt) {
@@ -328,12 +372,12 @@ mod queue_properties {
             let mut id = 0u64;
             for op in &ops {
                 if op.push {
-                    q.push(Task {
-                        work_type: op.wt,
-                        priority: op.prio,
-                        target: op.target,
-                        payload: Bytes::from(id.to_le_bytes().to_vec()),
-                    });
+                    q.push(Task::new(
+                        op.wt,
+                        op.prio,
+                        op.target,
+                        Bytes::from(id.to_le_bytes().to_vec()),
+                    ));
                     model.push((op.prio, seq, op.target, op.wt, id));
                     seq += 1;
                     id += 1;

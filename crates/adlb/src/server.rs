@@ -7,7 +7,7 @@
 //! termination polls.
 
 use std::collections::{HashMap, HashSet};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use mpisim::{Comm, Rank, Src, TagSel};
@@ -16,6 +16,33 @@ use crate::datastore::DataStore;
 use crate::layout::Layout;
 use crate::msg::{Request, Response, ServerMsg, Task, TAG_REQ, TAG_RESP, TAG_SRV};
 use crate::queue::WorkQueue;
+
+/// How a server treats tasks whose holder died or reported failure.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Times a task may be re-run after its first attempt before it is
+    /// quarantined. 0 means never retry.
+    pub max_retries: u32,
+    /// Priority subtracted per accumulated attempt when a task is
+    /// requeued, so repeatedly failing work drifts behind fresh work
+    /// instead of hot-looping at the head of the queue.
+    pub priority_penalty: i32,
+    /// If set, a lease older than this is revoked and its task requeued
+    /// even though the holder still looks alive. `None` (the default)
+    /// trusts liveness detection alone, which preserves exactly-once
+    /// delivery for slow-but-alive clients.
+    pub lease_timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            priority_penalty: 1,
+            lease_timeout: None,
+        }
+    }
+}
 
 /// Tunables for the server.
 #[derive(Debug, Clone)]
@@ -29,6 +56,8 @@ pub struct ServerConfig {
     /// outranks all user work so dataflow progress is never queued behind
     /// bulk tasks.
     pub notify_priority: i32,
+    /// Retry/requeue policy for failed tasks and dead clients.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ServerConfig {
@@ -37,6 +66,7 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_micros(200),
             steal_enabled: true,
             notify_priority: i32::MAX,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -60,6 +90,22 @@ pub struct ServerStats {
     pub data_ops: u64,
     /// Close notifications generated.
     pub notifications: u64,
+    /// Tasks requeued because their holder died mid-execution.
+    pub tasks_requeued: u64,
+    /// Tasks requeued after the holder reported a contained failure.
+    pub tasks_retried: u64,
+    /// Tasks dropped after exhausting their retry budget.
+    pub tasks_quarantined: u64,
+    /// Malformed or unexpected messages survived (not panicked on).
+    pub protocol_errors: u64,
+    /// Client ranks of this server observed to have died.
+    pub ranks_failed: u64,
+}
+
+/// An in-flight task: delivered to a client, not yet acknowledged.
+struct Lease {
+    task: Task,
+    since: Instant,
 }
 
 struct Server {
@@ -71,6 +117,18 @@ struct Server {
     /// Parked GET requests in arrival order.
     parked: Vec<(Rank, Vec<u32>)>,
     finished: HashSet<Rank>,
+    /// Tasks delivered to clients and not yet acknowledged, keyed by the
+    /// holder's rank (a client holds at most one task at a time).
+    in_flight: HashMap<Rank, Lease>,
+    /// Clients whose lease was revoked by timeout; their next TaskDone is
+    /// stale (the task was already requeued) and must be ignored.
+    lease_revoked: HashSet<Rank>,
+    /// Tasks dropped after exhausting their retry budget, kept for
+    /// post-mortem inspection.
+    quarantined: Vec<Task>,
+    /// One human-readable report per quarantined task (the error of its
+    /// final attempt); shipped to clients with the shutdown notice.
+    quarantine_reports: Vec<String>,
     my_client_count: usize,
     epoch: u64,
     fwd_out: u64,
@@ -103,6 +161,10 @@ pub fn serve(comm: Comm, layout: Layout, config: ServerConfig) -> ServerStats {
         store: DataStore::new(),
         parked: Vec::new(),
         finished: HashSet::new(),
+        in_flight: HashMap::new(),
+        lease_revoked: HashSet::new(),
+        quarantined: Vec::new(),
+        quarantine_reports: Vec::new(),
         my_client_count,
         epoch: 0,
         fwd_out: 0,
@@ -127,20 +189,39 @@ impl Server {
                 .comm
                 .recv_timeout(Src::Any, TagSel::Any, self.config.poll_interval)
             {
-                Some(m) if m.tag == TAG_REQ => {
-                    let req = Request::decode(&m.data).expect("bad client request");
-                    self.handle_request(m.source, req);
-                }
-                Some(m) if m.tag == TAG_SRV => {
-                    let msg = ServerMsg::decode(&m.data).expect("bad server message");
-                    if self.handle_server_msg(m.source, msg) {
-                        return self.shutdown();
+                Some(m) if m.tag == TAG_REQ => match Request::decode(&m.data) {
+                    Ok(req) => self.handle_request(m.source, req),
+                    Err(e) => self.protocol_error(format_args!(
+                        "undecodable request from rank {}: {e:?}",
+                        m.source
+                    )),
+                },
+                Some(m) if m.tag == TAG_SRV => match ServerMsg::decode(&m.data) {
+                    Ok(msg) => {
+                        if self.handle_server_msg(m.source, msg) {
+                            return self.shutdown();
+                        }
                     }
-                }
-                Some(m) => panic!("adlb server: unexpected tag {}", m.tag),
+                    Err(e) => self.protocol_error(format_args!(
+                        "undecodable server message from rank {}: {e:?}",
+                        m.source
+                    )),
+                },
+                Some(m) => self.protocol_error(format_args!(
+                    "unexpected tag {} from rank {}",
+                    m.tag, m.source
+                )),
                 None => self.idle_actions(),
             }
         }
+    }
+
+    /// Count and log a malformed or unexpected message instead of taking
+    /// the whole server rank down with it. A confused peer is the peer's
+    /// bug; this server must keep serving its other clients.
+    fn protocol_error(&mut self, what: std::fmt::Arguments<'_>) {
+        self.stats.protocol_errors += 1;
+        eprintln!("adlb server {}: protocol error: {what}", self.comm.rank());
     }
 
     fn respond(&self, rank: Rank, resp: Response) {
@@ -151,6 +232,7 @@ impl Server {
         self.parked.len() + self.finished.len() == self.my_client_count
             && self.queue.is_empty()
             && !self.outstanding_steal
+            && self.in_flight.is_empty()
     }
 
     // -- task routing ----------------------------------------------------
@@ -173,6 +255,16 @@ impl Server {
     /// Deliver to a parked client or enqueue locally.
     fn accept_task(&mut self, task: Task) {
         self.stats.tasks_accepted += 1;
+        // A task targeted at a rank that already died (e.g. a forward that
+        // raced the death sweep) must be rescued here, or it would sit in
+        // the targeted queue forever and block termination.
+        let task = match task.target {
+            Some(t) if !self.comm.is_alive(t) => match self.retarget_for_dead(task, t) {
+                Some(task) => task,
+                None => return,
+            },
+            _ => task,
+        };
         // New work ends any steal backoff: there may be more where this
         // came from.
         self.steal_backoff = 0;
@@ -187,10 +279,131 @@ impl Server {
         match slot {
             Some(i) => {
                 let (rank, _) = self.parked.remove(i);
-                self.stats.tasks_delivered += 1;
-                self.respond(rank, Response::DeliverTask(task));
+                self.deliver(rank, task);
             }
             None => self.queue.push(task),
+        }
+    }
+
+    /// Hand a task to a client and open a lease on it. The lease stays
+    /// open until the client acknowledges (TaskDone), dies, or — if a
+    /// lease timeout is configured — times out.
+    fn deliver(&mut self, rank: Rank, task: Task) {
+        self.stats.tasks_delivered += 1;
+        self.in_flight.insert(
+            rank,
+            Lease {
+                task: task.clone(),
+                since: Instant::now(),
+            },
+        );
+        self.respond(rank, Response::DeliverTask(task));
+    }
+
+    /// A failed task comes back: retry it with a priority penalty, or
+    /// quarantine it once its budget is spent. `death` selects which
+    /// counter records the requeue (holder died vs. reported failure);
+    /// `error` is what ended this attempt.
+    fn retry_or_quarantine(&mut self, mut task: Task, death: bool, error: &str) {
+        task.attempts += 1;
+        if task.attempts > self.config.retry.max_retries {
+            self.stats.tasks_quarantined += 1;
+            let report = format!(
+                "task (work_type {}) quarantined after {} attempts; last error: {}",
+                task.work_type, task.attempts, error
+            );
+            eprintln!("adlb server {}: {report}", self.comm.rank());
+            self.quarantine_reports.push(report);
+            self.quarantined.push(task);
+            return;
+        }
+        if death {
+            self.stats.tasks_requeued += 1;
+        } else {
+            self.stats.tasks_retried += 1;
+        }
+        let penalty = self
+            .config
+            .retry
+            .priority_penalty
+            .saturating_mul(task.attempts as i32);
+        task.priority = task.priority.saturating_sub(penalty);
+        // A requeue is fresh activity for termination detection.
+        self.epoch += 1;
+        self.accept_task(task);
+    }
+
+    /// Prepare a task bound for (or held by) the dead rank `dead` for
+    /// requeueing. A close notification for a dead rank is meaningless
+    /// and dropped (`None`); other targeted tasks are untargeted so a
+    /// survivor can run them.
+    fn retarget_for_dead(&mut self, mut task: Task, dead: Rank) -> Option<Task> {
+        if task.target == Some(dead) {
+            if task.work_type == crate::msg::WORK_TYPE_NOTIFY {
+                return None;
+            }
+            task.target = None;
+        }
+        Some(task)
+    }
+
+    /// Notice dead clients of this server: mark them permanently finished
+    /// (they will never park again), requeue any task they held, and
+    /// rescue tasks still queued with the dead rank as target.
+    fn detect_dead_clients(&mut self) {
+        let mine: Vec<Rank> = self
+            .layout
+            .clients_of(self.comm.rank())
+            .iter()
+            .copied()
+            .filter(|r| !self.finished.contains(r) && !self.comm.is_alive(*r))
+            .collect();
+        for rank in mine {
+            self.stats.ranks_failed += 1;
+            self.epoch += 1;
+            eprintln!(
+                "adlb server {}: client rank {rank} died; requeueing its work",
+                self.comm.rank()
+            );
+            self.finished.insert(rank);
+            self.parked.retain(|(r, _)| *r != rank);
+            self.lease_revoked.remove(&rank);
+            if let Some(lease) = self.in_flight.remove(&rank) {
+                if let Some(task) = self.retarget_for_dead(lease.task, rank) {
+                    self.retry_or_quarantine(task, true, &format!("holder rank {rank} died"));
+                }
+            }
+            let stranded = self.queue.drain_targeted(rank);
+            for t in stranded {
+                if let Some(t) = self.retarget_for_dead(t, rank) {
+                    self.accept_task(t);
+                }
+            }
+        }
+    }
+
+    /// Revoke leases older than the configured timeout (if any).
+    fn check_lease_timeouts(&mut self) {
+        let Some(timeout) = self.config.retry.lease_timeout else {
+            return;
+        };
+        let now = Instant::now();
+        let expired: Vec<Rank> = self
+            .in_flight
+            .iter()
+            .filter(|(_, l)| now.duration_since(l.since) > timeout)
+            .map(|(r, _)| *r)
+            .collect();
+        for rank in expired {
+            let lease = self.in_flight.remove(&rank).expect("expired lease");
+            eprintln!(
+                "adlb server {}: lease on rank {rank} expired; requeueing",
+                self.comm.rank()
+            );
+            // The holder may still be alive and eventually ack; that ack
+            // is now stale and must not release a newer lease.
+            self.lease_revoked.insert(rank);
+            self.retry_or_quarantine(lease.task, true, &format!("lease on rank {rank} expired"));
         }
     }
 
@@ -205,16 +418,25 @@ impl Server {
             }
             Request::Get { work_types } => {
                 match self.queue.pop_for(source, &work_types) {
-                    Some(task) => {
-                        self.stats.tasks_delivered += 1;
-                        self.respond(source, Response::DeliverTask(task));
-                    }
+                    Some(task) => self.deliver(source, task),
                     None => {
                         self.parked.push((source, work_types));
                         // An empty queue with parked clients is the steal
                         // trigger; don't wait for the poll timeout.
                         self.try_steal();
                     }
+                }
+            }
+            Request::TaskDone { ok, error } => {
+                if self.lease_revoked.remove(&source) {
+                    // Stale ack for a lease already revoked by timeout:
+                    // the task was requeued, nothing to release.
+                } else if let Some(lease) = self.in_flight.remove(&source) {
+                    if !ok {
+                        self.retry_or_quarantine(lease.task, false, &error);
+                    }
+                } else {
+                    self.protocol_error(format_args!("TaskDone from rank {source} with no lease"));
                 }
             }
             Request::Finished => {
@@ -310,12 +532,12 @@ impl Server {
     fn notify_all(&mut self, id: u64, subscribers: Vec<Rank>) {
         for rank in subscribers {
             self.stats.notifications += 1;
-            let task = Task {
-                work_type: crate::msg::WORK_TYPE_NOTIFY,
-                priority: self.config.notify_priority,
-                target: Some(rank),
-                payload: Bytes::copy_from_slice(&id.to_le_bytes()),
-            };
+            let task = Task::new(
+                crate::msg::WORK_TYPE_NOTIFY,
+                self.config.notify_priority,
+                Some(rank),
+                Bytes::copy_from_slice(&id.to_le_bytes()),
+            );
             self.route_task(task);
         }
     }
@@ -400,7 +622,12 @@ impl Server {
     // -- idle actions ------------------------------------------------------
 
     fn idle_actions(&mut self) {
-        // Termination check first: a fresh steal attempt would otherwise
+        // Fault handling first: dead clients must be noticed (and their
+        // work requeued) before quiescence is evaluated, or termination
+        // would wait forever on a rank that will never park.
+        self.detect_dead_clients();
+        self.check_lease_timeouts();
+        // Termination check next: a fresh steal attempt would otherwise
         // mark this server non-quiescent on every tick.
         if self.comm.rank() == self.layout.master_server()
             && !self.check_in_flight
@@ -513,8 +740,16 @@ impl Server {
     }
 
     fn shutdown(&mut self) -> ServerStats {
+        // Cap the reports shipped per client; the full list stays in
+        // `self.quarantined` for post-mortem inspection.
+        let reports: Vec<String> = self.quarantine_reports.iter().take(8).cloned().collect();
         for (rank, _) in std::mem::take(&mut self.parked) {
-            self.respond(rank, Response::NoMore);
+            self.respond(
+                rank,
+                Response::NoMore {
+                    quarantined: reports.clone(),
+                },
+            );
         }
         self.stats
     }

@@ -115,6 +115,131 @@ fn randomized_delivery_exactly_once() {
     }
 }
 
+mod fault_properties {
+    //! Property: under random consumer-death schedules, no task is lost
+    //! and no task is executed twice.
+    //!
+    //! Why this holds at the ADLB layer: a consumer's protocol is a strict
+    //! alternation of sends (TaskDone/Get) and receives (DeliverTask), and
+    //! fault kills only fire at those message boundaries — after a
+    //! delivered send, or at entry to a receive. A task's execution (here:
+    //! recording its id) happens strictly between the receive that
+    //! delivered it and the TaskDone send that acknowledges it, so a kill
+    //! either lands before execution (server requeues the leased task;
+    //! runs elsewhere exactly once) or after the ack (server releases the
+    //! lease; never reruns it).
+
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    use adlb::{serve, AdlbClient, Layout, RetryPolicy, ServerConfig, WORK_TYPE_WORK};
+    use mpisim::{FaultPlan, World};
+    use proptest::prelude::*;
+
+    /// One death-schedule scenario. `kills` pairs a consumer index with a
+    /// message count; the consumer dies at that point in its protocol.
+    fn run_deaths(
+        servers: usize,
+        consumers: usize,
+        total_tasks: usize,
+        kills: &[(usize, u64, bool)], // (consumer idx, count, kill-on-send?)
+    ) -> Result<(), TestCaseError> {
+        let clients = consumers + 1; // rank 0 submits
+        let size = clients + servers;
+        let layout = Layout::new(size, servers);
+
+        // Keep at least one consumer alive or the queue can never drain.
+        let mut plan = FaultPlan::new();
+        let mut victims = Vec::new();
+        for &(idx, n, on_send) in kills {
+            let victim = 1 + idx % (consumers - 1); // last consumer survives
+            if victims.contains(&victim) {
+                continue;
+            }
+            victims.push(victim);
+            plan = if on_send {
+                plan.kill_after_sends(victim, n + 1)
+            } else {
+                plan.kill_after_recvs(victim, n)
+            };
+        }
+
+        // Every victim dies at most once, so a task can accumulate at most
+        // `victims.len()` failed attempts; a roomy budget keeps the
+        // quarantine path out of this test.
+        let config = ServerConfig {
+            retry: RetryPolicy {
+                max_retries: 16,
+                ..RetryPolicy::default()
+            },
+            ..ServerConfig::default()
+        };
+
+        let executed: Mutex<HashMap<u64, u64>> = Mutex::new(HashMap::new());
+        let outcome = World::run_faulty(size, &plan, |comm| {
+            let rank = comm.rank();
+            if layout.is_server(rank) {
+                serve(comm, layout, config.clone());
+                return;
+            }
+            let mut client = AdlbClient::new(comm, layout);
+            if rank == 0 {
+                for tid in 0..total_tasks as u64 {
+                    // ~1/4 targeted at some consumer (possibly a victim).
+                    let target = if tid % 4 == 0 {
+                        Some(1 + (tid as usize * 7) % consumers)
+                    } else {
+                        None
+                    };
+                    client.put(
+                        WORK_TYPE_WORK,
+                        (tid % 5) as i32,
+                        target,
+                        tid.to_le_bytes().to_vec(),
+                    );
+                }
+                client.finish();
+                return;
+            }
+            while let Some(t) = client.get(&[WORK_TYPE_WORK]) {
+                let tid = u64::from_le_bytes(t.payload[..8].try_into().unwrap());
+                // "Execution": recorded between delivery and the ack that
+                // the next get() piggybacks.
+                *executed.lock().unwrap().entry(tid).or_insert(0) += 1;
+            }
+        });
+
+        // A schedule point past the victim's last message never fires;
+        // whoever did die must be a scheduled victim, and exactly-once
+        // must hold either way.
+        for k in &outcome.killed {
+            prop_assert!(victims.contains(k), "unexpected dead rank {}", k);
+        }
+        let executed = executed.into_inner().unwrap();
+        for tid in 0..total_tasks as u64 {
+            let n = executed.get(&tid).copied().unwrap_or(0);
+            prop_assert_eq!(n, 1, "task {} executed {} times", tid, n);
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+        #[test]
+        fn no_task_lost_or_duplicated_under_rank_death(
+            servers in 1usize..3,
+            consumers in 2usize..6,
+            total in 20usize..60,
+            kills in proptest::collection::vec(
+                (0usize..8, 1u64..25, any::<bool>()),
+                1..3,
+            ),
+        ) {
+            run_deaths(servers, consumers, total, &kills)?;
+        }
+    }
+}
+
 #[test]
 fn burst_submission_with_slow_consumers() {
     // One submitter floods; consumers inject think-time so queues build
@@ -130,7 +255,12 @@ fn burst_submission_with_slow_consumers() {
         let mut client = AdlbClient::new(comm, layout);
         if rank == 0 {
             for i in 0..n {
-                client.put(WORK_TYPE_WORK, (i % 7) as i32, None, i.to_le_bytes().to_vec());
+                client.put(
+                    WORK_TYPE_WORK,
+                    (i % 7) as i32,
+                    None,
+                    i.to_le_bytes().to_vec(),
+                );
             }
             client.finish();
             return 0;

@@ -38,9 +38,13 @@ fn exec_makespan(ranks: usize) -> u64 {
     let fs = Arc::new(Pfs::new(PfsConfig::default()));
     // Stage the interpreter installation.
     let mut admin = fs.client();
-    admin.put("/sw/python/bin/python", &vec![0u8; EXEC_READ_BYTES]).unwrap();
+    admin
+        .put("/sw/python/bin/python", &vec![0u8; EXEC_READ_BYTES])
+        .unwrap();
     for m in 0..EXEC_METADATA_OPS {
-        admin.put(&format!("/sw/python/lib/mod{m}.py"), b"x").unwrap();
+        admin
+            .put(&format!("/sw/python/lib/mod{m}.py"), b"x")
+            .unwrap();
     }
     let mut makespan = 0u64;
     for _ in 0..ranks {
@@ -60,7 +64,9 @@ fn exec_makespan(ranks: usize) -> u64 {
 fn embedded_makespan(ranks: usize) -> u64 {
     let fs = Arc::new(Pfs::new(PfsConfig::default()));
     let mut admin = fs.client();
-    admin.put("/sw/swiftt/package.bin", &vec![0u8; PACKAGE_BYTES]).unwrap();
+    admin
+        .put("/sw/swiftt/package.bin", &vec![0u8; PACKAGE_BYTES])
+        .unwrap();
     let mut makespan = 0u64;
     for _ in 0..ranks {
         let mut c = fs.client();
@@ -89,7 +95,12 @@ fn main() {
     println!();
     header(
         "ranks",
-        &["exec ms (sim)", "embed ms (sim)", "exec/embed", "md-wait ms"],
+        &[
+            "exec ms (sim)",
+            "embed ms (sim)",
+            "exec/embed",
+            "md-wait ms",
+        ],
     );
     for ranks in [16usize, 64, 256, 1024, 4096] {
         let fs_probe = Arc::new(Pfs::new(PfsConfig::default()));
@@ -99,9 +110,13 @@ fn main() {
         // Re-run exec to collect the metadata queue-wait statistic.
         let fs = Arc::new(Pfs::new(PfsConfig::default()));
         let mut admin = fs.client();
-        admin.put("/sw/python/bin/python", &vec![0u8; EXEC_READ_BYTES]).unwrap();
+        admin
+            .put("/sw/python/bin/python", &vec![0u8; EXEC_READ_BYTES])
+            .unwrap();
         for mi in 0..EXEC_METADATA_OPS {
-            admin.put(&format!("/sw/python/lib/mod{mi}.py"), b"x").unwrap();
+            admin
+                .put(&format!("/sw/python/lib/mod{mi}.py"), b"x")
+                .unwrap();
         }
         for _ in 0..ranks {
             let mut c = fs.client();

@@ -48,11 +48,17 @@ fn main() {
     });
     row(
         "retain",
-        &[ms(retain), format!("{:.2}", retain.as_secs_f64() * 1e6 / n as f64)],
+        &[
+            ms(retain),
+            format!("{:.2}", retain.as_secs_f64() * 1e6 / n as f64),
+        ],
     );
     row(
         "reinitialize",
-        &[ms(reinit), format!("{:.2}", reinit.as_secs_f64() * 1e6 / n as f64)],
+        &[
+            ms(reinit),
+            format!("{:.2}", reinit.as_secs_f64() * 1e6 / n as f64),
+        ],
     );
     println!();
     println!("note: an *empty* mini-interpreter initializes in ~1 us, so the bare");

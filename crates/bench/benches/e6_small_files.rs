@@ -27,7 +27,10 @@ fn tree_load_makespan(ranks: usize) -> (u64, u64) {
     let mut admin = fs.client();
     for i in 0..PACKAGE_FILES {
         admin
-            .put(&format!("/sw/tcl/pkg/file{i}.tcl"), &vec![0u8; SMALL_FILE_BYTES])
+            .put(
+                &format!("/sw/tcl/pkg/file{i}.tcl"),
+                &vec![0u8; SMALL_FILE_BYTES],
+            )
             .unwrap();
     }
     let mut makespan = 0;

@@ -55,7 +55,9 @@ fn main() {
     );
     println!(
         "host parallelism: {} core(s) — wall time is not a parallelism signal here;",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
     println!("virtual makespan = max per-worker assigned cost (units).");
     println!();
@@ -66,7 +68,13 @@ fn main() {
 
     header(
         "workers",
-        &["virt makespan", "ideal", "imbalance", "busy", "virt speedup"],
+        &[
+            "virt makespan",
+            "ideal",
+            "imbalance",
+            "busy",
+            "virt speedup",
+        ],
     );
     let mut base = None;
     for workers in [1usize, 2, 4, 8, 16] {

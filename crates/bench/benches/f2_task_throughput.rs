@@ -55,7 +55,9 @@ fn main() {
     );
     println!(
         "host parallelism: {} core(s)",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
 
     let tasks = 192usize;
@@ -65,10 +67,7 @@ fn main() {
 
     println!();
     println!("series A: work distribution, workers sweep (virtual units)");
-    header(
-        "workers",
-        &["virt makespan", "ideal", "imbalance", "busy"],
-    );
+    header("workers", &["virt makespan", "ideal", "imbalance", "busy"]);
     for workers in [1usize, 2, 4, 8, 16, 32] {
         let rt = Runtime::new(workers + 2);
         let r = rt.run(&program).expect("run failed");

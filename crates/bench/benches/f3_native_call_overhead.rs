@@ -40,14 +40,7 @@ fn bench_ladder(c: &mut Criterion) {
     {
         let interp = interp.clone();
         group.bench_function("tcl_bound_native_call", |b| {
-            b.iter(|| {
-                black_box(
-                    interp
-                        .borrow_mut()
-                        .eval("native::hypot 3.0 4.0")
-                        .unwrap(),
-                )
-            })
+            b.iter(|| black_box(interp.borrow_mut().eval("native::hypot 3.0 4.0").unwrap()))
         });
     }
 

@@ -28,7 +28,10 @@ pub fn row(label: &str, cols: &[String]) {
 
 /// Print a table header row.
 pub fn header(label: &str, cols: &[&str]) {
-    row(label, &cols.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    row(
+        label,
+        &cols.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+    );
     println!("{}", "-".repeat(26 + cols.len() * 15));
 }
 

@@ -150,8 +150,7 @@ impl Blob {
 
     /// Decode as UTF-8 text.
     pub fn to_utf8(&self) -> Result<String, BlobError> {
-        String::from_utf8(self.data.clone())
-            .map_err(|_| BlobError::new("blob is not valid UTF-8"))
+        String::from_utf8(self.data.clone()).map_err(|_| BlobError::new("blob is not valid UTF-8"))
     }
 
     /// Read one double at element index `i`.

@@ -127,10 +127,7 @@ pub fn register_blob_commands(interp: &mut Interp, reg: SharedRegistry) {
             need(argv, 2, "blobutils_to_list handle")?;
             let h = BlobHandle::parse(&argv[1]).map_err(ex)?;
             let vals = reg.borrow().get(h).map_err(ex)?.to_f64s().map_err(ex)?;
-            let strs: Vec<String> = vals
-                .iter()
-                .map(|v| tclish::format_double(*v))
-                .collect();
+            let strs: Vec<String> = vals.iter().map(|v| tclish::format_double(*v)).collect();
             Ok(tclish::format_list(&strs))
         });
     }

@@ -40,6 +40,8 @@ pub use result::{RunResult, SwiftTError};
 pub use runtime::Runtime;
 
 // Re-export the pieces users commonly need alongside the runtime.
+pub use adlb::RetryPolicy;
+pub use mpisim::FaultPlan;
 pub use stc::{compile, CompiledProgram};
 pub use turbine::{InterpPolicy, RankOutput, Role, TurbineProgram};
 

@@ -37,7 +37,8 @@ pub struct RunResult {
     /// All `printf`/`puts`/embedded-interpreter output, concatenated in
     /// rank order (within a rank, output is in execution order).
     pub stdout: String,
-    /// Per-rank details.
+    /// Per-rank details for the ranks that survived (killed ranks produce
+    /// no output record).
     pub outputs: Vec<RankOutput>,
     /// Wall-clock duration of the whole world.
     pub elapsed: Duration,
@@ -45,6 +46,9 @@ pub struct RunResult {
     pub messages: u64,
     /// Payload bytes the run sent.
     pub bytes: u64,
+    /// Ranks killed by the configured fault plan, in rank order. Empty
+    /// when no faults were injected (or none fired).
+    pub killed_ranks: Vec<usize>,
 }
 
 impl RunResult {
@@ -61,6 +65,12 @@ impl RunResult {
     /// Total Python/R interpreter initializations.
     pub fn total_interp_inits(&self) -> u64 {
         self.outputs.iter().map(|o| o.interp_inits).sum()
+    }
+
+    /// Total leaf tasks that failed (contained eval errors) across all
+    /// workers. Each retry of a task counts as another failure.
+    pub fn total_tasks_failed(&self) -> u64 {
+        self.outputs.iter().map(|o| o.tasks_failed).sum()
     }
 
     /// Number of workers that executed at least one task.
@@ -82,6 +92,11 @@ impl RunResult {
                 total.steals_successful += s.steals_successful;
                 total.tasks_stolen += s.tasks_stolen;
                 total.tasks_donated += s.tasks_donated;
+                total.tasks_requeued += s.tasks_requeued;
+                total.tasks_retried += s.tasks_retried;
+                total.tasks_quarantined += s.tasks_quarantined;
+                total.protocol_errors += s.protocol_errors;
+                total.ranks_failed += s.ranks_failed;
                 total.data_ops += s.data_ops;
                 total.notifications += s.notifications;
             }

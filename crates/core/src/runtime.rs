@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use mpisim::World;
+use mpisim::{FaultPlan, World};
 use tclish::PackageInit;
 use turbine::{InterpPolicy, TurbineConfig, TurbineProgram};
 
@@ -20,6 +20,8 @@ pub struct Runtime {
     engines: usize,
     policy: InterpPolicy,
     steal: bool,
+    retry: adlb::RetryPolicy,
+    faults: FaultPlan,
     natives: Vec<NativeLibrary>,
     tcl_packages: Vec<(String, String, String)>,
     args: Vec<(String, String)>,
@@ -40,6 +42,8 @@ impl Runtime {
             engines: 1,
             policy: InterpPolicy::Retain,
             steal: true,
+            retry: adlb::RetryPolicy::default(),
+            faults: FaultPlan::new(),
             natives: Vec::new(),
             tcl_packages: Vec::new(),
             args: Vec::new(),
@@ -67,6 +71,28 @@ impl Runtime {
     /// Enable/disable ADLB work stealing (ablation switch).
     pub fn work_stealing(mut self, on: bool) -> Self {
         self.steal = on;
+        self
+    }
+
+    /// Inject faults (rank kills, message drops/delays) from a
+    /// [`FaultPlan`]. Ranks killed by the plan unwind quietly; the run
+    /// completes on the survivors and reports the dead ranks in
+    /// [`RunResult::killed_ranks`].
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Retry budget for failed or orphaned tasks: a task is requeued up to
+    /// `k` times before the servers quarantine it.
+    pub fn max_retries(mut self, k: u32) -> Self {
+        self.retry.max_retries = k;
+        self
+    }
+
+    /// Full control over the ADLB servers' [`adlb::RetryPolicy`].
+    pub fn retry_policy(mut self, policy: adlb::RetryPolicy) -> Self {
+        self.retry = policy;
         self
     }
 
@@ -110,6 +136,7 @@ impl Runtime {
             policy: self.policy,
             server: adlb::ServerConfig {
                 steal_enabled: self.steal,
+                retry: self.retry,
                 ..adlb::ServerConfig::default()
             },
         }
@@ -133,7 +160,7 @@ impl Runtime {
         let tcl_packages = self.tcl_packages.clone();
         let start = Instant::now();
         let world = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            World::run_with_stats(self.ranks, |comm| {
+            World::run_faulty(self.ranks, &self.faults, |comm| {
                 turbine::run_rank_with(comm, &config, &program, |interp| {
                     for lib in &natives {
                         lib.install(interp);
@@ -150,7 +177,9 @@ impl Runtime {
         }));
         let elapsed = start.elapsed();
         match world {
-            Ok((outputs, stats)) => {
+            Ok(outcome) => {
+                // Killed ranks leave no output; the run is a survivor view.
+                let outputs: Vec<_> = outcome.outputs.into_iter().flatten().collect();
                 let stdout = outputs
                     .iter()
                     .map(|o| o.stdout.as_str())
@@ -160,8 +189,9 @@ impl Runtime {
                     stdout,
                     outputs,
                     elapsed,
-                    messages: stats.messages,
-                    bytes: stats.bytes,
+                    messages: outcome.stats.messages,
+                    bytes: outcome.stats.bytes,
+                    killed_ranks: outcome.killed,
                 })
             }
             Err(p) => {
@@ -235,7 +265,11 @@ mod tests {
     #[test]
     fn reinitialize_policy_isolation() {
         // Two python() calls; under Reinitialize the second can't see the
-        // first's state, so it must fail — surfaced as a runtime error.
+        // first's state, so it must fail. Task errors are *contained*:
+        // the NameError task is retried to the budget and quarantined
+        // instead of crashing the worker rank — so the machine terminates
+        // cleanly and the engine reports the never-satisfied printf as a
+        // dataflow deadlock.
         // `b`'s code input depends on `a`, forcing task order a → b on the
         // single worker; only the retained interpreter still has `leak`.
         let src = r#"
@@ -245,12 +279,13 @@ mod tests {
         "#;
         let retained = Runtime::new(3).policy(InterpPolicy::Retain).run(src);
         assert!(retained.is_ok(), "retain keeps state: {retained:?}");
-        let reinit = Runtime::new(3)
-            .policy(InterpPolicy::Reinitialize)
-            .run(src);
+        assert_eq!(retained.unwrap().stdout, "5 6\n");
+        let reinit = Runtime::new(3).policy(InterpPolicy::Reinitialize).run(src);
         match reinit {
-            Err(SwiftTError::Runtime(m)) => assert!(m.contains("NameError"), "{m}"),
-            other => panic!("expected NameError under Reinitialize, got {other:?}"),
+            Err(SwiftTError::Runtime(m)) => {
+                assert!(m.contains("deadlock"), "quarantine leaves b unfilled: {m}")
+            }
+            other => panic!("expected dataflow deadlock under Reinitialize, got {other:?}"),
         }
     }
 }

@@ -88,31 +88,58 @@ impl Comm {
         self.shared.mailboxes.len()
     }
 
+    /// Whether `rank` is still alive (always true without a fault plan).
+    pub fn is_alive(&self, rank: Rank) -> bool {
+        self.shared.faults.is_alive(rank)
+    }
+
     /// Send `data` to `dest` with `tag`. Never blocks (buffered send).
+    ///
+    /// Under a fault plan the send may be dropped, delayed, or be this
+    /// rank's scripted last act: a `KillAfterSends` fault fires *after*
+    /// the triggering message is delivered. Sends to dead ranks vanish
+    /// silently, as with a real failed process.
     ///
     /// # Panics
     /// Panics if `dest` is out of range.
     pub fn send(&self, dest: Rank, tag: Tag, data: impl Into<Bytes>) {
         let data = data.into();
-        self.shared.msg_count.fetch_add(1, Ordering::Relaxed);
-        self.shared
-            .byte_count
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
-        self.shared.mailboxes[dest].push(Envelope {
-            source: self.rank,
-            tag,
-            data,
-        });
+        let verdict = self.shared.faults.before_send(self.rank, dest);
+        if let Some(ms) = verdict.delay_ms {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        if verdict.deliver && self.shared.faults.is_alive(dest) {
+            self.shared.msg_count.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .byte_count
+                .fetch_add(data.len() as u64, Ordering::Relaxed);
+            self.shared.mailboxes[dest].push(Envelope {
+                source: self.rank,
+                tag,
+                data,
+            });
+        }
+        if verdict.kill_after {
+            self.shared.faults.kill(self.rank);
+        }
     }
 
     /// Blocking selective receive.
     pub fn recv(&self, src: impl Into<Src>, tag: impl Into<TagSel>) -> Message {
-        self.shared.mailboxes[self.rank].recv(src.into(), tag.into())
+        self.shared.faults.check_recv_entry(self.rank);
+        let m = self.shared.mailboxes[self.rank].recv(src.into(), tag.into());
+        self.shared.faults.note_recv_done(self.rank);
+        m
     }
 
     /// Non-blocking selective receive.
     pub fn try_recv(&self, src: impl Into<Src>, tag: impl Into<TagSel>) -> Option<Message> {
-        self.shared.mailboxes[self.rank].try_recv(src.into(), tag.into())
+        self.shared.faults.check_recv_entry(self.rank);
+        let m = self.shared.mailboxes[self.rank].try_recv(src.into(), tag.into());
+        if m.is_some() {
+            self.shared.faults.note_recv_done(self.rank);
+        }
+        m
     }
 
     /// Blocking receive with timeout; `None` if nothing matched in time.
@@ -122,12 +149,21 @@ impl Comm {
         tag: impl Into<TagSel>,
         timeout: Duration,
     ) -> Option<Message> {
-        self.shared.mailboxes[self.rank].recv_timeout(src.into(), tag.into(), timeout)
+        self.shared.faults.check_recv_entry(self.rank);
+        let m = self.shared.mailboxes[self.rank].recv_timeout(src.into(), tag.into(), timeout);
+        if m.is_some() {
+            self.shared.faults.note_recv_done(self.rank);
+        }
+        m
     }
 
     /// Probe for a matching message without consuming it; returns
     /// `(source, tag, payload_len)`.
-    pub fn iprobe(&self, src: impl Into<Src>, tag: impl Into<TagSel>) -> Option<(Rank, Tag, usize)> {
+    pub fn iprobe(
+        &self,
+        src: impl Into<Src>,
+        tag: impl Into<TagSel>,
+    ) -> Option<(Rank, Tag, usize)> {
         self.shared.mailboxes[self.rank].iprobe(src.into(), tag.into())
     }
 
@@ -202,7 +238,11 @@ impl Comm {
     pub fn scatter(&self, root: Rank, data: Option<Vec<Bytes>>) -> Bytes {
         if self.rank == root {
             let data = data.expect("scatter root must supply data");
-            assert_eq!(data.len(), self.size(), "scatter needs one payload per rank");
+            assert_eq!(
+                data.len(),
+                self.size(),
+                "scatter needs one payload per rank"
+            );
             let mut mine = Bytes::new();
             for (r, d) in data.into_iter().enumerate() {
                 if r == root {
@@ -319,7 +359,10 @@ mod tests {
         let out = World::run(3, |comm| {
             let total = comm.allreduce_sum_u64(1);
             comm.barrier();
-            let b = comm.bcast(0, (comm.rank() == 0).then(|| Bytes::from(vec![total as u8])));
+            let b = comm.bcast(
+                0,
+                (comm.rank() == 0).then(|| Bytes::from(vec![total as u8])),
+            );
             b[0]
         });
         assert_eq!(out, vec![3, 3, 3]);

@@ -1,0 +1,384 @@
+//! Deterministic fault injection for the simulated MPI substrate.
+//!
+//! A [`FaultPlan`] scripts failures against a world before it launches:
+//! kill rank R after its Nth send or receive, silently drop the Nth
+//! message on a (from, to) pair, or delay it. Plans are plain data, so
+//! every failure scenario is reproducible — the same plan against the
+//! same program kills the same rank at the same protocol step every run.
+//!
+//! The kill points are chosen to model *fail-stop* process death at
+//! message boundaries, the granularity at which the upper layers (ADLB
+//! task leases, Turbine containment) can reason about exactly-once
+//! execution: a kill-after-send fires after the Nth send is delivered,
+//! and a kill-after-recvs fires on entry to the following receive,
+//! consuming nothing.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::Rank;
+
+/// One scripted failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Kill `rank` immediately after its `sends`-th send is delivered.
+    KillAfterSends {
+        /// Victim rank.
+        rank: Rank,
+        /// 1-based send count that triggers the kill.
+        sends: u64,
+    },
+    /// Kill `rank` when it enters a receive after completing `recvs`
+    /// receives (nothing is consumed by the fatal call).
+    KillAfterRecvs {
+        /// Victim rank.
+        rank: Rank,
+        /// Number of completed receives before the kill fires.
+        recvs: u64,
+    },
+    /// Silently drop the `nth` (1-based) message sent from `from` to `to`.
+    DropNth {
+        /// Sending rank.
+        from: Rank,
+        /// Receiving rank.
+        to: Rank,
+        /// 1-based message index on the (from, to) pair.
+        nth: u64,
+    },
+    /// Delay delivery of the `nth` (1-based) message from `from` to `to`.
+    DelayNth {
+        /// Sending rank.
+        from: Rank,
+        /// Receiving rank.
+        to: Rank,
+        /// 1-based message index on the (from, to) pair.
+        nth: u64,
+        /// Delay in milliseconds.
+        millis: u64,
+    },
+}
+
+/// A scripted, deterministic set of failures for one world run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    actions: Vec<FaultAction>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The scripted actions.
+    pub fn actions(&self) -> &[FaultAction] {
+        &self.actions
+    }
+
+    /// Add an action.
+    pub fn with(mut self, action: FaultAction) -> Self {
+        self.actions.push(action);
+        self
+    }
+
+    /// Kill `rank` right after its `sends`-th delivered send.
+    pub fn kill_after_sends(self, rank: Rank, sends: u64) -> Self {
+        self.with(FaultAction::KillAfterSends { rank, sends })
+    }
+
+    /// Kill `rank` at entry to the receive following its `recvs`-th
+    /// completed receive.
+    pub fn kill_after_recvs(self, rank: Rank, recvs: u64) -> Self {
+        self.with(FaultAction::KillAfterRecvs { rank, recvs })
+    }
+
+    /// Drop the `nth` message from `from` to `to`.
+    pub fn drop_nth(self, from: Rank, to: Rank, nth: u64) -> Self {
+        self.with(FaultAction::DropNth { from, to, nth })
+    }
+
+    /// Delay the `nth` message from `from` to `to` by `millis`.
+    pub fn delay_nth(self, from: Rank, to: Rank, nth: u64, millis: u64) -> Self {
+        self.with(FaultAction::DelayNth {
+            from,
+            to,
+            nth,
+            millis,
+        })
+    }
+
+    /// Parse a CLI fault spec: `;`-separated actions of the form
+    ///
+    /// * `kill:rank=R,sends=N` — kill R after its Nth send
+    /// * `kill:rank=R,recvs=N` — kill R after N completed receives
+    /// * `drop:from=A,to=B,nth=N` — drop the Nth A→B message
+    /// * `delay:from=A,to=B,nth=N,ms=M` — delay the Nth A→B message
+    ///
+    /// Example: `--faults "kill:rank=2,recvs=6;drop:from=0,to=1,nth=3"`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for part in spec.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (kind, fields) = part
+                .split_once(':')
+                .ok_or_else(|| format!("fault action `{part}` is missing `kind:`"))?;
+            let mut kv: HashMap<&str, u64> = HashMap::new();
+            for field in fields.split(',') {
+                let (k, v) = field
+                    .trim()
+                    .split_once('=')
+                    .ok_or_else(|| format!("fault field `{field}` is not `key=value`"))?;
+                let v: u64 = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("fault field `{field}` has a non-numeric value"))?;
+                kv.insert(k.trim(), v);
+            }
+            let get = |k: &str| -> Result<u64, String> {
+                kv.get(k)
+                    .copied()
+                    .ok_or_else(|| format!("fault action `{part}` is missing `{k}=`"))
+            };
+            match kind.trim() {
+                "kill" => {
+                    let rank = get("rank")? as Rank;
+                    match (kv.get("sends"), kv.get("recvs")) {
+                        (Some(&n), None) => plan = plan.kill_after_sends(rank, n),
+                        (None, Some(&n)) => plan = plan.kill_after_recvs(rank, n),
+                        _ => {
+                            return Err(format!(
+                                "kill action `{part}` needs exactly one of `sends=` or `recvs=`"
+                            ))
+                        }
+                    }
+                }
+                "drop" => {
+                    plan = plan.drop_nth(get("from")? as Rank, get("to")? as Rank, get("nth")?);
+                }
+                "delay" => {
+                    plan = plan.delay_nth(
+                        get("from")? as Rank,
+                        get("to")? as Rank,
+                        get("nth")?,
+                        get("ms")?,
+                    );
+                }
+                other => return Err(format!("unknown fault kind `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Panic payload used to unwind a killed rank's thread. Distinct from a
+/// real panic: the world does **not** poison when a rank dies this way,
+/// so surviving ranks keep running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankKilled {
+    /// The rank that was killed.
+    pub rank: Rank,
+}
+
+/// Per-world runtime state compiled from a [`FaultPlan`].
+pub(crate) struct FaultState {
+    enabled: bool,
+    kill_sends: Vec<Option<u64>>,
+    kill_recvs: Vec<Option<u64>>,
+    /// (from, to) → sorted list of 1-based indices to drop.
+    drops: HashMap<(Rank, Rank), Vec<u64>>,
+    /// (from, to) → (1-based index, delay ms).
+    delays: HashMap<(Rank, Rank), Vec<(u64, u64)>>,
+    sends_done: Vec<AtomicU64>,
+    recvs_done: Vec<AtomicU64>,
+    /// Per-(from, to) send counters; only maintained when drops or delays
+    /// are scripted.
+    pair_sends: Mutex<HashMap<(Rank, Rank), u64>>,
+    alive: Vec<AtomicBool>,
+}
+
+/// What `before_send` told the sender to do.
+pub(crate) struct SendVerdict {
+    pub deliver: bool,
+    pub delay_ms: Option<u64>,
+    pub kill_after: bool,
+}
+
+impl FaultState {
+    pub(crate) fn new(size: usize, plan: &FaultPlan) -> Self {
+        let mut kill_sends = vec![None; size];
+        let mut kill_recvs = vec![None; size];
+        let mut drops: HashMap<(Rank, Rank), Vec<u64>> = HashMap::new();
+        let mut delays: HashMap<(Rank, Rank), Vec<(u64, u64)>> = HashMap::new();
+        for action in plan.actions() {
+            match *action {
+                FaultAction::KillAfterSends { rank, sends } if rank < size => {
+                    let slot: &mut Option<u64> = &mut kill_sends[rank];
+                    *slot = Some(slot.map_or(sends, |prev: u64| prev.min(sends)));
+                }
+                FaultAction::KillAfterRecvs { rank, recvs } if rank < size => {
+                    let slot: &mut Option<u64> = &mut kill_recvs[rank];
+                    *slot = Some(slot.map_or(recvs, |prev: u64| prev.min(recvs)));
+                }
+                FaultAction::DropNth { from, to, nth } => {
+                    drops.entry((from, to)).or_default().push(nth);
+                }
+                FaultAction::DelayNth {
+                    from,
+                    to,
+                    nth,
+                    millis,
+                } => {
+                    delays.entry((from, to)).or_default().push((nth, millis));
+                }
+                // Kills aimed at out-of-range ranks are inert.
+                FaultAction::KillAfterSends { .. } | FaultAction::KillAfterRecvs { .. } => {}
+            }
+        }
+        FaultState {
+            enabled: !plan.is_empty(),
+            kill_sends,
+            kill_recvs,
+            drops,
+            delays,
+            sends_done: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            recvs_done: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            pair_sends: Mutex::new(HashMap::new()),
+            alive: (0..size).map(|_| AtomicBool::new(true)).collect(),
+        }
+    }
+
+    /// Whether `rank` has not been killed.
+    pub(crate) fn is_alive(&self, rank: Rank) -> bool {
+        !self.enabled || self.alive[rank].load(Ordering::SeqCst)
+    }
+
+    /// Record a send from `from` to `to` and decide its fate.
+    pub(crate) fn before_send(&self, from: Rank, to: Rank) -> SendVerdict {
+        if !self.enabled {
+            return SendVerdict {
+                deliver: true,
+                delay_ms: None,
+                kill_after: false,
+            };
+        }
+        let n = self.sends_done[from].fetch_add(1, Ordering::SeqCst) + 1;
+        let kill_after = self.kill_sends[from].is_some_and(|t| n >= t);
+
+        let mut deliver = true;
+        let mut delay_ms = None;
+        let pair = (from, to);
+        if self.drops.contains_key(&pair) || self.delays.contains_key(&pair) {
+            let mut counts = self.pair_sends.lock();
+            let c = counts.entry(pair).or_insert(0);
+            *c += 1;
+            let nth = *c;
+            if self.drops.get(&pair).is_some_and(|v| v.contains(&nth)) {
+                deliver = false;
+            }
+            if let Some(d) = self
+                .delays
+                .get(&pair)
+                .and_then(|v| v.iter().find(|(i, _)| *i == nth))
+            {
+                delay_ms = Some(d.1);
+            }
+        }
+        SendVerdict {
+            deliver,
+            delay_ms,
+            kill_after,
+        }
+    }
+
+    /// Kill check at entry to a message-consuming receive.
+    pub(crate) fn check_recv_entry(&self, rank: Rank) {
+        if !self.enabled {
+            return;
+        }
+        let done = self.recvs_done[rank].load(Ordering::SeqCst);
+        if self.kill_recvs[rank].is_some_and(|t| done >= t) {
+            self.kill(rank);
+        }
+    }
+
+    /// Record one completed (message-consuming) receive.
+    pub(crate) fn note_recv_done(&self, rank: Rank) {
+        if self.enabled {
+            self.recvs_done[rank].fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Mark `rank` dead and unwind its thread with [`RankKilled`].
+    pub(crate) fn kill(&self, rank: Rank) -> ! {
+        self.alive[rank].store(false, Ordering::SeqCst);
+        std::panic::panic_any(RankKilled { rank });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_each_kind() {
+        let plan =
+            FaultPlan::parse("kill:rank=2,sends=5; kill:rank=3,recvs=7;drop:from=0,to=1,nth=2; delay:from=1,to=0,nth=3,ms=10")
+                .unwrap();
+        assert_eq!(
+            plan.actions(),
+            &[
+                FaultAction::KillAfterSends { rank: 2, sends: 5 },
+                FaultAction::KillAfterRecvs { rank: 3, recvs: 7 },
+                FaultAction::DropNth {
+                    from: 0,
+                    to: 1,
+                    nth: 2
+                },
+                FaultAction::DelayNth {
+                    from: 1,
+                    to: 0,
+                    nth: 3,
+                    millis: 10
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("kill").is_err());
+        assert!(FaultPlan::parse("kill:rank=1").is_err());
+        assert!(FaultPlan::parse("kill:rank=1,sends=2,recvs=3").is_err());
+        assert!(FaultPlan::parse("drop:from=0,to=1").is_err());
+        assert!(FaultPlan::parse("explode:rank=1").is_err());
+        assert!(FaultPlan::parse("kill:rank=x,sends=1").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn kill_thresholds_take_the_minimum() {
+        let plan = FaultPlan::new()
+            .kill_after_sends(0, 9)
+            .kill_after_sends(0, 4);
+        let state = FaultState::new(2, &plan);
+        assert_eq!(state.kill_sends[0], Some(4));
+    }
+
+    #[test]
+    fn out_of_range_kills_are_inert() {
+        let plan = FaultPlan::new().kill_after_sends(99, 1);
+        let state = FaultState::new(2, &plan);
+        assert!(state.is_alive(0));
+        assert!(state.is_alive(1));
+    }
+}

@@ -35,13 +35,15 @@
 //! ```
 
 mod comm;
+mod fault;
 mod mailbox;
 mod wire;
 mod world;
 
 pub use comm::{Comm, Message, Src, TagSel};
+pub use fault::{FaultAction, FaultPlan, RankKilled};
 pub use wire::{WireError, WireReader, WireWriter};
-pub use world::{World, WorldStats};
+pub use world::{FaultyOutcome, World, WorldStats};
 
 /// A rank identifier: `0..size`.
 pub type Rank = usize;

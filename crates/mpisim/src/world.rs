@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::comm::Comm;
+use crate::fault::{FaultPlan, FaultState, RankKilled};
 use crate::mailbox::Mailbox;
 use crate::Rank;
 
@@ -22,15 +23,17 @@ pub(crate) struct Shared {
     pub msg_count: AtomicU64,
     pub byte_count: AtomicU64,
     pub poisoned: AtomicBool,
+    pub faults: FaultState,
 }
 
 impl Shared {
-    fn new(size: usize) -> Self {
+    fn new(size: usize, plan: &FaultPlan) -> Self {
         Shared {
             mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
             msg_count: AtomicU64::new(0),
             byte_count: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
+            faults: FaultState::new(size, plan),
         }
     }
 
@@ -40,6 +43,18 @@ impl Shared {
             mb.poison();
         }
     }
+}
+
+/// Result of a world run that may have had ranks killed by fault
+/// injection.
+#[derive(Debug)]
+pub struct FaultyOutcome<T> {
+    /// Per-rank results; `None` for ranks killed by the fault plan.
+    pub outputs: Vec<Option<T>>,
+    /// Traffic counters (dropped messages are not counted).
+    pub stats: WorldStats,
+    /// Ranks that were killed, in rank order.
+    pub killed: Vec<Rank>,
 }
 
 /// Entry point for launching a simulated MPI job.
@@ -65,21 +80,49 @@ impl World {
         T: Send,
         F: Fn(Comm) -> T + Sync,
     {
+        let outcome = Self::run_faulty(size, &FaultPlan::new(), body);
+        (
+            outcome
+                .outputs
+                .into_iter()
+                .map(|s| s.expect("rank produced no result"))
+                .collect(),
+            outcome.stats,
+        )
+    }
+
+    /// Run `size` ranks under a [`FaultPlan`]. Ranks killed by the plan
+    /// unwind quietly at their scripted kill point: the world is *not*
+    /// poisoned, surviving ranks keep running, and the killed rank's slot
+    /// in `outputs` is `None`.
+    ///
+    /// A real (non-injected) panic on any rank still poisons the world
+    /// and propagates, exactly as in [`World::run`].
+    pub fn run_faulty<T, F>(size: usize, plan: &FaultPlan, body: F) -> FaultyOutcome<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
         assert!(size > 0, "world size must be at least 1");
-        let shared = Arc::new(Shared::new(size));
+        silence_injected_kills();
+        let shared = Arc::new(Shared::new(size, plan));
         let body = &body;
 
-        let results: Vec<Option<T>> = std::thread::scope(|scope| {
+        let (outputs, killed) = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..size)
                 .map(|rank| {
                     let shared = Arc::clone(&shared);
                     scope.spawn(move || {
                         let comm = Comm::new(rank as Rank, shared.clone());
-                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                            || body(comm),
-                        ));
-                        if out.is_err() {
-                            shared.poison();
+                        let out =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(comm)));
+                        // An injected kill is an orderly fail-stop: the
+                        // rest of the world keeps running. Anything else
+                        // is a real failure that must tear the world down.
+                        if let Err(p) = &out {
+                            if !p.is::<RankKilled>() {
+                                shared.poison();
+                            }
                         }
                         (rank, out)
                     })
@@ -87,6 +130,7 @@ impl World {
                 .collect();
 
             let mut slots: Vec<Option<T>> = (0..size).map(|_| None).collect();
+            let mut killed: Vec<Rank> = Vec::new();
             // Prefer reporting the root-cause panic over the secondary
             // "recv on poisoned world" panics it induces in other ranks.
             let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
@@ -94,13 +138,15 @@ impl World {
                 p.downcast_ref::<String>()
                     .map(|s| s.contains("poisoned world"))
                     .or_else(|| {
-                        p.downcast_ref::<&str>().map(|s| s.contains("poisoned world"))
+                        p.downcast_ref::<&str>()
+                            .map(|s| s.contains("poisoned world"))
                     })
                     .unwrap_or(false)
             };
             for h in handles {
                 match h.join() {
                     Ok((rank, Ok(v))) => slots[rank] = Some(v),
+                    Ok((rank, Err(p))) if p.is::<RankKilled>() => killed.push(rank),
                     Ok((rank, Err(p))) => {
                         let secondary = is_secondary(&p);
                         match &first_panic {
@@ -122,21 +168,36 @@ impl World {
                 eprintln!("mpisim: rank {rank} panicked; propagating");
                 std::panic::resume_unwind(p);
             }
-            slots
+            killed.sort_unstable();
+            (slots, killed)
         });
 
         let stats = WorldStats {
             messages: shared.msg_count.load(Ordering::Relaxed),
             bytes: shared.byte_count.load(Ordering::Relaxed),
         };
-        (
-            results
-                .into_iter()
-                .map(|s| s.expect("rank produced no result"))
-                .collect(),
+        FaultyOutcome {
+            outputs,
             stats,
-        )
+            killed,
+        }
     }
+}
+
+/// Keep scripted [`RankKilled`] unwinds out of stderr: they are orderly
+/// fail-stops, not bugs, and the default panic hook's backtrace for them
+/// drowns the output of fault-injection runs. Installed once, process
+/// wide; every other panic still reaches the previous hook.
+fn silence_injected_kills() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !info.payload().is::<RankKilled>() {
+                prev(info);
+            }
+        }));
+    });
 }
 
 #[cfg(test)]
@@ -174,5 +235,107 @@ mod tests {
             // world tears down instead of hanging.
             let _ = comm.recv(Src::Any, TagSel::Any);
         });
+    }
+
+    #[test]
+    fn killed_rank_does_not_poison_survivors() {
+        // Rank 1 is killed after its first send; ranks 0 and 2 still
+        // complete their own exchange.
+        let plan = FaultPlan::new().kill_after_sends(1, 1);
+        let outcome = World::run_faulty(3, &plan, |comm| {
+            match comm.rank() {
+                0 => {
+                    // Expect rank 1's single (pre-kill) message plus 2's.
+                    let a = comm.recv(Src::Of(1), TagSel::Of(9));
+                    let b = comm.recv(Src::Of(2), TagSel::Of(9));
+                    (a.data.len() + b.data.len()) as u64
+                }
+                1 => {
+                    comm.send(0, 9, vec![1u8; 3]);
+                    // Never reached: the kill fires inside the send above.
+                    comm.send(0, 9, vec![1u8; 100]);
+                    0
+                }
+                _ => {
+                    comm.send(0, 9, vec![2u8; 5]);
+                    comm.rank() as u64
+                }
+            }
+        });
+        assert_eq!(outcome.killed, vec![1]);
+        assert!(outcome.outputs[1].is_none());
+        assert_eq!(outcome.outputs[0], Some(8));
+        assert_eq!(outcome.outputs[2], Some(2));
+    }
+
+    #[test]
+    fn kill_after_recvs_fires_on_recv_entry() {
+        // Rank 1 may complete exactly 2 receives; its third receive call
+        // kills it without consuming anything.
+        let plan = FaultPlan::new().kill_after_recvs(1, 2);
+        let outcome = World::run_faulty(2, &plan, |comm| {
+            if comm.rank() == 0 {
+                for _ in 0..3 {
+                    comm.send(1, 4, vec![0u8; 1]);
+                }
+                0u64
+            } else {
+                loop {
+                    comm.recv(Src::Of(0), TagSel::Of(4));
+                }
+            }
+        });
+        assert_eq!(outcome.killed, vec![1]);
+        assert!(outcome.outputs[1].is_none());
+    }
+
+    #[test]
+    fn dropped_message_never_arrives() {
+        let plan = FaultPlan::new().drop_nth(0, 1, 2);
+        let outcome = World::run_faulty(2, &plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, vec![1u8]);
+                comm.send(1, 5, vec![2u8]); // dropped
+                comm.send(1, 5, vec![3u8]);
+                0
+            } else {
+                let a = comm.recv(Src::Of(0), TagSel::Of(5)).data[0];
+                let b = comm.recv(Src::Of(0), TagSel::Of(5)).data[0];
+                (a as i32) * 10 + b as i32
+            }
+        });
+        assert!(outcome.killed.is_empty());
+        assert_eq!(outcome.outputs[1], Some(13));
+        // The dropped message is not counted in traffic stats.
+        assert_eq!(outcome.stats.messages, 2);
+    }
+
+    #[test]
+    fn sends_to_dead_ranks_are_dropped() {
+        // Rank 1 dies before receiving anything; rank 0's sends to it must
+        // not block or panic, and the world must still terminate.
+        let plan = FaultPlan::new().kill_after_recvs(1, 0);
+        let outcome = World::run_faulty(2, &plan, |comm| {
+            if comm.rank() == 0 {
+                // Give rank 1 a moment to die so at least one send hits a
+                // dead destination (either way the run must terminate).
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                comm.send(1, 6, vec![0u8; 8]);
+                assert!(!comm.is_alive(1));
+                7
+            } else {
+                comm.recv(Src::Any, TagSel::Any);
+                0
+            }
+        });
+        assert_eq!(outcome.killed, vec![1]);
+        assert_eq!(outcome.outputs[0], Some(7));
+    }
+
+    #[test]
+    fn empty_plan_behaves_like_run() {
+        let outcome = World::run_faulty(4, &FaultPlan::new(), |comm| comm.rank());
+        assert!(outcome.killed.is_empty());
+        assert_eq!(outcome.outputs, vec![Some(0), Some(1), Some(2), Some(3)]);
     }
 }

@@ -21,11 +21,11 @@ pub struct PfsConfig {
 impl Default for PfsConfig {
     fn default() -> Self {
         PfsConfig {
-            md_service_ns: 50_000,            // 50 µs
-            rtt_ns: 100_000,                  // 100 µs
+            md_service_ns: 50_000, // 50 µs
+            rtt_ns: 100_000,       // 100 µs
             data_servers: 8,
-            data_bandwidth_bps: 500_000_000,  // 500 MB/s per OST
-            data_op_ns: 200_000,              // 200 µs
+            data_bandwidth_bps: 500_000_000, // 500 MB/s per OST
+            data_op_ns: 200_000,             // 200 µs
         }
     }
 }

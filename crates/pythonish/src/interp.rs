@@ -43,7 +43,10 @@ fn type_err<T>(msg: impl std::fmt::Display) -> Result<T, PyError> {
 }
 
 fn name_err<T>(name: &str) -> Result<T, PyError> {
-    Err(PyError::new("NameError", format!("name '{name}' is not defined")))
+    Err(PyError::new(
+        "NameError",
+        format!("name '{name}' is not defined"),
+    ))
 }
 
 impl Python {
@@ -120,11 +123,7 @@ impl Python {
         Ok(Flow::Normal)
     }
 
-    fn exec_stmt(
-        &mut self,
-        stmt: &Stmt,
-        frame: &mut Option<LocalFrame>,
-    ) -> Result<Flow, PyError> {
+    fn exec_stmt(&mut self, stmt: &Stmt, frame: &mut Option<LocalFrame>) -> Result<Flow, PyError> {
         match stmt {
             Stmt::Expr(e) => {
                 self.eval_expr(e, frame)?;
@@ -227,9 +226,7 @@ impl Python {
                 match t {
                     Target::Name(n) => {
                         let removed = match frame {
-                            Some(f) if !f.global_decls.contains(n) => {
-                                f.locals.remove(n).is_some()
-                            }
+                            Some(f) if !f.global_decls.contains(n) => f.locals.remove(n).is_some(),
                             _ => self.globals.remove(n).is_some(),
                         };
                         if !removed && self.globals.remove(n).is_none() {
@@ -291,11 +288,7 @@ impl Python {
 
     // -- expressions -----------------------------------------------------
 
-    fn eval_expr(
-        &mut self,
-        e: &Expr,
-        frame: &mut Option<LocalFrame>,
-    ) -> Result<Value, PyError> {
+    fn eval_expr(&mut self, e: &Expr, frame: &mut Option<LocalFrame>) -> Result<Value, PyError> {
         match e {
             Expr::Int(v) => Ok(Value::Int(*v)),
             Expr::Float(v) => Ok(Value::Float(*v)),
@@ -308,9 +301,7 @@ impl Python {
                 for p in parts {
                     match p {
                         FStrPart::Lit(l) => out.push_str(l),
-                        FStrPart::Expr(e) => {
-                            out.push_str(&self.eval_expr(e, frame)?.to_display())
-                        }
+                        FStrPart::Expr(e) => out.push_str(&self.eval_expr(e, frame)?.to_display()),
                     }
                 }
                 Ok(Value::str(out))
@@ -339,7 +330,10 @@ impl Python {
                     Value::Int(i) => Ok(Value::Int(-i)),
                     Value::Float(f) => Ok(Value::Float(-f)),
                     Value::Bool(b) => Ok(Value::Int(-(b as i64))),
-                    other => type_err(format!("bad operand type for unary -: '{}'", other.type_name())),
+                    other => type_err(format!(
+                        "bad operand type for unary -: '{}'",
+                        other.type_name()
+                    )),
                 }
             }
             Expr::Unary(op, _) => type_err(format!("unsupported unary operator {op}")),
@@ -468,7 +462,10 @@ impl Python {
                     Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
                     Value::List(l) => Ok(Value::Int(l.borrow().len() as i64)),
                     Value::Dict(d) => Ok(Value::Int(d.borrow().len() as i64)),
-                    other => type_err(format!("object of type '{}' has no len()", other.type_name())),
+                    other => type_err(format!(
+                        "object of type '{}' has no len()",
+                        other.type_name()
+                    )),
                 }
             }
             "range" => {
@@ -504,10 +501,7 @@ impl Python {
                     Value::Float(f) => Ok(Value::Int(*f as i64)),
                     Value::Bool(b) => Ok(Value::Int(*b as i64)),
                     Value::Str(s) => s.trim().parse::<i64>().map(Value::Int).map_err(|_| {
-                        PyError::new(
-                            "ValueError",
-                            format!("invalid literal for int(): '{s}'"),
-                        )
+                        PyError::new("ValueError", format!("invalid literal for int(): '{s}'"))
                     }),
                     other => type_err(format!("int() argument must not be {}", other.type_name())),
                 }
@@ -520,7 +514,10 @@ impl Python {
                     Value::Str(s) => s.trim().parse::<f64>().map(Value::Float).map_err(|_| {
                         PyError::new("ValueError", format!("could not convert '{s}' to float"))
                     }),
-                    other => type_err(format!("float() argument must not be {}", other.type_name())),
+                    other => type_err(format!(
+                        "float() argument must not be {}",
+                        other.type_name()
+                    )),
                 }
             }
             "bool" => {
@@ -584,20 +581,18 @@ impl Python {
                 want(1)?;
                 let mut items = iterate(&argv[0])?;
                 let mut fail = None;
-                items.sort_by(|a, b| {
-                    match compare_op("<", a, b) {
-                        Ok(Value::Bool(true)) => std::cmp::Ordering::Less,
-                        Ok(_) => {
-                            if a.py_eq(b) {
-                                std::cmp::Ordering::Equal
-                            } else {
-                                std::cmp::Ordering::Greater
-                            }
-                        }
-                        Err(e) => {
-                            fail = Some(e);
+                items.sort_by(|a, b| match compare_op("<", a, b) {
+                    Ok(Value::Bool(true)) => std::cmp::Ordering::Less,
+                    Ok(_) => {
+                        if a.py_eq(b) {
                             std::cmp::Ordering::Equal
+                        } else {
+                            std::cmp::Ordering::Greater
                         }
+                    }
+                    Err(e) => {
+                        fail = Some(e);
+                        std::cmp::Ordering::Equal
                     }
                 });
                 if let Some(e) = fail {
@@ -646,8 +641,12 @@ fn int_of(v: &Value) -> Result<i64, PyError> {
 }
 
 fn float_of(v: &Value) -> Result<f64, PyError> {
-    v.as_number()
-        .ok_or_else(|| PyError::new("TypeError", format!("expected number, got {}", v.type_name())))
+    v.as_number().ok_or_else(|| {
+        PyError::new(
+            "TypeError",
+            format!("expected number, got {}", v.type_name()),
+        )
+    })
 }
 
 fn iterate(v: &Value) -> Result<Vec<Value>, PyError> {
@@ -732,7 +731,10 @@ fn binary_op(op: &str, l: &Value, r: &Value) -> Result<Value, PyError> {
         }
         "//" => {
             if b == 0.0 {
-                return Err(PyError::new("ZeroDivisionError", "integer division by zero"));
+                return Err(PyError::new(
+                    "ZeroDivisionError",
+                    "integer division by zero",
+                ));
             }
             if both_int {
                 Ok(Value::Int(py_floor_div(ia, ib)))
@@ -745,7 +747,9 @@ fn binary_op(op: &str, l: &Value, r: &Value) -> Result<Value, PyError> {
                 return Err(PyError::new("ZeroDivisionError", "modulo by zero"));
             }
             if both_int {
-                Ok(Value::Int(ia.wrapping_sub(ib.wrapping_mul(py_floor_div(ia, ib)))))
+                Ok(Value::Int(
+                    ia.wrapping_sub(ib.wrapping_mul(py_floor_div(ia, ib))),
+                ))
             } else {
                 Ok(Value::Float(a - b * (a / b).floor()))
             }
@@ -771,10 +775,16 @@ fn compare_op(op: &str, l: &Value, r: &Value) -> Result<Value, PyError> {
             Value::List(items) => Ok(Value::Bool(items.borrow().iter().any(|v| v.py_eq(l)))),
             Value::Str(hay) => match l {
                 Value::Str(needle) => Ok(Value::Bool(hay.contains(needle.as_str()))),
-                other => type_err(format!("'in <string>' requires string, not {}", other.type_name())),
+                other => type_err(format!(
+                    "'in <string>' requires string, not {}",
+                    other.type_name()
+                )),
             },
             Value::Dict(d) => Ok(Value::Bool(d.borrow().contains_key(&l.to_display()))),
-            other => type_err(format!("argument of type '{}' is not iterable", other.type_name())),
+            other => type_err(format!(
+                "argument of type '{}' is not iterable",
+                other.type_name()
+            )),
         };
     }
     if op == "==" {
@@ -823,11 +833,15 @@ fn index_get(obj: &Value, idx: &Value) -> Result<Value, PyError> {
         }
         Value::Dict(d) => {
             let key = idx.to_display();
-            d.borrow().get(&key).cloned().ok_or_else(|| {
-                PyError::new("KeyError", format!("'{key}'"))
-            })
+            d.borrow()
+                .get(&key)
+                .cloned()
+                .ok_or_else(|| PyError::new("KeyError", format!("'{key}'")))
         }
-        other => type_err(format!("'{}' object is not subscriptable", other.type_name())),
+        other => type_err(format!(
+            "'{}' object is not subscriptable",
+            other.type_name()
+        )),
     }
 }
 
@@ -899,7 +913,10 @@ fn math_const(name: &str) -> Result<Value, PyError> {
 fn math_call(name: &str, argv: &[Value]) -> Result<Value, PyError> {
     let one = || -> Result<f64, PyError> {
         if argv.len() != 1 {
-            return Err(PyError::new("TypeError", format!("math.{name}() takes 1 argument")));
+            return Err(PyError::new(
+                "TypeError",
+                format!("math.{name}() takes 1 argument"),
+            ));
         }
         float_of(&argv[0])
     };
@@ -911,9 +928,7 @@ fn math_call(name: &str, argv: &[Value]) -> Result<Value, PyError> {
         "exp" => Ok(Value::Float(one()?.exp())),
         "log" => match argv.len() {
             1 => Ok(Value::Float(float_of(&argv[0])?.ln())),
-            2 => Ok(Value::Float(
-                float_of(&argv[0])?.log(float_of(&argv[1])?),
-            )),
+            2 => Ok(Value::Float(float_of(&argv[0])?.log(float_of(&argv[1])?))),
             _ => Err(PyError::new("TypeError", "math.log() takes 1-2 arguments")),
         },
         "log10" => Ok(Value::Float(one()?.log10())),
@@ -1204,7 +1219,11 @@ r = bump(5)
     #[test]
     fn errors_have_python_flavor() {
         let mut py = Python::new();
-        assert!(py.eval("nope").unwrap_err().message.starts_with("NameError"));
+        assert!(py
+            .eval("nope")
+            .unwrap_err()
+            .message
+            .starts_with("NameError"));
         assert!(py
             .eval("1 / 0")
             .unwrap_err()

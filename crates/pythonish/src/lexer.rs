@@ -337,10 +337,7 @@ mod tests {
     #[test]
     fn comments_ignored() {
         let t = tokenize("x = 1  # set x\n# whole line\ny = 2").unwrap();
-        let names = t
-            .iter()
-            .filter(|t| matches!(t, Tok::Name(_)))
-            .count();
+        let names = t.iter().filter(|t| matches!(t, Tok::Name(_))).count();
         assert_eq!(names, 2);
     }
 

@@ -238,12 +238,10 @@ impl R {
                 }
                 Ok(Flow::Value(RValue::Null))
             }
-            Expr::Function(params, body) => Ok(Flow::Value(RValue::Function(Rc::new(
-                RFunction {
-                    params: params.clone(),
-                    body: (**body).clone(),
-                },
-            )))),
+            Expr::Function(params, body) => Ok(Flow::Value(RValue::Function(Rc::new(RFunction {
+                params: params.clone(),
+                body: (**body).clone(),
+            })))),
             Expr::Unary(op, inner) => {
                 let v = value!(inner);
                 match *op {
@@ -299,7 +297,9 @@ impl R {
     ) -> Result<RValue, RError> {
         // User/closure bindings shadow builtins, as in R.
         let binding = if let Some(f) = frame {
-            f.get(name).cloned().or_else(|| self.globals.get(name).cloned())
+            f.get(name)
+                .cloned()
+                .or_else(|| self.globals.get(name).cloned())
         } else {
             self.globals.get(name).cloned()
         };
@@ -311,7 +311,9 @@ impl R {
 
     fn call_closure(&mut self, func: &RFunction, argv: Vec<RValue>) -> Result<RValue, RError> {
         if self.depth >= 200 {
-            return Err(RError::new("evaluation nested too deeply (infinite recursion?)"));
+            return Err(RError::new(
+                "evaluation nested too deeply (infinite recursion?)",
+            ));
         }
         let mut locals = HashMap::new();
         for (i, p) in func.params.iter().enumerate() {
@@ -594,10 +596,18 @@ impl R {
                     .collect(),
             )),
             "toupper" => Ok(RValue::Str(
-                argv[0].as_strings().iter().map(|s| s.to_uppercase()).collect(),
+                argv[0]
+                    .as_strings()
+                    .iter()
+                    .map(|s| s.to_uppercase())
+                    .collect(),
             )),
             "tolower" => Ok(RValue::Str(
-                argv[0].as_strings().iter().map(|s| s.to_lowercase()).collect(),
+                argv[0]
+                    .as_strings()
+                    .iter()
+                    .map(|s| s.to_lowercase())
+                    .collect(),
             )),
             "as.numeric" | "as.double" => {
                 let out: Result<Vec<f64>, RError> = argv[0]

@@ -13,14 +13,14 @@ pub enum Tok {
 }
 
 const KEYWORDS: &[&str] = &[
-    "if", "else", "for", "while", "in", "function", "TRUE", "FALSE", "NULL", "NA", "break",
-    "next", "return", "repeat",
+    "if", "else", "for", "while", "in", "function", "TRUE", "FALSE", "NULL", "NA", "break", "next",
+    "return", "repeat",
 ];
 
 const OPS_MULTI: &[&str] = &["<-", "<=", ">=", "==", "!=", "%%", "%/%", "&&", "||"];
 const OPS_ONE: &[&str] = &[
-    "+", "-", "*", "/", "^", "(", ")", "{", "}", "[", "]", ",", ";", ":", "=", "<", ">", "!",
-    "&", "|",
+    "+", "-", "*", "/", "^", "(", ")", "{", "}", "[", "]", ",", ";", ":", "=", "<", ">", "!", "&",
+    "|",
 ];
 
 pub fn tokenize(src: &str) -> Result<Vec<Tok>, RError> {
@@ -94,8 +94,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Tok>, RError> {
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
                 // R names may contain dots: `as.numeric`, `which.max`.
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
                 {
                     i += 1;
                 }

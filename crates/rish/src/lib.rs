@@ -43,7 +43,10 @@ mod tests {
     #[test]
     fn recycling() {
         let mut r = R::new();
-        assert_eq!(r.run("", "c(1, 2, 3, 4) + c(10, 20)").unwrap(), "11 22 13 24");
+        assert_eq!(
+            r.run("", "c(1, 2, 3, 4) + c(10, 20)").unwrap(),
+            "11 22 13 24"
+        );
     }
 
     #[test]

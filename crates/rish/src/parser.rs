@@ -387,9 +387,7 @@ impl Parser {
                     loop {
                         let name = match self.bump() {
                             Some(Tok::Name(n)) => n,
-                            other => {
-                                return err(format!("expected parameter name, got {other:?}"))
-                            }
+                            other => return err(format!("expected parameter name, got {other:?}")),
                         };
                         let default = if self.eat_op("=") {
                             Some(self.expr()?)
@@ -445,7 +443,10 @@ mod tests {
             parse_expression("x <- 1").unwrap(),
             Expr::Assign(..)
         ));
-        assert!(matches!(parse_expression("x = 1").unwrap(), Expr::Assign(..)));
+        assert!(matches!(
+            parse_expression("x = 1").unwrap(),
+            Expr::Assign(..)
+        ));
         assert!(matches!(
             parse_expression("x[2] <- 5").unwrap(),
             Expr::AssignIndex(..)

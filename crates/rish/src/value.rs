@@ -170,7 +170,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(RValue::Num(vec![1.0, 2.5]).to_display(), "1 2.5");
-        assert_eq!(RValue::Logical(vec![true, false]).to_display(), "TRUE FALSE");
+        assert_eq!(
+            RValue::Logical(vec![true, false]).to_display(),
+            "TRUE FALSE"
+        );
         assert_eq!(RValue::Null.to_display(), "NULL");
         assert_eq!(RValue::string("hi").to_display(), "hi");
     }

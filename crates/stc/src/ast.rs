@@ -87,10 +87,7 @@ pub enum Stmt {
         line: usize,
     },
     /// Bare call statement (void function or ignored outputs).
-    Call {
-        call: CallExpr,
-        line: usize,
-    },
+    Call { call: CallExpr, line: usize },
     /// `a, b = f(x);` — multi-output call.
     MultiAssign {
         targets: Vec<String>,

@@ -113,7 +113,9 @@ impl Scope {
     fn declare(&mut self, name: &str, info: VarInfo) -> Result<(), String> {
         let top = self.frames.last_mut().unwrap();
         if top.contains_key(name) {
-            return Err(format!("variable \"{name}\" already declared in this scope"));
+            return Err(format!(
+                "variable \"{name}\" already declared in this scope"
+            ));
         }
         top.insert(name.to_string(), info);
         Ok(())
@@ -313,7 +315,10 @@ impl Codegen {
         if body.contains("<<") {
             return err(
                 f.line,
-                format!("template for \"{}\" references unknown <<placeholders>>", f.name),
+                format!(
+                    "template for \"{}\" references unknown <<placeholders>>",
+                    f.name
+                ),
             );
         }
 
@@ -483,10 +488,7 @@ impl Codegen {
                             other => {
                                 return err(
                                     *line,
-                                    format!(
-                                        "\"{name}\" is {} , not an array",
-                                        other.swift_name()
-                                    ),
+                                    format!("\"{name}\" is {} , not an array", other.swift_name()),
                                 )
                             }
                         }
@@ -528,10 +530,14 @@ impl Codegen {
                 call,
                 line,
             } => {
-                let sig = self.sigs.get(&call.name).cloned().ok_or_else(|| CompileError {
-                    message: format!("unknown function \"{}\"", call.name),
-                    line: *line,
-                })?;
+                let sig = self
+                    .sigs
+                    .get(&call.name)
+                    .cloned()
+                    .ok_or_else(|| CompileError {
+                        message: format!("unknown function \"{}\"", call.name),
+                        line: *line,
+                    })?;
                 if sig.outputs.len() != targets.len() {
                     return err(
                         *line,
@@ -585,7 +591,15 @@ impl Codegen {
                 iterable,
                 body,
                 line,
-            } => self.emit_foreach(value_var, index_var.as_deref(), iterable, body, *line, scope, out),
+            } => self.emit_foreach(
+                value_var,
+                index_var.as_deref(),
+                iterable,
+                body,
+                *line,
+                scope,
+                out,
+            ),
             Stmt::If {
                 cond,
                 then_branch,
@@ -603,16 +617,14 @@ impl Codegen {
             Expr::FloatLit(_) => Type::Float,
             Expr::StrLit(_) => Type::Str,
             Expr::BoolLit(_) => Type::Bool,
-            Expr::Var(name) => {
-                scope
-                    .lookup(name)
-                    .ok_or_else(|| CompileError {
-                        message: format!("undefined variable \"{name}\""),
-                        line: e.line(),
-                    })?
-                    .ty
-                    .clone()
-            }
+            Expr::Var(name) => scope
+                .lookup(name)
+                .ok_or_else(|| CompileError {
+                    message: format!("undefined variable \"{name}\""),
+                    line: e.line(),
+                })?
+                .ty
+                .clone(),
             Expr::Index(name, _, line) => {
                 let info = scope.lookup(name).ok_or_else(|| CompileError {
                     message: format!("undefined variable \"{name}\""),
@@ -814,7 +826,8 @@ impl Codegen {
             out.push_str(&format!("swt:itof ${target} ${itd}\n"));
             return Ok(());
         }
-        if &actual != target_ty && !(actual == Type::Bool && *target_ty == Type::Int)
+        if &actual != target_ty
+            && !(actual == Type::Bool && *target_ty == Type::Int)
             && !(actual == Type::Int && *target_ty == Type::Bool)
         {
             return err(
@@ -839,10 +852,7 @@ impl Codegen {
                 Ok(())
             }
             Expr::BoolLit(b) => {
-                out.push_str(&format!(
-                    "turbine::store_integer ${target} {}\n",
-                    *b as i64
-                ));
+                out.push_str(&format!("turbine::store_integer ${target} {}\n", *b as i64));
                 Ok(())
             }
             Expr::StrLit(s) => {
@@ -945,9 +955,7 @@ impl Codegen {
                 let (fmt, rest) = if c.name == "printf" {
                     match c.args.first() {
                         Some(Expr::StrLit(s)) => (Some(s.clone()), &c.args[1..]),
-                        Some(_) => {
-                            return err(line, "printf format must be a string literal")
-                        }
+                        Some(_) => return err(line, "printf format must be a string literal"),
                         None => return err(line, "printf needs a format string"),
                     }
                 } else {
@@ -1008,15 +1016,8 @@ impl Codegen {
                 })?;
                 let (key, default) = match (c.args.first(), c.args.get(1)) {
                     (Some(Expr::StrLit(k)), None) => (k.clone(), None),
-                    (Some(Expr::StrLit(k)), Some(Expr::StrLit(d))) => {
-                        (k.clone(), Some(d.clone()))
-                    }
-                    _ => {
-                        return err(
-                            line,
-                            "argv(key) / argv(key, default) take string literals",
-                        )
-                    }
+                    (Some(Expr::StrLit(k)), Some(Expr::StrLit(d))) => (k.clone(), Some(d.clone())),
+                    _ => return err(line, "argv(key) / argv(key, default) take string literals"),
                 };
                 // Arguments are known at startup; store immediately.
                 match default {
@@ -1052,7 +1053,11 @@ impl Codegen {
                 if c.args.len() != ins.len() {
                     return err(
                         line,
-                        format!("{name}() takes {} argument(s), got {}", ins.len(), c.args.len()),
+                        format!(
+                            "{name}() takes {} argument(s), got {}",
+                            ins.len(),
+                            c.args.len()
+                        ),
                     );
                 }
                 let target = match target {
@@ -1100,10 +1105,14 @@ impl Codegen {
                 Ok(())
             }
             _ => {
-                let sig = self.sigs.get(&c.name).cloned().ok_or_else(|| CompileError {
-                    message: format!("unknown function \"{}\"", c.name),
-                    line,
-                })?;
+                let sig = self
+                    .sigs
+                    .get(&c.name)
+                    .cloned()
+                    .ok_or_else(|| CompileError {
+                        message: format!("unknown function \"{}\"", c.name),
+                        line,
+                    })?;
                 if c.args.len() != sig.inputs.len() {
                     return err(
                         line,
@@ -1171,9 +1180,7 @@ impl Codegen {
         let mut written_tcl = Vec::new();
         for w in &written {
             if let Some(info) = scope.lookup(w) {
-                if matches!(info.ty, Type::Array(_))
-                    && captured.iter().any(|(n, _)| n == w)
-                {
+                if matches!(info.ty, Type::Array(_)) && captured.iter().any(|(n, _)| n == w) {
                     written_tcl.push(info.tcl.clone());
                 }
             }
@@ -1186,16 +1193,14 @@ impl Codegen {
             Iterable::Range(..) => Type::Int,
             Iterable::Array(a) => match self.infer_type(a, scope)? {
                 Type::Array(e) => (*e).clone(),
-                other => {
-                    return err(
-                        line,
-                        format!("cannot iterate over {}", other.swift_name()),
-                    )
-                }
+                other => return err(line, format!("cannot iterate over {}", other.swift_name())),
             },
         };
         if matches!(elem_ty, Type::Blob | Type::Array(_)) {
-            return err(line, "foreach over blob/array-of-array containers is not supported");
+            return err(
+                line,
+                "foreach over blob/array-of-array containers is not supported",
+            );
         }
 
         let mut body_scope = Scope::new();
@@ -1311,9 +1316,9 @@ impl Codegen {
         }
 
         let emit_branch = |cg: &mut Codegen,
-                               branch: &[Stmt],
-                               scope: &mut Scope,
-                               released: &[String]|
+                           branch: &[Stmt],
+                           scope: &mut Scope,
+                           released: &[String]|
          -> Result<(String, Vec<String>), CompileError> {
             let free = free_vars(branch, &[]);
             let mut captured: Vec<(String, VarInfo)> = Vec::new();
@@ -1519,7 +1524,12 @@ fn containers_written(stmts: &[Stmt]) -> Vec<String> {
                 } if !locals.iter().any(|l| l == n) && !out.iter().any(|o| o == n) => {
                     out.push(n.clone());
                 }
-                Stmt::Foreach { body, value_var, index_var, .. } => {
+                Stmt::Foreach {
+                    body,
+                    value_var,
+                    index_var,
+                    ..
+                } => {
                     let mut inner = locals.clone();
                     inner.push(value_var.clone());
                     if let Some(i) = index_var {
@@ -1588,8 +1598,7 @@ mod tests {
 
     #[test]
     fn call_arity_checked() {
-        let err =
-            compile("(int o) f (int a) { o = a; }\nint z = f(1, 2);").unwrap_err();
+        let err = compile("(int o) f (int a) { o = a; }\nint z = f(1, 2);").unwrap_err();
         assert!(err.message.contains("takes 1 argument"), "{}", err.message);
     }
 
@@ -1608,8 +1617,8 @@ mod tests {
 
     #[test]
     fn foreach_captures_enclosing_vars() {
-        let p = compile("int base = 10;\nforeach i in [0:3] { int y = i + base; trace(y); }")
-            .unwrap();
+        let p =
+            compile("int base = 10;\nforeach i in [0:3] { int y = i + base; trace(y); }").unwrap();
         // The loop proc takes the captured TD as a parameter.
         assert!(p.preamble.contains("proc swp:loop1 {__val __idx v_base_1}"));
         assert!(p.main.contains("[list $v_base_1]"));
@@ -1625,15 +1634,16 @@ mod tests {
         assert!(p.main.contains("swt:array_foreach_go"));
         assert!(p.preamble.contains("swt:cinsert_when"));
         // Main closes its own slot at end of scope.
-        assert!(p.main.trim_end().ends_with("turbine::container_close $v_A_1"));
+        assert!(p
+            .main
+            .trim_end()
+            .ends_with("turbine::container_close $v_A_1"));
     }
 
     #[test]
     fn if_branches_become_procs() {
-        let p = compile(
-            "int x = 1;\nif (x > 0) { printf(\"pos\"); } else { printf(\"neg\"); }",
-        )
-        .unwrap();
+        let p = compile("int x = 1;\nif (x > 0) { printf(\"pos\"); } else { printf(\"neg\"); }")
+            .unwrap();
         assert!(p.preamble.contains("proc swp:branch"));
         assert!(p.main.contains("swt:if $"));
     }
@@ -1648,17 +1658,16 @@ mod tests {
         )
         .unwrap();
         assert!(p.preamble.contains("proc swift:scale {p_o p_x}"));
-        assert!(p.preamble.contains("turbine::rule [list $p_x] \"swift:scale_task"));
+        assert!(p
+            .preamble
+            .contains("turbine::rule [list $p_x] \"swift:scale_task"));
         assert!(p.preamble.contains("turbine::retrieve_float $p_x"));
         assert!(p.preamble.contains("turbine::store_float $p_o $o"));
     }
 
     #[test]
     fn leaf_template_unknown_placeholder_rejected() {
-        let err = compile(
-            r#"(int o) f (int i) [ "set <<o>> <<mystery>>" ]; "#,
-        )
-        .unwrap_err();
+        let err = compile(r#"(int o) f (int i) [ "set <<o>> <<mystery>>" ]; "#).unwrap_err();
         assert!(err.message.contains("placeholders"), "{}", err.message);
     }
 

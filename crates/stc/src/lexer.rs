@@ -27,8 +27,8 @@ const KEYWORDS: &[&str] = &[
 
 const OPS2: &[&str] = &["==", "!=", "<=", ">=", "&&", "||", "**", "=>"];
 const OPS1: &[&str] = &[
-    "+", "-", "*", "/", "%", "(", ")", "{", "}", "[", "]", ",", ";", ":", "=", "<", ">", "!",
-    "@", ".",
+    "+", "-", "*", "/", "%", "(", ")", "{", "}", "[", "]", ",", ";", ":", "=", "<", ">", "!", "@",
+    ".",
 ];
 
 /// Lexer error (unterminated string, bad character).
@@ -229,10 +229,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
                     i += 1;
                 } else {
                     return Err(LexError {
-                        message: format!(
-                            "unexpected character {:?}",
-                            rest.chars().next().unwrap()
-                        ),
+                        message: format!("unexpected character {:?}", rest.chars().next().unwrap()),
                         line,
                     });
                 }

@@ -67,7 +67,11 @@ mod tests {
     #[test]
     fn undefined_variable_is_an_error() {
         let err = compile("int y = x + 1;").unwrap_err();
-        assert!(err.message.contains("undefined variable"), "{}", err.message);
+        assert!(
+            err.message.contains("undefined variable"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]

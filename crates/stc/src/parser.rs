@@ -86,8 +86,12 @@ impl Parser {
     fn peek_type(&self) -> bool {
         matches!(
             self.peek(),
-            Tok::Kw("int") | Tok::Kw("float") | Tok::Kw("string") | Tok::Kw("boolean")
-                | Tok::Kw("void") | Tok::Kw("blob")
+            Tok::Kw("int")
+                | Tok::Kw("float")
+                | Tok::Kw("string")
+                | Tok::Kw("boolean")
+                | Tok::Kw("void")
+                | Tok::Kw("blob")
         )
     }
 
@@ -186,7 +190,9 @@ impl Parser {
             };
             let version = match self.bump() {
                 Tok::Str(s) => s,
-                other => return self.err(format!("expected package version string, found {other:?}")),
+                other => {
+                    return self.err(format!("expected package version string, found {other:?}"))
+                }
             };
             package = Some((pkg, version));
         }
@@ -327,7 +333,10 @@ impl Parser {
             self.expect_op(";")?;
             return Ok(Stmt::Call { call, line });
         }
-        self.err(format!("expected statement, found '{name}' then {:?}", self.peek()))
+        self.err(format!(
+            "expected statement, found '{name}' then {:?}",
+            self.peek()
+        ))
     }
 
     fn iterable(&mut self) -> Result<Iterable, ParseError> {
@@ -559,7 +568,8 @@ mod tests {
 
     #[test]
     fn foreach_range_and_array() {
-        let p = parse("foreach i in [0:9] { trace(i); }\nint A[]; foreach v, k in A { trace(v); }").unwrap();
+        let p = parse("foreach i in [0:9] { trace(i); }\nint A[]; foreach v, k in A { trace(v); }")
+            .unwrap();
         assert!(matches!(
             &p.main[0],
             Stmt::Foreach {

@@ -92,7 +92,9 @@ fn cmd_incr(i: &mut Interp, argv: &[String]) -> TclResult {
 
 fn cmd_expr(i: &mut Interp, argv: &[String]) -> TclResult {
     if argv.len() < 2 {
-        return Err(Exception::error("wrong # args: should be \"expr arg ?arg ...?\""));
+        return Err(Exception::error(
+            "wrong # args: should be \"expr arg ?arg ...?\"",
+        ));
     }
     let src = argv[1..].join(" ");
     i.expr(&src)
@@ -100,7 +102,9 @@ fn cmd_expr(i: &mut Interp, argv: &[String]) -> TclResult {
 
 fn cmd_eval(i: &mut Interp, argv: &[String]) -> TclResult {
     if argv.len() < 2 {
-        return Err(Exception::error("wrong # args: should be \"eval arg ?arg ...?\""));
+        return Err(Exception::error(
+            "wrong # args: should be \"eval arg ?arg ...?\"",
+        ));
     }
     let src = argv[1..].join(" ");
     i.eval_internal(&src)
@@ -131,9 +135,9 @@ fn cmd_if(i: &mut Interp, argv: &[String]) -> TclResult {
                 continue;
             }
             Some("else") => {
-                let body = argv.get(idx + 1).ok_or_else(|| {
-                    Exception::error("wrong # args: no script after \"else\"")
-                })?;
+                let body = argv
+                    .get(idx + 1)
+                    .ok_or_else(|| Exception::error("wrong # args: no script after \"else\""))?;
                 return i.eval_internal(body);
             }
             // Bare trailing body acts as else (Tcl allows omitting "else").
@@ -252,9 +256,7 @@ fn cmd_proc(i: &mut Interp, argv: &[String]) -> TclResult {
 
 fn cmd_return(_i: &mut Interp, argv: &[String]) -> TclResult {
     arity_range(argv, 1, 2, "return ?value?")?;
-    Err(Exception::Return(
-        argv.get(1).cloned().unwrap_or_default(),
-    ))
+    Err(Exception::Return(argv.get(1).cloned().unwrap_or_default()))
 }
 
 fn cmd_error(_i: &mut Interp, argv: &[String]) -> TclResult {
@@ -533,10 +535,7 @@ mod switch_tests {
             ev("switch b { a {set r 1} b {set r 2} default {set r 9} }"),
             "2"
         );
-        assert_eq!(
-            ev("switch z { a {set r 1} default {set r 9} }"),
-            "9"
-        );
+        assert_eq!(ev("switch z { a {set r 1} default {set r 9} }"), "9");
     }
 
     #[test]
@@ -546,7 +545,10 @@ mod switch_tests {
 
     #[test]
     fn switch_glob_mode() {
-        assert_eq!(ev("switch -glob foo.txt {*.dat {set r d} *.txt {set r t}}"), "t");
+        assert_eq!(
+            ev("switch -glob foo.txt {*.dat {set r d} *.txt {set r t}}"),
+            "t"
+        );
     }
 
     #[test]

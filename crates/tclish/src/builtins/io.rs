@@ -29,9 +29,9 @@ fn cmd_puts(i: &mut Interp, argv: &[String]) -> TclResult {
     if argv.len() > idx + 1 && matches!(argv[idx].as_str(), "stdout" | "stderr") {
         idx += 1;
     }
-    let text = argv
-        .get(idx)
-        .ok_or_else(|| Exception::error("wrong # args: should be \"puts ?-nonewline? ?channelId? string\""))?;
+    let text = argv.get(idx).ok_or_else(|| {
+        Exception::error("wrong # args: should be \"puts ?-nonewline? ?channelId? string\"")
+    })?;
     if argv.len() > idx + 1 {
         return Err(Exception::error(
             "wrong # args: should be \"puts ?-nonewline? ?channelId? string\"",
@@ -61,7 +61,9 @@ fn cmd_clock(_i: &mut Interp, argv: &[String]) -> TclResult {
 
 fn cmd_exec(_i: &mut Interp, argv: &[String]) -> TclResult {
     if argv.len() < 2 {
-        return Err(Exception::error("wrong # args: should be \"exec arg ?arg ...?\""));
+        return Err(Exception::error(
+            "wrong # args: should be \"exec arg ?arg ...?\"",
+        ));
     }
     let output = std::process::Command::new(&argv[1])
         .args(&argv[2..])

@@ -38,7 +38,9 @@ fn cmd_llength(_i: &mut Interp, argv: &[String]) -> TclResult {
 fn cmd_lindex(_i: &mut Interp, argv: &[String]) -> TclResult {
     // lindex list ?index ...? — multiple indices walk nested lists.
     if argv.len() < 2 {
-        return Err(Exception::error("wrong # args: should be \"lindex list ?index ...?\""));
+        return Err(Exception::error(
+            "wrong # args: should be \"lindex list ?index ...?\"",
+        ));
     }
     let mut cur = argv[1].clone();
     for idx_str in &argv[2..] {
@@ -109,7 +111,9 @@ fn cmd_lreverse(_i: &mut Interp, argv: &[String]) -> TclResult {
 
 fn cmd_lsort(_i: &mut Interp, argv: &[String]) -> TclResult {
     if argv.len() < 2 {
-        return Err(Exception::error("wrong # args: should be \"lsort ?options? list\""));
+        return Err(Exception::error(
+            "wrong # args: should be \"lsort ?options? list\"",
+        ));
     }
     let mut integer = false;
     let mut real = false;

@@ -241,9 +241,7 @@ pub fn glob_match(pattern: &str, text: &str) -> bool {
                 }
                 matched && inner(&p[close + 1..], &t[1..])
             }
-            Some('\\') if p.len() > 1 => {
-                !t.is_empty() && t[0] == p[1] && inner(&p[2..], &t[1..])
-            }
+            Some('\\') if p.len() > 1 => !t.is_empty() && t[0] == p[1] && inner(&p[2..], &t[1..]),
             Some(&c) => !t.is_empty() && t[0] == c && inner(&p[1..], &t[1..]),
         }
     }
@@ -407,11 +405,7 @@ pub(crate) fn format_impl(fmt: &str, args: &[String]) -> TclResult {
                 }
                 pad_str(s, width, left)
             }
-            other => {
-                return Err(Exception::error(format!(
-                    "bad field specifier \"{other}\""
-                )))
-            }
+            other => return Err(Exception::error(format!("bad field specifier \"{other}\""))),
         };
         out.push_str(&body);
     }
@@ -607,7 +601,10 @@ mod tests {
     fn format_floats_and_strings() {
         assert_eq!(ev("format %.2f 3.14159"), "3.14");
         assert_eq!(ev("format %8.2f 3.14159"), "    3.14");
-        assert_eq!(ev("format %s|%10s|%-10s| a b c"), "a|         b|c         |");
+        assert_eq!(
+            ev("format %s|%10s|%-10s| a b c"),
+            "a|         b|c         |"
+        );
         assert_eq!(ev("format %.3s abcdef"), "abc");
         assert_eq!(ev("format %g 0.0001"), "0.0001");
         assert_eq!(ev("format %g 100000000"), "1e8");

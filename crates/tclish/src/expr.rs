@@ -243,9 +243,7 @@ fn tokenize(src: &str) -> Result<Vec<Tok>, Exception> {
                     if i >= b.len() {
                         return Err(Exception::error("missing close-brace in expr variable"));
                     }
-                    toks.push(Tok::Var(
-                        String::from_utf8_lossy(&b[s..i]).to_string(),
-                    ));
+                    toks.push(Tok::Var(String::from_utf8_lossy(&b[s..i]).to_string()));
                     i += 1;
                 } else {
                     while i < b.len()
@@ -262,9 +260,7 @@ fn tokenize(src: &str) -> Result<Vec<Tok>, Exception> {
                     if i == start {
                         return Err(Exception::error("lone $ in expression"));
                     }
-                    toks.push(Tok::Var(
-                        String::from_utf8_lossy(&b[start..i]).to_string(),
-                    ));
+                    toks.push(Tok::Var(String::from_utf8_lossy(&b[start..i]).to_string()));
                 }
             }
             b'[' => {
@@ -347,9 +343,7 @@ fn tokenize(src: &str) -> Result<Vec<Tok>, Exception> {
                         || d == b'X'
                         || (d | 0x20 == b'e' && !is_hex_literal(&b[start..i]))
                         || d.is_ascii_hexdigit() && is_hex_literal(&b[start..i])
-                        || ((d == b'+' || d == b'-')
-                            && seen_e
-                            && matches!(b[i - 1] | 0x20, b'e'));
+                        || ((d == b'+' || d == b'-') && seen_e && matches!(b[i - 1] | 0x20, b'e'));
                     if !ok {
                         break;
                     }
@@ -959,7 +953,9 @@ mod tests {
     }
 
     fn ev(src: &str) -> String {
-        eval_expr(&mut FakeHost::new(), src).unwrap().to_tcl_string()
+        eval_expr(&mut FakeHost::new(), src)
+            .unwrap()
+            .to_tcl_string()
     }
 
     #[test]
@@ -1016,10 +1012,7 @@ mod tests {
     fn variables_resolve() {
         let mut h = FakeHost::new();
         h.vars.insert("x".into(), "21".into());
-        assert_eq!(
-            eval_expr(&mut h, "$x * 2").unwrap().to_tcl_string(),
-            "42"
-        );
+        assert_eq!(eval_expr(&mut h, "$x * 2").unwrap().to_tcl_string(), "42");
     }
 
     #[test]
@@ -1027,7 +1020,9 @@ mod tests {
         let mut h = FakeHost::new();
         h.vars.insert("s".into(), "hello".into());
         assert_eq!(
-            eval_expr(&mut h, "$s eq \"hello\"").unwrap().to_tcl_string(),
+            eval_expr(&mut h, "$s eq \"hello\"")
+                .unwrap()
+                .to_tcl_string(),
             "1"
         );
     }

@@ -288,8 +288,7 @@ impl Interp {
         if self.script_cache.len() >= 4096 {
             self.script_cache.clear();
         }
-        self.script_cache
-            .insert(script.to_string(), parsed.clone());
+        self.script_cache.insert(script.to_string(), parsed.clone());
         Ok(parsed)
     }
 
@@ -362,9 +361,7 @@ impl Interp {
         if let Some(f) = self.commands.get(name).cloned() {
             return f(self, argv);
         }
-        Err(Exception::error(format!(
-            "invalid command name \"{name}\""
-        )))
+        Err(Exception::error(format!("invalid command name \"{name}\"")))
     }
 
     pub(crate) fn define_proc(&mut self, name: &str, def: ProcDef) {

@@ -138,8 +138,7 @@ pub fn quote_element(el: &str) -> String {
         return "{}".to_string();
     }
     let needs_quoting = el.chars().any(|c| {
-        c.is_ascii_whitespace()
-            || matches!(c, '{' | '}' | '[' | ']' | '$' | '"' | '\\' | ';')
+        c.is_ascii_whitespace() || matches!(c, '{' | '}' | '[' | ']' | '$' | '"' | '\\' | ';')
     }) || el.starts_with('#');
     if !needs_quoting {
         return el.to_string();

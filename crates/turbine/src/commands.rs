@@ -40,6 +40,9 @@ pub struct Ctx {
     pub args: std::collections::HashMap<String, String>,
     /// Leaf tasks executed on this rank.
     pub tasks_executed: u64,
+    /// Leaf tasks that failed and were reported to the server (contained
+    /// failures; this rank survived them).
+    pub tasks_failed: u64,
     /// Python/R interpreter (re)initializations performed.
     pub interp_inits: u64,
 }
@@ -60,6 +63,7 @@ impl Ctx {
             blobs: Rc::new(RefCell::new(BlobRegistry::new())),
             args: std::collections::HashMap::new(),
             tasks_executed: 0,
+            tasks_failed: 0,
             interp_inits: 0,
         }))
     }
@@ -114,13 +118,16 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
         need(argv, 1, 1, "turbine::rank")?;
         Ok(ctx.borrow().client.rank().to_string())
     });
-    cmd!("turbine::engines", |_i, ctx: &SharedCtx, argv: &[String]| {
-        need(argv, 1, 1, "turbine::engines")?;
-        // Engines = clients serving control work; recorded by run.rs in
-        // the interpreter as ::turbine::n_engines. Fallback: 1.
-        let _ = ctx;
-        Ok(String::new())
-    });
+    cmd!(
+        "turbine::engines",
+        |_i, ctx: &SharedCtx, argv: &[String]| {
+            need(argv, 1, 1, "turbine::engines")?;
+            // Engines = clients serving control work; recorded by run.rs in
+            // the interpreter as ::turbine::n_engines. Fallback: 1.
+            let _ = ctx;
+            Ok(String::new())
+        }
+    );
     cmd!("turbine::unique", |_i, ctx: &SharedCtx, argv: &[String]| {
         need(argv, 1, 1, "turbine::unique")?;
         Ok(ctx.borrow_mut().client.alloc_id().to_string())
@@ -135,60 +142,75 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
     });
 
     // -- scalar stores ---------------------------------------------------
-    cmd!("turbine::store_void", |_i, ctx: &SharedCtx, argv: &[String]| {
-        need(argv, 2, 2, "turbine::store_void id")?;
-        let id = parse_id(&argv[1])?;
-        ctx.borrow().client.store(id, Vec::new()).map_err(ex)?;
-        Ok(String::new())
-    });
-    cmd!("turbine::store_integer", |_i, ctx: &SharedCtx, argv: &[String]| {
-        need(argv, 3, 3, "turbine::store_integer id value")?;
-        let id = parse_id(&argv[1])?;
-        let v: i64 = argv[2]
-            .trim()
-            .parse()
-            .map_err(|_| ex(format!("store_integer: \"{}\" is not an integer", argv[2])))?;
-        ctx.borrow()
-            .client
-            .store(id, types::encode_integer(v).to_vec())
-            .map_err(ex)?;
-        Ok(String::new())
-    });
-    cmd!("turbine::store_float", |_i, ctx: &SharedCtx, argv: &[String]| {
-        need(argv, 3, 3, "turbine::store_float id value")?;
-        let id = parse_id(&argv[1])?;
-        let v: f64 = argv[2]
-            .trim()
-            .parse()
-            .map_err(|_| ex(format!("store_float: \"{}\" is not a float", argv[2])))?;
-        ctx.borrow()
-            .client
-            .store(id, types::encode_float(v).to_vec())
-            .map_err(ex)?;
-        Ok(String::new())
-    });
-    cmd!("turbine::store_string", |_i, ctx: &SharedCtx, argv: &[String]| {
-        need(argv, 3, 3, "turbine::store_string id value")?;
-        let id = parse_id(&argv[1])?;
-        ctx.borrow()
-            .client
-            .store(id, argv[2].clone().into_bytes())
-            .map_err(ex)?;
-        Ok(String::new())
-    });
-    cmd!("turbine::store_blob", |_i, ctx: &SharedCtx, argv: &[String]| {
-        need(argv, 3, 3, "turbine::store_blob id blobHandle")?;
-        let id = parse_id(&argv[1])?;
-        let h = BlobHandle::parse(&argv[2]).map_err(ex)?;
-        let bytes = {
-            let c = ctx.borrow();
-            let blobs = c.blobs.clone();
-            let b = blobs.borrow();
-            b.get(h).map_err(ex)?.as_bytes().to_vec()
-        };
-        ctx.borrow().client.store(id, bytes).map_err(ex)?;
-        Ok(String::new())
-    });
+    cmd!(
+        "turbine::store_void",
+        |_i, ctx: &SharedCtx, argv: &[String]| {
+            need(argv, 2, 2, "turbine::store_void id")?;
+            let id = parse_id(&argv[1])?;
+            ctx.borrow().client.store(id, Vec::new()).map_err(ex)?;
+            Ok(String::new())
+        }
+    );
+    cmd!(
+        "turbine::store_integer",
+        |_i, ctx: &SharedCtx, argv: &[String]| {
+            need(argv, 3, 3, "turbine::store_integer id value")?;
+            let id = parse_id(&argv[1])?;
+            let v: i64 = argv[2]
+                .trim()
+                .parse()
+                .map_err(|_| ex(format!("store_integer: \"{}\" is not an integer", argv[2])))?;
+            ctx.borrow()
+                .client
+                .store(id, types::encode_integer(v).to_vec())
+                .map_err(ex)?;
+            Ok(String::new())
+        }
+    );
+    cmd!(
+        "turbine::store_float",
+        |_i, ctx: &SharedCtx, argv: &[String]| {
+            need(argv, 3, 3, "turbine::store_float id value")?;
+            let id = parse_id(&argv[1])?;
+            let v: f64 = argv[2]
+                .trim()
+                .parse()
+                .map_err(|_| ex(format!("store_float: \"{}\" is not a float", argv[2])))?;
+            ctx.borrow()
+                .client
+                .store(id, types::encode_float(v).to_vec())
+                .map_err(ex)?;
+            Ok(String::new())
+        }
+    );
+    cmd!(
+        "turbine::store_string",
+        |_i, ctx: &SharedCtx, argv: &[String]| {
+            need(argv, 3, 3, "turbine::store_string id value")?;
+            let id = parse_id(&argv[1])?;
+            ctx.borrow()
+                .client
+                .store(id, argv[2].clone().into_bytes())
+                .map_err(ex)?;
+            Ok(String::new())
+        }
+    );
+    cmd!(
+        "turbine::store_blob",
+        |_i, ctx: &SharedCtx, argv: &[String]| {
+            need(argv, 3, 3, "turbine::store_blob id blobHandle")?;
+            let id = parse_id(&argv[1])?;
+            let h = BlobHandle::parse(&argv[2]).map_err(ex)?;
+            let bytes = {
+                let c = ctx.borrow();
+                let blobs = c.blobs.clone();
+                let b = blobs.borrow();
+                b.get(h).map_err(ex)?.as_bytes().to_vec()
+            };
+            ctx.borrow().client.store(id, bytes).map_err(ex)?;
+            Ok(String::new())
+        }
+    );
 
     // -- scalar retrieves --------------------------------------------------
     fn fetch_closed(ctx: &SharedCtx, id: u64) -> Result<bytes::Bytes, Exception> {
@@ -198,28 +220,42 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
             .map_err(ex)?
             .ok_or_else(|| ex(format!("retrieve of open datum <{id}> (dataflow bug)")))
     }
-    cmd!("turbine::retrieve_integer", |_i, ctx: &SharedCtx, argv: &[String]| {
-        need(argv, 2, 2, "turbine::retrieve_integer id")?;
-        let b = fetch_closed(ctx, parse_id(&argv[1])?)?;
-        types::decode_integer(&b).map(|v| v.to_string()).map_err(ex)
-    });
-    cmd!("turbine::retrieve_float", |_i, ctx: &SharedCtx, argv: &[String]| {
-        need(argv, 2, 2, "turbine::retrieve_float id")?;
-        let b = fetch_closed(ctx, parse_id(&argv[1])?)?;
-        types::decode_float(&b).map(tclish::format_double).map_err(ex)
-    });
-    cmd!("turbine::retrieve_string", |_i, ctx: &SharedCtx, argv: &[String]| {
-        need(argv, 2, 2, "turbine::retrieve_string id")?;
-        let b = fetch_closed(ctx, parse_id(&argv[1])?)?;
-        types::decode_string(&b).map_err(ex)
-    });
-    cmd!("turbine::retrieve_blob", |_i, ctx: &SharedCtx, argv: &[String]| {
-        need(argv, 2, 2, "turbine::retrieve_blob id")?;
-        let b = fetch_closed(ctx, parse_id(&argv[1])?)?;
-        let c = ctx.borrow();
-        let h = c.blobs.borrow_mut().insert(Blob::from_bytes(b.to_vec()));
-        Ok(h.to_token())
-    });
+    cmd!(
+        "turbine::retrieve_integer",
+        |_i, ctx: &SharedCtx, argv: &[String]| {
+            need(argv, 2, 2, "turbine::retrieve_integer id")?;
+            let b = fetch_closed(ctx, parse_id(&argv[1])?)?;
+            types::decode_integer(&b).map(|v| v.to_string()).map_err(ex)
+        }
+    );
+    cmd!(
+        "turbine::retrieve_float",
+        |_i, ctx: &SharedCtx, argv: &[String]| {
+            need(argv, 2, 2, "turbine::retrieve_float id")?;
+            let b = fetch_closed(ctx, parse_id(&argv[1])?)?;
+            types::decode_float(&b)
+                .map(tclish::format_double)
+                .map_err(ex)
+        }
+    );
+    cmd!(
+        "turbine::retrieve_string",
+        |_i, ctx: &SharedCtx, argv: &[String]| {
+            need(argv, 2, 2, "turbine::retrieve_string id")?;
+            let b = fetch_closed(ctx, parse_id(&argv[1])?)?;
+            types::decode_string(&b).map_err(ex)
+        }
+    );
+    cmd!(
+        "turbine::retrieve_blob",
+        |_i, ctx: &SharedCtx, argv: &[String]| {
+            need(argv, 2, 2, "turbine::retrieve_blob id")?;
+            let b = fetch_closed(ctx, parse_id(&argv[1])?)?;
+            let c = ctx.borrow();
+            let h = c.blobs.borrow_mut().insert(Blob::from_bytes(b.to_vec()));
+            Ok(h.to_token())
+        }
+    );
     cmd!("turbine::closed", |_i, ctx: &SharedCtx, argv: &[String]| {
         need(argv, 2, 2, "turbine::closed id")?;
         let id = parse_id(&argv[1])?;
@@ -227,71 +263,100 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
     });
 
     // -- containers --------------------------------------------------------
-    cmd!("turbine::container_insert", |_i, ctx: &SharedCtx, argv: &[String]| {
-        need(argv, 4, 4, "turbine::container_insert id subscript value")?;
-        let id = parse_id(&argv[1])?;
-        ctx.borrow()
-            .client
-            .insert(id, &argv[2], argv[3].clone().into_bytes())
-            .map_err(ex)?;
-        Ok(String::new())
-    });
-    cmd!("turbine::container_lookup", |_i, ctx: &SharedCtx, argv: &[String]| {
-        need(argv, 3, 3, "turbine::container_lookup id subscript")?;
-        let id = parse_id(&argv[1])?;
-        let v = ctx.borrow().client.lookup(id, &argv[2]).map_err(ex)?;
-        match v {
-            Some(b) => types::decode_string(&b).map_err(ex),
-            None => Err(ex(format!(
-                "container <{id}> has no member [{}]",
-                argv[2]
-            ))),
+    cmd!(
+        "turbine::container_insert",
+        |_i, ctx: &SharedCtx, argv: &[String]| {
+            need(argv, 4, 4, "turbine::container_insert id subscript value")?;
+            let id = parse_id(&argv[1])?;
+            ctx.borrow()
+                .client
+                .insert(id, &argv[2], argv[3].clone().into_bytes())
+                .map_err(ex)?;
+            Ok(String::new())
         }
-    });
-    cmd!("turbine::container_keys", |_i, ctx: &SharedCtx, argv: &[String]| {
-        need(argv, 2, 2, "turbine::container_keys id")?;
-        let id = parse_id(&argv[1])?;
-        let pairs = ctx.borrow().client.enumerate(id).map_err(ex)?;
-        let keys: Vec<String> = pairs.into_iter().map(|(k, _)| k).collect();
-        Ok(tclish::format_list(&keys))
-    });
-    cmd!("turbine::container_values", |_i, ctx: &SharedCtx, argv: &[String]| {
-        need(argv, 2, 2, "turbine::container_values id")?;
-        let id = parse_id(&argv[1])?;
-        let pairs = ctx.borrow().client.enumerate(id).map_err(ex)?;
-        let vals: Result<Vec<String>, Exception> = pairs
-            .into_iter()
-            .map(|(_, v)| types::decode_string(&v).map_err(ex))
-            .collect();
-        Ok(tclish::format_list(&vals?))
-    });
-    cmd!("turbine::container_size", |_i, ctx: &SharedCtx, argv: &[String]| {
-        need(argv, 2, 2, "turbine::container_size id")?;
-        let id = parse_id(&argv[1])?;
-        Ok(ctx.borrow().client.enumerate(id).map_err(ex)?.len().to_string())
-    });
-    cmd!("turbine::write_refcount_incr", |_i, ctx: &SharedCtx, argv: &[String]| {
-        need(argv, 3, 3, "turbine::write_refcount_incr id delta")?;
-        let id = parse_id(&argv[1])?;
-        let delta: i64 = argv[2]
-            .trim()
-            .parse()
-            .map_err(|_| ex("write_refcount_incr: bad delta"))?;
-        ctx.borrow().client.incr_writers(id, delta).map_err(ex)?;
-        Ok(String::new())
-    });
-    cmd!("turbine::container_close", |_i, ctx: &SharedCtx, argv: &[String]| {
-        need(argv, 2, 2, "turbine::container_close id")?;
-        let id = parse_id(&argv[1])?;
-        // Closing = dropping the creating scope's writer slot.
-        ctx.borrow().client.incr_writers(id, -1).map_err(ex)?;
-        Ok(String::new())
-    });
+    );
+    cmd!(
+        "turbine::container_lookup",
+        |_i, ctx: &SharedCtx, argv: &[String]| {
+            need(argv, 3, 3, "turbine::container_lookup id subscript")?;
+            let id = parse_id(&argv[1])?;
+            let v = ctx.borrow().client.lookup(id, &argv[2]).map_err(ex)?;
+            match v {
+                Some(b) => types::decode_string(&b).map_err(ex),
+                None => Err(ex(format!("container <{id}> has no member [{}]", argv[2]))),
+            }
+        }
+    );
+    cmd!(
+        "turbine::container_keys",
+        |_i, ctx: &SharedCtx, argv: &[String]| {
+            need(argv, 2, 2, "turbine::container_keys id")?;
+            let id = parse_id(&argv[1])?;
+            let pairs = ctx.borrow().client.enumerate(id).map_err(ex)?;
+            let keys: Vec<String> = pairs.into_iter().map(|(k, _)| k).collect();
+            Ok(tclish::format_list(&keys))
+        }
+    );
+    cmd!(
+        "turbine::container_values",
+        |_i, ctx: &SharedCtx, argv: &[String]| {
+            need(argv, 2, 2, "turbine::container_values id")?;
+            let id = parse_id(&argv[1])?;
+            let pairs = ctx.borrow().client.enumerate(id).map_err(ex)?;
+            let vals: Result<Vec<String>, Exception> = pairs
+                .into_iter()
+                .map(|(_, v)| types::decode_string(&v).map_err(ex))
+                .collect();
+            Ok(tclish::format_list(&vals?))
+        }
+    );
+    cmd!(
+        "turbine::container_size",
+        |_i, ctx: &SharedCtx, argv: &[String]| {
+            need(argv, 2, 2, "turbine::container_size id")?;
+            let id = parse_id(&argv[1])?;
+            Ok(ctx
+                .borrow()
+                .client
+                .enumerate(id)
+                .map_err(ex)?
+                .len()
+                .to_string())
+        }
+    );
+    cmd!(
+        "turbine::write_refcount_incr",
+        |_i, ctx: &SharedCtx, argv: &[String]| {
+            need(argv, 3, 3, "turbine::write_refcount_incr id delta")?;
+            let id = parse_id(&argv[1])?;
+            let delta: i64 = argv[2]
+                .trim()
+                .parse()
+                .map_err(|_| ex("write_refcount_incr: bad delta"))?;
+            ctx.borrow().client.incr_writers(id, delta).map_err(ex)?;
+            Ok(String::new())
+        }
+    );
+    cmd!(
+        "turbine::container_close",
+        |_i, ctx: &SharedCtx, argv: &[String]| {
+            need(argv, 2, 2, "turbine::container_close id")?;
+            let id = parse_id(&argv[1])?;
+            // Closing = dropping the creating scope's writer slot.
+            ctx.borrow().client.incr_writers(id, -1).map_err(ex)?;
+            Ok(String::new())
+        }
+    );
 
     // -- rules & spawning ----------------------------------------------------
     cmd!("turbine::rule", |_i, ctx: &SharedCtx, argv: &[String]| {
         // turbine::rule inputs action ?type? ?priority? ?target?
-        need(argv, 3, 6, "turbine::rule inputs action ?type? ?priority? ?target?")?;
+        need(
+            argv,
+            3,
+            6,
+            "turbine::rule inputs action ?type? ?priority? ?target?",
+        )?;
         let inputs = parse_id_list(&argv[1])?;
         let action = argv[2].clone();
         let kind = match argv.get(3).map(String::as_str).unwrap_or("control") {
@@ -366,7 +431,9 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
     });
 
     // -- embedded interpreters (§III.C) ---------------------------------------
-    cmd!("python", |interp: &mut Interp, ctx: &SharedCtx, argv: &[String]| {
+    cmd!("python", |interp: &mut Interp,
+                    ctx: &SharedCtx,
+                    argv: &[String]| {
         need(argv, 3, 3, "python code expression")?;
         let (result, output) = {
             let mut c = ctx.borrow_mut();
@@ -385,7 +452,9 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
         }
         Ok(result)
     });
-    cmd!("r", |interp: &mut Interp, ctx: &SharedCtx, argv: &[String]| {
+    cmd!("r", |interp: &mut Interp,
+               ctx: &SharedCtx,
+               argv: &[String]| {
         need(argv, 3, 3, "r code expression")?;
         let (result, output) = {
             let mut c = ctx.borrow_mut();
@@ -416,11 +485,16 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
             },
         }
     });
-    cmd!("turbine::argv_exists", |_i, ctx: &SharedCtx, argv: &[String]| {
-        need(argv, 2, 2, "turbine::argv_exists key")?;
-        Ok((ctx.borrow().args.contains_key(&argv[1]) as i64).to_string())
-    });
-    cmd!("turbine::log", |interp: &mut Interp, _ctx: &SharedCtx, argv: &[String]| {
+    cmd!(
+        "turbine::argv_exists",
+        |_i, ctx: &SharedCtx, argv: &[String]| {
+            need(argv, 2, 2, "turbine::argv_exists key")?;
+            Ok((ctx.borrow().args.contains_key(&argv[1]) as i64).to_string())
+        }
+    );
+    cmd!("turbine::log", |interp: &mut Interp,
+                          _ctx: &SharedCtx,
+                          argv: &[String]| {
         let _ = interp;
         let _ = argv;
         Ok(String::new())

@@ -103,6 +103,8 @@ pub struct RankOutput {
     pub stdout: String,
     /// Leaf tasks executed (workers).
     pub tasks_executed: u64,
+    /// Leaf tasks that failed in a contained way (workers).
+    pub tasks_failed: u64,
     /// Rules created (engines).
     pub rules_created: u64,
     /// Rules fired (engines).
@@ -144,6 +146,7 @@ pub fn run_rank_with(
             role,
             stdout: String::new(),
             tasks_executed: 0,
+            tasks_failed: 0,
             rules_created: 0,
             rules_fired: 0,
             interp_inits: 0,
@@ -182,8 +185,7 @@ pub fn run_rank_with(
                     .eval(&program.main)
                     .unwrap_or_else(|e| panic!("program main failed: {e}"));
             }
-            engine_loop(&mut interp, &ctx)
-                .unwrap_or_else(|e| panic!("engine {rank} failed: {e}"));
+            engine_loop(&mut interp, &ctx).unwrap_or_else(|e| panic!("engine {rank} failed: {e}"));
         }
         Role::Worker => {
             worker::worker_loop(&mut interp, &ctx)
@@ -198,6 +200,7 @@ pub fn run_rank_with(
         role,
         stdout,
         tasks_executed: c.tasks_executed,
+        tasks_failed: c.tasks_failed,
         rules_created: c.engine.rules_created,
         rules_fired: c.engine.rules_fired,
         interp_inits: c.interp_inits,
@@ -228,12 +231,21 @@ pub fn engine_loop(interp: &mut Interp, ctx: &SharedCtx) -> Result<(), tclish::T
                 // Global termination with rules still waiting means their
                 // input futures can never close: a dataflow deadlock in
                 // the user program (e.g. reading a never-assigned
-                // variable). Report it like Swift/T does.
-                let waiting = ctx.borrow().engine.rules_waiting();
+                // variable, or a task quarantined after repeated
+                // failures). Report it like Swift/T does, with the
+                // server's quarantine reports when there are any.
+                let c = ctx.borrow();
+                let waiting = c.engine.rules_waiting();
                 if waiting > 0 {
-                    return Err(tclish::TclError::new(format!(
-                        "dataflow deadlock: {waiting} rule(s) never fired;                          some futures were never assigned"
-                    )));
+                    let mut msg = format!(
+                        "dataflow deadlock: {waiting} rule(s) never fired; \
+                         some futures were never assigned"
+                    );
+                    for report in c.client.quarantine_reports() {
+                        msg.push_str("\n  ");
+                        msg.push_str(report);
+                    }
+                    return Err(tclish::TclError::new(msg));
                 }
                 return Ok(());
             }

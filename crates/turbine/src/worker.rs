@@ -4,6 +4,13 @@
 //! `ADLB_Get(WORK)`, evaluating each task's Tcl fragment in its embedded
 //! interpreter. The per-task interpreter policy of §III.C (retain vs.
 //! reinitialize Python/R state) is applied between tasks.
+//!
+//! Task failures are *contained*: an eval error (or an undecodable
+//! payload) is reported to the ADLB server as a negative acknowledgement
+//! — the server retries or quarantines the task per its `RetryPolicy` —
+//! and the worker keeps serving. A failed task may have left the embedded
+//! Python/R interpreters in an arbitrary state, so they are reinitialized
+//! regardless of the configured §III.C policy.
 
 use tclish::{Interp, TclError};
 
@@ -11,7 +18,11 @@ use crate::commands::SharedCtx;
 use crate::types::InterpPolicy;
 
 /// Run the worker loop until global termination. Returns the number of
-/// tasks executed.
+/// tasks executed successfully.
+///
+/// The `Result` is kept for API stability; task failures are contained
+/// (counted in `Ctx::tasks_failed` and reported to the server), so this
+/// never returns `Err`.
 pub fn worker_loop(interp: &mut Interp, ctx: &SharedCtx) -> Result<u64, TclError> {
     let mut count = 0u64;
     loop {
@@ -19,19 +30,39 @@ pub fn worker_loop(interp: &mut Interp, ctx: &SharedCtx) -> Result<u64, TclError
         let Some(task) = task else {
             return Ok(count);
         };
-        let code = String::from_utf8(task.payload.to_vec())
-            .map_err(|_| TclError::new("worker received non-UTF-8 task payload"))?;
-        interp.eval(&code)?;
-        count += 1;
+        let outcome = match String::from_utf8(task.payload.to_vec()) {
+            Ok(code) => interp.eval(&code).map(|_| ()),
+            Err(_) => Err(TclError::new("worker received non-UTF-8 task payload")),
+        };
         let mut c = ctx.borrow_mut();
-        c.tasks_executed += 1;
-        if c.policy == InterpPolicy::Reinitialize {
-            // §III.C: clear interpreter state between tasks. The next task
-            // that needs Python/R pays a fresh initialization; blobs from
-            // the finished task are released.
-            c.python = None;
-            c.r = None;
-            c.blobs.borrow_mut().clear();
+        match outcome {
+            Ok(()) => {
+                count += 1;
+                c.tasks_executed += 1;
+                if c.policy == InterpPolicy::Reinitialize {
+                    // §III.C: clear interpreter state between tasks. The
+                    // next task that needs Python/R pays a fresh
+                    // initialization; blobs from the finished task are
+                    // released.
+                    c.python = None;
+                    c.r = None;
+                    c.blobs.borrow_mut().clear();
+                }
+            }
+            Err(e) => {
+                c.tasks_failed += 1;
+                eprintln!(
+                    "turbine worker {}: task failed (attempt {}): {e}",
+                    c.client.rank(),
+                    task.attempts + 1,
+                );
+                c.client.task_failed(&e.to_string());
+                // The failed fragment may have left embedded interpreter
+                // state half-mutated; force a clean slate.
+                c.python = None;
+                c.r = None;
+                c.blobs.borrow_mut().clear();
+            }
         }
     }
 }
@@ -99,10 +130,7 @@ mod tests {
     #[test]
     fn reinitialize_isolates_state() {
         let (stdout, _, inits) = run_worker(
-            &[
-                "puts [python {x = 10} {x}]",
-                "puts [catch {python {} {x}}]",
-            ],
+            &["puts [python {x = 10} {x}]", "puts [catch {python {} {x}}]"],
             InterpPolicy::Reinitialize,
         );
         assert_eq!(stdout, "10\n1\n", "second task must not see x");
@@ -120,28 +148,56 @@ mod tests {
     }
 
     #[test]
-    fn task_errors_propagate() {
+    fn task_errors_are_contained() {
+        // A task that always errors must not kill the worker: it is
+        // reported failed, retried to the server's budget, quarantined —
+        // and a healthy task put afterwards still runs.
         let layout = Layout::new(3, 1);
         let out = World::run(3, move |comm| {
             let rank = comm.rank();
             if layout.is_server(rank) {
-                adlb::serve(comm, layout, adlb::ServerConfig::default());
-                return None;
+                let stats = adlb::serve(comm, layout, adlb::ServerConfig::default());
+                return Some((stats.tasks_retried, stats.tasks_quarantined, 0));
             }
             if rank == 0 {
                 let mut client = AdlbClient::new(comm, layout);
-                client.put(adlb::WORK_TYPE_WORK, 0, Some(1), b"error kaboom".to_vec());
+                client.put(adlb::WORK_TYPE_WORK, 9, Some(1), b"error kaboom".to_vec());
+                client.put(adlb::WORK_TYPE_WORK, 0, Some(1), b"puts healthy".to_vec());
                 client.finish();
                 return None;
             }
             let client = AdlbClient::new(comm, layout);
             let ctx = Ctx::new(client, false, InterpPolicy::Retain);
             let mut interp = Interp::new();
+            let buf = interp.capture_output();
             commands::register(&mut interp, ctx.clone());
-            let err = super::worker_loop(&mut interp, &ctx).unwrap_err();
-            ctx.borrow_mut().client.finish();
-            Some(err.message)
+            let n = super::worker_loop(&mut interp, &ctx).expect("contained loop never errs");
+            let failed = ctx.borrow().tasks_failed;
+            assert_eq!(buf.borrow().as_str(), "healthy\n");
+            Some((failed, n, 1))
         });
-        assert_eq!(out.into_iter().flatten().next().unwrap(), "kaboom");
+        // Default RetryPolicy: max_retries = 3, so the poison task fails
+        // once fresh + 3 retries before quarantine.
+        let (failed, executed, _) = out[1].unwrap();
+        assert_eq!(failed, 4);
+        assert_eq!(executed, 1);
+        let (retried, quarantined, _) = out[2].unwrap();
+        assert_eq!(retried, 3);
+        assert_eq!(quarantined, 1);
+    }
+
+    #[test]
+    fn failed_task_forces_interpreter_reset() {
+        // Python state set by a task must not survive a later failed task
+        // even under the Retain policy.
+        let (stdout, _, _) = run_worker(
+            &[
+                "puts [python {x = 5} {x}]",
+                "error boom",
+                "puts [catch {python {} {x}}]",
+            ],
+            InterpPolicy::Retain,
+        );
+        assert_eq!(stdout, "5\n1\n", "x must be gone after the failed task");
     }
 }

@@ -37,7 +37,9 @@ fn main() {
         // L2 norm.
         .function("norm", |args| {
             let x = args[0].as_blob()?.to_f64s().map_err(|e| e.to_string())?;
-            Ok(NativeArg::Float(x.iter().map(|v| v * v).sum::<f64>().sqrt()))
+            Ok(NativeArg::Float(
+                x.iter().map(|v| v * v).sum::<f64>().sqrt(),
+            ))
         })
         // Build the n×n circulant (periodic) 1-D Laplacian as a
         // self-describing Fortran array blob; sampled sines are its exact

@@ -29,7 +29,10 @@ fn main() {
 
     // --- scenario 1: exec-per-task vs embedded -------------------------
     println!("scenario 1: one Python task per rank, four tasks each");
-    println!("{:<8} {:>16} {:>16} {:>8}", "ranks", "exec (sim ms)", "embedded (ms)", "ratio");
+    println!(
+        "{:<8} {:>16} {:>16} {:>8}",
+        "ranks", "exec (sim ms)", "embedded (ms)", "ratio"
+    );
     for &ranks in RANKS {
         // exec path: interpreter + 40 module opens per task.
         let fs = Arc::new(Pfs::new(PfsConfig::default()));
@@ -72,12 +75,17 @@ fn main() {
     // --- scenario 2: package trees vs static bundles --------------------
     println!();
     println!("scenario 2: job startup, 60-file Tcl package tree per rank");
-    println!("{:<8} {:>16} {:>16} {:>12}", "ranks", "tree (sim ms)", "bundle (ms)", "md ops saved");
+    println!(
+        "{:<8} {:>16} {:>16} {:>12}",
+        "ranks", "tree (sim ms)", "bundle (ms)", "md ops saved"
+    );
     for &ranks in RANKS {
         let fs = Arc::new(Pfs::new(PfsConfig::default()));
         let mut admin = fs.client();
         for i in 0..60 {
-            admin.put(&format!("/pkg/f{i}.tcl"), &vec![0u8; 2000]).unwrap();
+            admin
+                .put(&format!("/pkg/f{i}.tcl"), &vec![0u8; 2000])
+                .unwrap();
         }
         let mut tree_ms = 0u64;
         for _ in 0..ranks {

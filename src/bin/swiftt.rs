@@ -10,6 +10,8 @@
 //!   -e, --engines N      engines (default 1)
 //!       --reinitialize   reinitialize Python/R interpreters per task
 //!       --no-steal       disable ADLB work stealing
+//!       --faults SPEC    inject faults (kill:rank=R,sends=N; drop:...)
+//!       --max-retries K  requeue a failed task at most K times
 //!       --emit-tcl       print the compiled Turbine code and exit
 //!       --report         print the run report after program output
 //!   -h, --help           this text
@@ -21,7 +23,7 @@
 
 use std::process::ExitCode;
 
-use swiftt::core::{InterpPolicy, Runtime, SwiftTError};
+use swiftt::core::{FaultPlan, InterpPolicy, Runtime, SwiftTError};
 
 struct Options {
     ranks: usize,
@@ -29,6 +31,8 @@ struct Options {
     engines: usize,
     policy: InterpPolicy,
     steal: bool,
+    faults: FaultPlan,
+    max_retries: Option<u32>,
     emit_tcl: bool,
     report: bool,
     args: Vec<(String, String)>,
@@ -50,6 +54,12 @@ options:
   -e, --engines N      engines (default 1)
       --reinitialize   reinitialize Python/R interpreters per task
       --no-steal       disable ADLB work stealing
+      --faults SPEC    inject faults; SPEC is ';'-separated clauses:
+                         kill:rank=R,sends=N   kill R after its Nth send
+                         kill:rank=R,recvs=N   kill R at its (N+1)th recv
+                         drop:from=A,to=B,nth=N       drop Nth A->B message
+                         delay:from=A,to=B,nth=N,ms=M delay it by M ms
+      --max-retries K  requeue a failed task at most K times (default 3)
       --arg K=V        program argument, readable as argv(\"K\")
       --emit-tcl       print the compiled Turbine code and exit
       --report         print the run report after program output
@@ -62,6 +72,8 @@ fn parse_args() -> Result<Options, String> {
         engines: 1,
         policy: InterpPolicy::Retain,
         steal: true,
+        faults: FaultPlan::new(),
+        max_retries: None,
         emit_tcl: false,
         report: false,
         args: Vec::new(),
@@ -81,6 +93,18 @@ fn parse_args() -> Result<Options, String> {
             "-e" | "--engines" => opts.engines = num("--engines")?,
             "--reinitialize" => opts.policy = InterpPolicy::Reinitialize,
             "--no-steal" => opts.steal = false,
+            "--faults" => {
+                let spec = args.next().ok_or("--faults needs a spec")?;
+                opts.faults = FaultPlan::parse(&spec).map_err(|e| format!("--faults: {e}"))?;
+            }
+            "--max-retries" => {
+                opts.max_retries = Some(
+                    args.next()
+                        .ok_or("--max-retries needs a value")?
+                        .parse()
+                        .map_err(|_| "--max-retries needs an integer".to_string())?,
+                );
+            }
             "--emit-tcl" => opts.emit_tcl = true,
             "--report" => opts.report = true,
             "--arg" => {
@@ -157,7 +181,11 @@ fn main() -> ExitCode {
         .servers(opts.servers)
         .engines(opts.engines)
         .policy(opts.policy)
-        .work_stealing(opts.steal);
+        .work_stealing(opts.steal)
+        .faults(opts.faults.clone());
+    if let Some(k) = opts.max_retries {
+        rt = rt.max_retries(k);
+    }
     for (k, v) in &opts.args {
         rt = rt.arg(k, v);
     }
@@ -165,13 +193,31 @@ fn main() -> ExitCode {
         Ok(result) => {
             print!("{}", result.stdout);
             if opts.report {
+                let servers = result.server_totals();
                 eprintln!("--- swiftt report ---------------------------");
                 eprintln!("ranks              : {}", opts.ranks);
                 eprintln!("leaf tasks         : {}", result.total_tasks());
                 eprintln!("rules fired        : {}", result.total_rules_fired());
                 eprintln!("busy workers       : {}", result.busy_workers());
-                eprintln!("messages / bytes   : {} / {}", result.messages, result.bytes);
+                eprintln!(
+                    "messages / bytes   : {} / {}",
+                    result.messages, result.bytes
+                );
                 eprintln!("wall time          : {:?}", result.elapsed);
+                if !result.killed_ranks.is_empty()
+                    || result.total_tasks_failed() > 0
+                    || servers.protocol_errors > 0
+                {
+                    eprintln!("killed ranks       : {:?}", result.killed_ranks);
+                    eprintln!("ranks failed (srv) : {}", servers.ranks_failed);
+                    eprintln!("tasks failed       : {}", result.total_tasks_failed());
+                    eprintln!(
+                        "requeued / retried : {} / {}",
+                        servers.tasks_requeued, servers.tasks_retried
+                    );
+                    eprintln!("quarantined        : {}", servers.tasks_quarantined);
+                    eprintln!("protocol errors    : {}", servers.protocol_errors);
+                }
             }
             ExitCode::SUCCESS
         }

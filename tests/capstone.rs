@@ -101,8 +101,11 @@ fn cross_array_pipelines_are_fine() {
         "#,
         )
         .unwrap();
-    assert_eq!(r.stdout, "trace: 2
-");
+    assert_eq!(
+        r.stdout,
+        "trace: 2
+"
+    );
 }
 
 #[test]

@@ -56,10 +56,7 @@ fn emit_tcl_prints_turbine_code() {
 
 #[test]
 fn compile_error_sets_exit_code() {
-    let out = swiftt()
-        .args(["--expr", "int x = nope;"])
-        .output()
-        .unwrap();
+    let out = swiftt().args(["--expr", "int x = nope;"]).output().unwrap();
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("undefined"), "{stderr}");

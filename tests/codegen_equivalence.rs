@@ -131,8 +131,16 @@ fn comparison_matrix_matches_oracle() {
     let mut idx = 0;
     for &a in &vals {
         for &b in &vals {
-            let a_e = if a < 0 { format!("(0 - {})", -a) } else { a.to_string() };
-            let b_e = if b < 0 { format!("(0 - {})", -b) } else { b.to_string() };
+            let a_e = if a < 0 {
+                format!("(0 - {})", -a)
+            } else {
+                a.to_string()
+            };
+            let b_e = if b < 0 {
+                format!("(0 - {})", -b)
+            } else {
+                b.to_string()
+            };
             for (op, v) in [
                 ("<", (a < b) as i64),
                 ("<=", (a <= b) as i64),

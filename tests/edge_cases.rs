@@ -60,7 +60,10 @@ fn failing_shell_command_is_an_error() {
         .unwrap_err();
     match err {
         SwiftTError::Runtime(m) => {
-            assert!(m.contains("exited abnormally") || m.contains("child"), "{m}")
+            assert!(
+                m.contains("exited abnormally") || m.contains("child"),
+                "{m}"
+            )
         }
         other => panic!("{other:?}"),
     }

@@ -1,0 +1,149 @@
+//! End-to-end fault tolerance: rank kills, message delays, and poison
+//! tasks injected into full Swift programs running through the whole
+//! stack (stc → turbine → adlb → mpisim).
+//!
+//! The invariant under test is the one argued in
+//! `crates/adlb/tests/stress.rs`: a task's execution happens strictly
+//! between the receive that delivered it and the acknowledgement the
+//! next `get()` piggybacks, so a rank death either requeues an
+//! unexecuted lease (runs elsewhere) or lands after the ack (never
+//! reruns). At this level we observe it as: the run terminates, and no
+//! surviving rank's output contains a duplicated task.
+
+use std::process::Command;
+
+use swiftt::core::{FaultPlan, Runtime, SwiftTError};
+
+/// Sorted, deduplicated stdout lines (a killed rank's buffered output is
+/// lost with it, so survivors' lines are what we can assert about).
+fn unique_lines(stdout: &str) -> Vec<&str> {
+    let mut lines: Vec<&str> = stdout.lines().collect();
+    let before = lines.len();
+    lines.sort_unstable();
+    lines.dedup();
+    assert_eq!(lines.len(), before, "duplicate output lines: {lines:?}");
+    lines
+}
+
+#[test]
+fn early_worker_death_loses_no_tasks() {
+    // Rank layout for new(6): engine 0, workers 1..=4, server 5. Kill
+    // worker 2 at its very first receive: it has executed nothing, so
+    // every task must surface from the survivors.
+    let plan = FaultPlan::new().kill_after_recvs(2, 0);
+    let r = Runtime::new(6)
+        .faults(plan)
+        .run(r#"foreach i in [0:19] { printf("task %d", i); }"#)
+        .expect("run must survive the dead worker");
+    assert_eq!(r.killed_ranks, vec![2]);
+    assert_eq!(r.server_totals().ranks_failed, 1);
+    assert_eq!(
+        unique_lines(&r.stdout).len(),
+        20,
+        "all 20 tasks ran on survivors"
+    );
+}
+
+#[test]
+fn mid_run_worker_death_terminates_without_duplicates() {
+    // Kill worker 3 midway through its task stream. Tasks it fully
+    // executed may lose their buffered stdout with the rank; the leased
+    // task it died holding is requeued. Either way the run terminates
+    // and no surviving rank prints a task twice.
+    let plan = FaultPlan::new().kill_after_recvs(3, 12);
+    let r = Runtime::new(6)
+        .faults(plan)
+        .run(r#"foreach i in [0:39] { printf("task %d", i); }"#)
+        .expect("run must survive a mid-run worker death");
+    assert!(
+        r.killed_ranks.is_empty() || r.killed_ranks == vec![3],
+        "only the scheduled victim may die: {:?}",
+        r.killed_ranks
+    );
+    let lines = unique_lines(&r.stdout);
+    assert!(lines.len() <= 40);
+    if r.killed_ranks.is_empty() {
+        assert_eq!(lines.len(), 40, "no death, no loss");
+    }
+}
+
+#[test]
+fn delayed_messages_do_not_break_exactly_once() {
+    // Delays reorder nothing (delivery is still per-pair FIFO) but
+    // stretch the schedule; the run must still produce every task once.
+    let plan = FaultPlan::new()
+        .delay_nth(1, 4, 2, 30)
+        .delay_nth(2, 4, 3, 20);
+    let r = Runtime::new(5)
+        .faults(plan)
+        .run(r#"foreach i in [0:19] { printf("task %d", i); }"#)
+        .expect("delays must not break the run");
+    assert!(r.killed_ranks.is_empty());
+    assert_eq!(unique_lines(&r.stdout).len(), 20);
+}
+
+#[test]
+fn poison_task_quarantined_with_bounded_retries() {
+    // A task that fails deterministically (NameError in the embedded
+    // Python) is retried to the configured budget, quarantined, and the
+    // worker keeps running — so the machine shuts down cleanly and the
+    // engine diagnoses the unfilled future instead of a rank crashing.
+    let err = Runtime::new(4)
+        .max_retries(1)
+        .run(
+            r#"
+            string x = python("", "name_that_is_not_defined");
+            printf("never: %s", x);
+        "#,
+        )
+        .unwrap_err();
+    match err {
+        SwiftTError::Runtime(m) => {
+            assert!(m.contains("deadlock"), "expected dataflow deadlock: {m}");
+            assert!(
+                m.contains("quarantined after 2 attempts"),
+                "budget of 1 retry = 2 attempts: {m}"
+            );
+            assert!(
+                m.contains("name_that_is_not_defined"),
+                "original task error must surface: {m}"
+            );
+        }
+        other => panic!("expected a runtime error, got {other:?}"),
+    }
+}
+
+#[test]
+fn cli_faults_flag_reports_counters() {
+    let out = Command::new(env!("CARGO_BIN_EXE_swiftt"))
+        .args([
+            "--expr",
+            r#"foreach i in [0:9] { printf("t%d", i); }"#,
+            "-n",
+            "6",
+            "--faults",
+            "kill:rank=2,recvs=0",
+            "--max-retries",
+            "5",
+            "--report",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 10, "all tasks ran on survivors");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("killed ranks       : [2]"), "{stderr}");
+    assert!(stderr.contains("ranks failed (srv) : 1"), "{stderr}");
+}
+
+#[test]
+fn cli_rejects_malformed_fault_spec() {
+    let out = Command::new(env!("CARGO_BIN_EXE_swiftt"))
+        .args(["--expr", "trace(1);", "--faults", "explode:everything"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--faults"), "{stderr}");
+}

@@ -123,9 +123,7 @@ fn native_library_with_blobs() {
             if a.len() != b.len() {
                 return Err("length mismatch".into());
             }
-            Ok(NativeArg::Float(
-                a.iter().zip(&b).map(|(x, y)| x * y).sum(),
-            ))
+            Ok(NativeArg::Float(a.iter().zip(&b).map(|(x, y)| x * y).sum()))
         });
     let r = Runtime::new(3)
         .native_library(lib)
@@ -145,9 +143,8 @@ fn native_library_with_blobs() {
 
 #[test]
 fn all_languages_in_one_program() {
-    let lib = NativeLibrary::new("nat", "1.0").function("triple", |args| {
-        Ok(NativeArg::Int(args[0].as_i64()? * 3))
-    });
+    let lib = NativeLibrary::new("nat", "1.0")
+        .function("triple", |args| Ok(NativeArg::Int(args[0].as_i64()? * 3)));
     let r = Runtime::new(4)
         .native_library(lib)
         .run(

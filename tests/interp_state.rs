@@ -80,9 +80,7 @@ fn r_interpreter_follows_the_same_policy() {
         .run(src)
         .unwrap();
     assert_eq!(retain.stdout, "5 10\n");
-    let reinit = Runtime::new(3)
-        .policy(InterpPolicy::Reinitialize)
-        .run(src);
+    let reinit = Runtime::new(3).policy(InterpPolicy::Reinitialize).run(src);
     assert!(reinit.is_err(), "R state must not survive reinitialize");
 }
 

@@ -58,11 +58,7 @@ fn recursive_tree_spawns_leaf_work() {
         )
         .unwrap();
     assert_eq!(r.stdout, "32\n");
-    let leaf_tasks = r
-        .outputs
-        .iter()
-        .map(|o| o.tasks_executed)
-        .sum::<u64>();
+    let leaf_tasks = r.outputs.iter().map(|o| o.tasks_executed).sum::<u64>();
     // 32 unit leaves + 1 printf.
     assert_eq!(leaf_tasks, 33);
 }

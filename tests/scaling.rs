@@ -68,10 +68,7 @@ fn multiple_servers_share_the_load() {
 fn multiple_engines_split_control() {
     // Loop splitting spawns distributable control tasks; with 2 engines
     // the second picks some up.
-    let r = Runtime::new(10)
-        .engines(2)
-        .run(&task_bag(64))
-        .unwrap();
+    let r = Runtime::new(10).engines(2).run(&task_bag(64)).unwrap();
     assert_eq!(squares_from(&r.stdout), expected_squares(64));
     let engine_rules: Vec<u64> = r
         .outputs

@@ -331,10 +331,7 @@ fn string_arrays_with_awkward_values() {
     "#);
     let mut lines: Vec<&str> = out.lines().collect();
     lines.sort();
-    assert_eq!(
-        lines,
-        vec!["0=plain", "1=two words", "2=with {braces}"]
-    );
+    assert_eq!(lines, vec!["0=plain", "1=two words", "2=with {braces}"]);
 }
 
 #[test]

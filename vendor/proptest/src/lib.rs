@@ -1,0 +1,145 @@
+//! Minimal stand-in for `proptest`.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the subset of the proptest 1.x API the workspace uses: the `proptest!`
+//! macro (with `#![proptest_config]`), `Strategy` with `prop_map` /
+//! `prop_recursive` / `boxed`, `Just`, `prop_oneof!`, `any::<T>()`,
+//! numeric range strategies, regex-subset string strategies, and
+//! `proptest::collection::vec`.
+//!
+//! Differences from the real crate: generation is a deterministic
+//! pseudo-random stream seeded from the test's module path and name (so
+//! failures reproduce exactly under `cargo test`), and there is **no
+//! shrinking** — the failing input is printed instead. Case count comes
+//! from `ProptestConfig::cases`, overridable with the `PROPTEST_CASES`
+//! environment variable.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Run each listed test function against many generated inputs.
+///
+/// Supports the form
+/// `proptest! { #![proptest_config(expr)] #[test] fn name(x in strategy, ..) { body } .. }`
+/// with the config attribute optional.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( cfg = ($cfg:expr);
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                // Bind each strategy once under the argument's own name;
+                // the per-case value binding below shadows it.
+                $(let $arg = ($strat);)+
+                for __case in 0..__config.cases() {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng);)+
+                    let __desc = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    // The body may `return Err(TestCaseError::..)` / `Ok(())`
+                    // early, like real proptest; a plain `()` body falls
+                    // through to the trailing Ok.
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                                $body
+                                #[allow(unreachable_code)]
+                                return ::std::result::Result::Ok(());
+                            },
+                        ),
+                    );
+                    match __outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(__fail)) => {
+                            panic!(
+                                "proptest stand-in: {} failed at case {}/{} with input: {}: {}",
+                                stringify!($name),
+                                __case + 1,
+                                __config.cases(),
+                                __desc,
+                                __fail
+                            );
+                        }
+                        Err(__panic) => {
+                            eprintln!(
+                                "proptest stand-in: {} failed at case {}/{} with input: {}",
+                                stringify!($name),
+                                __case + 1,
+                                __config.cases(),
+                                __desc
+                            );
+                            ::std::panic::resume_unwind(__panic);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Choose uniformly among the listed strategies (all of one value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Assert inside a `proptest!` body (no early-return machinery needed
+/// here — a failed assertion panics and the harness reports the input).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}

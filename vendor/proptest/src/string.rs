@@ -1,0 +1,260 @@
+//! Generation of strings matching a small regex subset.
+//!
+//! Supported syntax: literal characters, `.` (any printable char, no
+//! newline), character classes `[...]` with ranges/escapes/leading-`^`
+//! negation, escapes `\\x`, and the quantifiers `{m}`, `{m,n}`, `*`, `+`,
+//! `?`. Alternation and groups are not supported (the workspace's
+//! patterns do not use them); unrecognized metacharacters generate
+//! themselves literally.
+
+use crate::test_runner::TestRng;
+
+enum Set {
+    /// `.`: any printable character except newline.
+    Any,
+    /// A single literal character.
+    Lit(char),
+    /// `[...]`: inclusive code-point ranges, possibly negated.
+    Class {
+        ranges: Vec<(u32, u32)>,
+        negated: bool,
+    },
+}
+
+struct Atom {
+    set: Set,
+    min: usize,
+    max: usize,
+}
+
+/// Non-ASCII sprinkle for `.`, so interpreter robustness tests see some
+/// multi-byte UTF-8 without drowning in it.
+const EXOTIC: &[char] = &['é', 'ß', 'λ', '∑', '中', '🦀'];
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '.' => {
+                i += 1;
+                Set::Any
+            }
+            '\\' if i + 1 < chars.len() => {
+                let c = chars[i + 1];
+                i += 2;
+                Set::Lit(unescape(c))
+            }
+            '[' => {
+                i += 1;
+                let negated = i < chars.len() && chars[i] == '^';
+                if negated {
+                    i += 1;
+                }
+                let mut ranges = Vec::new();
+                let mut first = true;
+                while i < chars.len() && (chars[i] != ']' || first) {
+                    first = false;
+                    let lo = if chars[i] == '\\' && i + 1 < chars.len() {
+                        i += 1;
+                        let c = unescape(chars[i]);
+                        i += 1;
+                        c
+                    } else {
+                        let c = chars[i];
+                        i += 1;
+                        c
+                    };
+                    // `a-z` range, unless `-` is the class's last char.
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        i += 1;
+                        let hi = if chars[i] == '\\' && i + 1 < chars.len() {
+                            i += 1;
+                            let c = unescape(chars[i]);
+                            i += 1;
+                            c
+                        } else {
+                            let c = chars[i];
+                            i += 1;
+                            c
+                        };
+                        ranges.push((lo as u32, hi as u32));
+                    } else {
+                        ranges.push((lo as u32, lo as u32));
+                    }
+                }
+                if i < chars.len() {
+                    i += 1; // closing ']'
+                }
+                if ranges.is_empty() {
+                    ranges.push((b' ' as u32, b'~' as u32));
+                }
+                Set::Class { ranges, negated }
+            }
+            c => {
+                i += 1;
+                Set::Lit(c)
+            }
+        };
+
+        // Quantifier, if any.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '*' => {
+                    i += 1;
+                    (0, 16)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 17)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '{' => {
+                    let close = chars[i..].iter().position(|&c| c == '}');
+                    match close {
+                        Some(off) => {
+                            let body: String = chars[i + 1..i + off].iter().collect();
+                            i += off + 1;
+                            parse_counts(&body)
+                        }
+                        None => {
+                            i += 1;
+                            (1, 1)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+fn parse_counts(body: &str) -> (usize, usize) {
+    match body.split_once(',') {
+        Some((m, n)) => {
+            let m = m.trim().parse().unwrap_or(0);
+            let n = n.trim().parse().unwrap_or(m + 16);
+            (m, n.max(m))
+        }
+        None => {
+            let m = body.trim().parse().unwrap_or(1);
+            (m, m)
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn gen_char(set: &Set, rng: &mut TestRng) -> char {
+    match set {
+        Set::Lit(c) => *c,
+        Set::Any => {
+            // Mostly printable ASCII, a dash of tab and non-ASCII.
+            match rng.below(20) {
+                0 => '\t',
+                1 => EXOTIC[rng.below(EXOTIC.len() as u64) as usize],
+                _ => (b' ' + rng.below(95) as u8) as char,
+            }
+        }
+        Set::Class { ranges, negated } => {
+            if *negated {
+                // Rejection-sample printable ASCII outside the ranges.
+                for _ in 0..64 {
+                    let c = (b' ' + rng.below(95) as u8) as char;
+                    if !ranges
+                        .iter()
+                        .any(|&(lo, hi)| (lo..=hi).contains(&(c as u32)))
+                    {
+                        return c;
+                    }
+                }
+                return 'x';
+            }
+            let idx = rng.below(ranges.len() as u64) as usize;
+            let (lo, hi) = ranges[idx];
+            let span = hi.saturating_sub(lo) as u64 + 1;
+            char::from_u32(lo + rng.below(span) as u32).unwrap_or('?')
+        }
+    }
+}
+
+/// Generate one string matching `pattern` (within the supported subset).
+pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let span = (atom.max - atom.min) as u64 + 1;
+        let n = atom.min + rng.below(span) as usize;
+        for _ in 0..n {
+            out.push(gen_char(&atom.set, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn counted_any() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_pattern(".{0,12}", &mut r);
+            assert!(s.chars().count() <= 12);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn ascii_class_range() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_pattern("[ -~]{0,12}", &mut r);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_class_members() {
+        let mut r = rng();
+        let allowed: Vec<char> = "-+*/%()0123456789abcdefghijklmnopqrstuvwxyz $.[]{}\""
+            .chars()
+            .collect();
+        for _ in 0..200 {
+            let s = generate_pattern("[-+*/%()0-9a-z $.\\[\\]{}\"]{0,60}", &mut r);
+            assert!(s.chars().all(|c| allowed.contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn star_plus_question_literals() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_pattern("ab?c*d+", &mut r);
+            assert!(s.starts_with('a'));
+            assert!(s.ends_with('d'));
+        }
+    }
+}
