@@ -1,5 +1,7 @@
 //! The client-side API: what engines and workers call.
 
+use std::collections::VecDeque;
+
 use bytes::Bytes;
 use mpisim::{Comm, Rank, TagSel};
 
@@ -7,20 +9,77 @@ use crate::datastore::DataError;
 use crate::layout::Layout;
 use crate::msg::{Request, Response, Task, TAG_REQ, TAG_RESP};
 
+/// Client-side batching knobs for the pipelined wire protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Maximum tasks requested per `Get` round trip. Tasks beyond the
+    /// first land in a local prefetch deque and are handed out with no
+    /// further server traffic; their lease acknowledgements batch into
+    /// one message on the next server trip. 1 disables prefetch (one
+    /// task per round trip).
+    pub prefetch: u32,
+    /// Buffer up to this many puts and ship them as one `PutBatch` with a
+    /// single ack. 0 (the default) keeps puts eager — each put is its own
+    /// acknowledged round trip — which preserves the externally visible
+    /// submission order interactive callers rely on. Buffered puts are
+    /// always flushed before any other server round trip, so a client
+    /// never parks or reads data while holding unsubmitted work.
+    pub put_buffer: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            prefetch: 8,
+            put_buffer: 0,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// PR 1 wire behavior: one task per round trip, eager puts. The E5
+    /// ablation knob.
+    pub fn unbatched() -> Self {
+        ClientConfig {
+            prefetch: 1,
+            put_buffer: 0,
+        }
+    }
+}
+
 /// A client (engine or worker) handle onto the ADLB subsystem.
 ///
 /// All operations are synchronous request/response with a server, exactly
 /// like the real ADLB C API (`ADLB_Put`, `ADLB_Get`, `ADLB_Store`, ...).
+/// Unlike the one-message-per-task PR 1 protocol, gets prefetch batches of
+/// tasks and lease acknowledgements ride back in batches (see
+/// [`ClientConfig`]); `DESIGN.md` documents the batched wire protocol.
 pub struct AdlbClient {
     comm: Comm,
     layout: Layout,
     my_server: Rank,
+    config: ClientConfig,
     shutdown_seen: bool,
     finished_sent: bool,
-    /// A task was delivered and its lease not yet acknowledged. The ack
-    /// piggybacks on the next `get`/`finish` (success) or is sent
-    /// explicitly by [`AdlbClient::task_failed`].
-    lease_outstanding: bool,
+    /// A task was handed to the caller and its outcome not yet recorded.
+    /// `get`/`finish` record success; [`AdlbClient::task_failed`] records
+    /// a contained failure.
+    handed_out: bool,
+    /// Tasks delivered by the server but not yet handed to the caller.
+    /// Invariant: the server's lease deque for this rank is exactly [the
+    /// handed-out task if any] + [unsent `pending_acks`]... followed by
+    /// this deque, so acks flushed in order always release the oldest
+    /// lease first.
+    prefetch: VecDeque<Task>,
+    /// Recorded task outcomes not yet shipped to the server. Flushed (as
+    /// one `TaskDoneBatch`) before any server round trip.
+    pending_acks: Vec<(bool, String)>,
+    /// Buffered puts awaiting a flush (only when `config.put_buffer > 0`).
+    put_buf: Vec<Task>,
+    /// Cached encoding of the last `Get` request; work types are almost
+    /// always identical call-to-call, so this skips both the `to_vec` and
+    /// the re-encode on the hot path.
+    cached_get: Option<(Vec<u32>, Bytes)>,
     /// Quarantine reports the server attached to its shutdown notice:
     /// tasks that exhausted their retry budget, with the error that
     /// killed the last attempt.
@@ -29,19 +88,32 @@ pub struct AdlbClient {
 }
 
 impl AdlbClient {
-    /// Create the handle for this rank.
+    /// Create the handle for this rank with default batching.
     ///
     /// # Panics
     /// Panics if called on a server rank.
     pub fn new(comm: Comm, layout: Layout) -> Self {
+        Self::with_config(comm, layout, ClientConfig::default())
+    }
+
+    /// Create the handle with explicit batching knobs.
+    ///
+    /// # Panics
+    /// Panics if called on a server rank.
+    pub fn with_config(comm: Comm, layout: Layout, config: ClientConfig) -> Self {
         let my_server = layout.server_of(comm.rank());
         AdlbClient {
             comm,
             layout,
             my_server,
+            config,
             shutdown_seen: false,
             finished_sent: false,
-            lease_outstanding: false,
+            handed_out: false,
+            prefetch: VecDeque::new(),
+            pending_acks: Vec::new(),
+            put_buf: Vec::new(),
+            cached_get: None,
             quarantine_reports: Vec::new(),
             next_id: 0,
         }
@@ -64,59 +136,119 @@ impl AdlbClient {
         id
     }
 
-    fn request(&self, server: Rank, req: &Request) -> Response {
+    /// One acknowledged round trip. Buffered puts and pending acks are
+    /// flushed first so the server observes this client's operations in
+    /// program order (non-overtaking delivery makes the flushed messages
+    /// land before `req`).
+    fn request(&mut self, server: Rank, req: &Request) -> Response {
+        self.flush_puts();
+        self.flush_acks();
         self.comm.send(server, TAG_REQ, req.encode());
         let m = self.comm.recv(server, TagSel::Of(TAG_RESP));
-        Response::decode(&m.data).expect("bad server response")
+        Response::decode_shared(&m.data).expect("bad server response")
     }
 
-    fn data_request(&self, id: u64, req: &Request) -> Response {
+    fn data_request(&mut self, id: u64, req: &Request) -> Response {
         self.request(self.layout.data_owner(id), req)
     }
 
     // -- work -------------------------------------------------------------
 
     /// Submit a task. `target` pins it to a rank; `priority` is
-    /// higher-runs-first.
-    pub fn put(&self, work_type: u32, priority: i32, target: Option<Rank>, payload: Vec<u8>) {
-        let resp = self.request(
-            self.my_server,
-            &Request::Put(Task::new(work_type, priority, target, Bytes::from(payload))),
-        );
+    /// higher-runs-first. With `put_buffer > 0` the task may sit in the
+    /// local buffer until the next flush point (buffer full, any other
+    /// server round trip, or [`AdlbClient::flush`]).
+    pub fn put(&mut self, work_type: u32, priority: i32, target: Option<Rank>, payload: Vec<u8>) {
+        let task = Task::new(work_type, priority, target, Bytes::from(payload));
+        if self.config.put_buffer == 0 {
+            let resp = self.request(self.my_server, &Request::Put(task));
+            Self::expect_put_ok(self.comm.rank(), resp);
+        } else {
+            self.put_buf.push(task);
+            if self.put_buf.len() >= self.config.put_buffer {
+                self.flush_puts();
+            }
+        }
+    }
+
+    /// Submit many tasks as one pipelined wire message with a single ack —
+    /// one round trip no matter how many tasks.
+    pub fn put_batch(&mut self, tasks: Vec<Task>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let resp = self.request(self.my_server, &Request::PutBatch(tasks));
+        Self::expect_put_ok(self.comm.rank(), resp);
+    }
+
+    /// Force out any buffered puts now.
+    pub fn flush(&mut self) {
+        self.flush_puts();
+    }
+
+    fn flush_puts(&mut self) {
+        if self.put_buf.is_empty() {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.put_buf);
+        let req = if batch.len() == 1 {
+            Request::Put(batch.pop().unwrap())
+        } else {
+            Request::PutBatch(batch)
+        };
+        // Direct send/recv: request() would recurse into this flush.
+        self.comm.send(self.my_server, TAG_REQ, req.encode());
+        let m = self.comm.recv(self.my_server, TagSel::Of(TAG_RESP));
+        let resp = Response::decode(&m.data).expect("bad server response");
+        Self::expect_put_ok(self.comm.rank(), resp);
+    }
+
+    fn expect_put_ok(rank: Rank, resp: Response) {
         match resp {
             Response::Ok => {}
             other => eprintln!(
-                "adlb client {}: put got unexpected response {other:?}; task may be lost",
-                self.comm.rank()
+                "adlb client {rank}: put got unexpected response {other:?}; task may be lost"
             ),
         }
     }
 
-    /// Acknowledge the outstanding lease, if any. Non-overtaking delivery
-    /// guarantees the server sees this before whatever request follows it
-    /// on the same connection.
-    fn ack_lease(&mut self, ok: bool, error: &str) {
-        if !self.lease_outstanding {
+    /// Record the outcome of the task currently handed to the caller, if
+    /// any. The ack ships (batched) on the next server trip;
+    /// non-overtaking delivery guarantees the server sees it before
+    /// whatever request follows it on the same connection.
+    fn resolve_delivered(&mut self, ok: bool, error: &str) {
+        if !self.handed_out {
             return;
         }
-        self.lease_outstanding = false;
-        self.comm.send(
-            self.my_server,
-            TAG_REQ,
-            Request::TaskDone {
-                ok,
-                error: error.to_string(),
-            }
-            .encode(),
-        );
+        self.handed_out = false;
+        self.pending_acks.push((ok, error.to_string()));
+    }
+
+    /// Ship pending lease acknowledgements: one `TaskDoneBatch` (or a
+    /// plain `TaskDone` for a single result) releasing the oldest leases
+    /// first. Fire-and-forget, like PR 1's `TaskDone`.
+    fn flush_acks(&mut self) {
+        if self.pending_acks.is_empty() {
+            return;
+        }
+        let mut results = std::mem::take(&mut self.pending_acks);
+        let req = if results.len() == 1 {
+            let (ok, error) = results.pop().unwrap();
+            Request::TaskDone { ok, error }
+        } else {
+            Request::TaskDoneBatch { results }
+        };
+        self.comm.send(self.my_server, TAG_REQ, req.encode());
     }
 
     /// Report that the most recently delivered task failed in a contained
     /// way (its execution errored with `error` but this rank survives).
     /// The server will retry the task elsewhere or quarantine it per its
-    /// [`crate::RetryPolicy`].
+    /// [`crate::RetryPolicy`]. Failure acks flush immediately so the
+    /// retry starts without waiting for this client's next server trip.
     pub fn task_failed(&mut self, error: &str) {
-        self.ack_lease(false, error);
+        self.resolve_delivered(false, error);
+        self.flush_acks();
     }
 
     /// Quarantine reports this client's server attached to its shutdown
@@ -127,26 +259,71 @@ impl AdlbClient {
         &self.quarantine_reports
     }
 
+    /// Encoded `Get` for `work_types`, reusing the cached encoding when
+    /// the types match the previous call (cloning [`Bytes`] is an `Arc`
+    /// bump, not a copy).
+    fn encoded_get(&mut self, work_types: &[u32]) -> Bytes {
+        match &self.cached_get {
+            Some((cached, enc)) if cached == work_types => enc.clone(),
+            _ => {
+                let enc = Request::Get {
+                    work_types: work_types.to_vec(),
+                    max_tasks: self.config.prefetch.max(1),
+                }
+                .encode();
+                self.cached_get = Some((work_types.to_vec(), enc.clone()));
+                enc
+            }
+        }
+    }
+
     /// Block until a task of one of `work_types` is available, or global
     /// termination (`None`). Calling `get` acknowledges success of the
     /// previously delivered task; call [`AdlbClient::task_failed`] first
     /// if it failed.
+    ///
+    /// A prefetched task (from an earlier `DeliverBatch`) is handed out
+    /// with no server traffic at all; the accumulated acks flush as one
+    /// message when the deque runs dry and the client returns to the
+    /// server.
     pub fn get(&mut self, work_types: &[u32]) -> Option<Task> {
+        self.resolve_delivered(true, "");
+        if let Some(t) = self.prefetch.pop_front() {
+            self.handed_out = true;
+            return Some(t);
+        }
         if self.shutdown_seen {
             return None;
         }
-        self.ack_lease(true, "");
         loop {
-            let resp = self.request(
-                self.my_server,
-                &Request::Get {
-                    work_types: work_types.to_vec(),
-                },
-            );
+            self.flush_puts();
+            self.flush_acks();
+            let enc = self.encoded_get(work_types);
+            self.comm.send(self.my_server, TAG_REQ, enc);
+            let m = self.comm.recv(self.my_server, TagSel::Of(TAG_RESP));
+            // Zero-copy decode: task payloads alias the arrival buffer.
+            let resp = Response::decode_shared(&m.data).expect("bad server response");
             match resp {
                 Response::DeliverTask(t) => {
-                    self.lease_outstanding = true;
+                    self.handed_out = true;
                     return Some(t);
+                }
+                Response::DeliverBatch(tasks) => {
+                    let mut it = tasks.into_iter();
+                    match it.next() {
+                        Some(first) => {
+                            self.prefetch.extend(it);
+                            self.handed_out = true;
+                            return Some(first);
+                        }
+                        None => {
+                            // An empty batch is a server bug; ask again.
+                            eprintln!(
+                                "adlb client {}: empty DeliverBatch; retrying",
+                                self.comm.rank()
+                            );
+                        }
+                    }
                 }
                 Response::NoMore { quarantined } => {
                     self.shutdown_seen = true;
@@ -172,7 +349,16 @@ impl AdlbClient {
         if self.shutdown_seen || self.finished_sent {
             return;
         }
-        self.ack_lease(true, "");
+        self.resolve_delivered(true, "");
+        // Prefetched-but-unexecuted tasks are handed back as contained
+        // failures so the server reruns them on a surviving client
+        // instead of waiting forever on their leases.
+        while self.prefetch.pop_front().is_some() {
+            self.pending_acks
+                .push((false, "returned unexecuted: client finished".to_string()));
+        }
+        self.flush_puts();
+        self.flush_acks();
         self.finished_sent = true;
         self.comm
             .send(self.my_server, TAG_REQ, Request::Finished.encode());
@@ -195,7 +381,7 @@ impl AdlbClient {
     }
 
     /// Create a datum of the given Turbine type tag.
-    pub fn create(&self, id: u64, type_tag: u8) -> Result<(), DataError> {
+    pub fn create(&mut self, id: u64, type_tag: u8) -> Result<(), DataError> {
         Self::expect_ok(
             self.data_request(id, &Request::DataCreate { id, type_tag }),
             "create",
@@ -203,7 +389,7 @@ impl AdlbClient {
     }
 
     /// Store a scalar value, closing the datum and releasing subscribers.
-    pub fn store(&self, id: u64, value: Vec<u8>) -> Result<(), DataError> {
+    pub fn store(&mut self, id: u64, value: Vec<u8>) -> Result<(), DataError> {
         Self::expect_ok(
             self.data_request(
                 id,
@@ -217,7 +403,7 @@ impl AdlbClient {
     }
 
     /// Fetch a closed scalar's value (`None` while still open).
-    pub fn retrieve(&self, id: u64) -> Result<Option<Bytes>, DataError> {
+    pub fn retrieve(&mut self, id: u64) -> Result<Option<Bytes>, DataError> {
         match self.data_request(id, &Request::DataRetrieve { id }) {
             Response::MaybeBytes(v) => Ok(v),
             Response::Error(e) => Err(DataError { message: e }),
@@ -227,7 +413,7 @@ impl AdlbClient {
 
     /// Subscribe `notify_rank` to the close of `id`. Returns `true` if the
     /// datum is already closed (no notification will arrive).
-    pub fn subscribe(&self, id: u64, notify_rank: Rank) -> Result<bool, DataError> {
+    pub fn subscribe(&mut self, id: u64, notify_rank: Rank) -> Result<bool, DataError> {
         match self.data_request(
             id,
             &Request::DataSubscribe {
@@ -242,7 +428,7 @@ impl AdlbClient {
     }
 
     /// Insert a member into an open container.
-    pub fn insert(&self, id: u64, key: &str, value: Vec<u8>) -> Result<(), DataError> {
+    pub fn insert(&mut self, id: u64, key: &str, value: Vec<u8>) -> Result<(), DataError> {
         Self::expect_ok(
             self.data_request(
                 id,
@@ -257,7 +443,7 @@ impl AdlbClient {
     }
 
     /// Look up a container member.
-    pub fn lookup(&self, id: u64, key: &str) -> Result<Option<Bytes>, DataError> {
+    pub fn lookup(&mut self, id: u64, key: &str) -> Result<Option<Bytes>, DataError> {
         match self.data_request(
             id,
             &Request::DataLookup {
@@ -272,7 +458,7 @@ impl AdlbClient {
     }
 
     /// Enumerate a container's members in subscript order.
-    pub fn enumerate(&self, id: u64) -> Result<Vec<(String, Bytes)>, DataError> {
+    pub fn enumerate(&mut self, id: u64) -> Result<Vec<(String, Bytes)>, DataError> {
         match self.data_request(id, &Request::DataEnumerate { id }) {
             Response::Pairs(p) => Ok(p),
             Response::Error(e) => Err(DataError { message: e }),
@@ -281,13 +467,13 @@ impl AdlbClient {
     }
 
     /// Close a container, releasing subscribers.
-    pub fn close(&self, id: u64) -> Result<(), DataError> {
+    pub fn close(&mut self, id: u64) -> Result<(), DataError> {
         Self::expect_ok(self.data_request(id, &Request::DataClose { id }), "close")
     }
 
     /// Adjust a container's writer slot count (Swift/T slot counting); a
     /// drop to zero closes it.
-    pub fn incr_writers(&self, id: u64, delta: i64) -> Result<(), DataError> {
+    pub fn incr_writers(&mut self, id: u64, delta: i64) -> Result<(), DataError> {
         Self::expect_ok(
             self.data_request(id, &Request::DataIncrWriters { id, delta }),
             "incr_writers",
@@ -295,7 +481,7 @@ impl AdlbClient {
     }
 
     /// Whether the datum exists and is closed.
-    pub fn exists(&self, id: u64) -> Result<bool, DataError> {
+    pub fn exists(&mut self, id: u64) -> Result<bool, DataError> {
         match self.data_request(id, &Request::DataExists { id }) {
             Response::Bool(b) => Ok(b),
             Response::Error(e) => Err(DataError { message: e }),

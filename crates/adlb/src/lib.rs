@@ -60,7 +60,7 @@ mod msg;
 mod queue;
 mod server;
 
-pub use client::AdlbClient;
+pub use client::{AdlbClient, ClientConfig};
 pub use datastore::{DataError, Datum, DatumValue, TYPE_TAG_CONTAINER};
 pub use layout::Layout;
 pub use msg::{Task, WORK_TYPE_CONTROL, WORK_TYPE_NOTIFY, WORK_TYPE_WORK};

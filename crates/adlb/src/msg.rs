@@ -60,7 +60,9 @@ impl Task {
             t => Some(t as Rank),
         };
         let attempts = r.get_u32()?;
-        let payload = Bytes::copy_from_slice(r.get_bytes()?);
+        // Zero-copy when the reader is backed by the arrival buffer: the
+        // payload is a view of the wire message, not a copy of it.
+        let payload = r.get_bytes_shared()?;
         Ok(Task {
             work_type,
             priority,
@@ -71,12 +73,34 @@ impl Task {
     }
 }
 
+fn encode_task_list(w: &mut WireWriter, tasks: &[Task]) {
+    w.put_u32(tasks.len() as u32);
+    for t in tasks {
+        t.encode_into(w);
+    }
+}
+
+fn decode_task_list(r: &mut WireReader) -> Result<Vec<Task>, WireError> {
+    let n = r.get_u32()? as usize;
+    let mut tasks = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        tasks.push(Task::decode_from(r)?);
+    }
+    Ok(tasks)
+}
+
 /// Client → server requests.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     Put(Task),
+    /// Pipelined puts: many tasks in one wire message with a single ack.
+    /// The server routes each exactly as if it had arrived alone.
+    PutBatch(Vec<Task>),
     Get {
         work_types: Vec<u32>,
+        /// Prefetch hint: the server may deliver up to this many queued
+        /// tasks in one [`Response::DeliverBatch`]. Servers treat 0 as 1.
+        max_tasks: u32,
     },
     /// Client will issue no further requests; counts as permanently parked.
     Finished,
@@ -87,6 +111,13 @@ pub enum Request {
     TaskDone {
         ok: bool,
         error: String,
+    },
+    /// Batched lease acknowledgements, one `(ok, error)` per finished task
+    /// in execution order — the oldest unacknowledged lease first. Sent
+    /// when a client that drained a prefetched batch returns to the
+    /// server, so N tasks cost one ack message.
+    TaskDoneBatch {
+        results: Vec<(bool, String)>,
     },
     DataCreate {
         id: u64,
@@ -135,6 +166,10 @@ pub enum Response {
     MaybeBytes(Option<Bytes>),
     Pairs(Vec<(String, Bytes)>),
     DeliverTask(Task),
+    /// Prefetch delivery: the client leases every task in the batch and
+    /// drains them locally, acknowledging with one
+    /// [`Request::TaskDoneBatch`] on its next server trip.
+    DeliverBatch(Vec<Task>),
     /// Shutdown: no more work will ever arrive. Carries the (capped)
     /// quarantine reports of the responding server so clients can explain
     /// why some dataflow never completed.
@@ -152,6 +187,10 @@ pub enum ServerMsg {
     StealReq {
         thief: Rank,
         work_types: Vec<u32>,
+        /// How many clients are starved at the thief — a sizing hint; the
+        /// victim donates at least this many tasks when it has them (and
+        /// never less than half its eligible queue).
+        need: u32,
     },
     StealResp {
         tasks: Vec<Task>,
@@ -191,9 +230,13 @@ impl Request {
                 w.put_u8(0);
                 t.encode_into(&mut w);
             }
-            Request::Get { work_types } => {
+            Request::Get {
+                work_types,
+                max_tasks,
+            } => {
                 w.put_u8(1);
                 put_u32_list(&mut w, work_types);
+                w.put_u32(*max_tasks);
             }
             Request::Finished => {
                 w.put_u8(2);
@@ -250,18 +293,43 @@ impl Request {
                 w.put_u8(*ok as u8);
                 w.put_str(error);
             }
+            Request::PutBatch(tasks) => {
+                w.put_u8(14);
+                encode_task_list(&mut w, tasks);
+            }
+            Request::TaskDoneBatch { results } => {
+                w.put_u8(15);
+                w.put_u32(results.len() as u32);
+                for (ok, error) in results {
+                    w.put_u8(*ok as u8);
+                    w.put_str(error);
+                }
+            }
         }
         w.finish()
     }
 
-    /// Deserialize from the wire.
+    /// Deserialize from the wire (payload bytes copied out of `buf`).
+    /// The live protocol paths use [`Request::decode_shared`]; this form
+    /// decodes from a bare slice for tests and tooling.
+    #[allow(dead_code)]
     pub fn decode(buf: &[u8]) -> Result<Request, WireError> {
-        let mut r = WireReader::new(buf);
+        Self::decode_reader(WireReader::new(buf))
+    }
+
+    /// Deserialize from an arrival buffer; task payloads alias `buf`
+    /// (zero-copy) instead of being copied out of it.
+    pub fn decode_shared(buf: &Bytes) -> Result<Request, WireError> {
+        Self::decode_reader(WireReader::shared(buf))
+    }
+
+    fn decode_reader(mut r: WireReader) -> Result<Request, WireError> {
         let kind = r.get_u8()?;
         let req = match kind {
             0 => Request::Put(Task::decode_from(&mut r)?),
             1 => Request::Get {
                 work_types: get_u32_list(&mut r)?,
+                max_tasks: r.get_u32()?,
             },
             2 => Request::Finished,
             3 => Request::DataCreate {
@@ -297,6 +365,17 @@ impl Request {
                 ok: r.get_u8()? != 0,
                 error: r.get_str()?.to_string(),
             },
+            14 => Request::PutBatch(decode_task_list(&mut r)?),
+            15 => {
+                let n = r.get_u32()? as usize;
+                let mut results = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let ok = r.get_u8()? != 0;
+                    let error = r.get_str()?.to_string();
+                    results.push((ok, error));
+                }
+                Request::TaskDoneBatch { results }
+            }
             _ => {
                 return Err(WireError {
                     context: "unknown request kind",
@@ -356,13 +435,26 @@ impl Response {
                 w.put_u8(6);
                 w.put_str(e);
             }
+            Response::DeliverBatch(tasks) => {
+                w.put_u8(7);
+                encode_task_list(&mut w, tasks);
+            }
         }
         w.finish()
     }
 
-    /// Deserialize from the wire.
+    /// Deserialize from the wire (payload bytes copied out of `buf`).
     pub fn decode(buf: &[u8]) -> Result<Response, WireError> {
-        let mut r = WireReader::new(buf);
+        Self::decode_reader(WireReader::new(buf))
+    }
+
+    /// Deserialize from an arrival buffer; task payloads alias `buf`
+    /// (zero-copy) instead of being copied out of it.
+    pub fn decode_shared(buf: &Bytes) -> Result<Response, WireError> {
+        Self::decode_reader(WireReader::shared(buf))
+    }
+
+    fn decode_reader(mut r: WireReader) -> Result<Response, WireError> {
         let resp = match r.get_u8()? {
             0 => Response::Ok,
             1 => Response::Bool(r.get_u8()? != 0),
@@ -393,6 +485,7 @@ impl Response {
                 Response::NoMore { quarantined }
             }
             6 => Response::Error(r.get_str()?.to_string()),
+            7 => Response::DeliverBatch(decode_task_list(&mut r)?),
             _ => {
                 return Err(WireError {
                     context: "unknown response kind",
@@ -414,10 +507,15 @@ impl ServerMsg {
                 w.put_u8(0);
                 t.encode_into(&mut w);
             }
-            ServerMsg::StealReq { thief, work_types } => {
+            ServerMsg::StealReq {
+                thief,
+                work_types,
+                need,
+            } => {
                 w.put_u8(1);
                 w.put_u64(*thief as u64);
                 put_u32_list(&mut w, work_types);
+                w.put_u32(*need);
             }
             ServerMsg::StealResp { tasks } => {
                 w.put_u8(2);
@@ -451,14 +549,27 @@ impl ServerMsg {
         w.finish()
     }
 
-    /// Deserialize from the wire.
+    /// Deserialize from the wire (payload bytes copied out of `buf`).
+    /// The live protocol paths use [`ServerMsg::decode_shared`]; this form
+    /// decodes from a bare slice for tests and tooling.
+    #[allow(dead_code)]
     pub fn decode(buf: &[u8]) -> Result<ServerMsg, WireError> {
-        let mut r = WireReader::new(buf);
+        Self::decode_reader(WireReader::new(buf))
+    }
+
+    /// Deserialize from an arrival buffer; task payloads alias `buf`
+    /// (zero-copy) instead of being copied out of it.
+    pub fn decode_shared(buf: &Bytes) -> Result<ServerMsg, WireError> {
+        Self::decode_reader(WireReader::shared(buf))
+    }
+
+    fn decode_reader(mut r: WireReader) -> Result<ServerMsg, WireError> {
         let msg = match r.get_u8()? {
             0 => ServerMsg::Forward(Task::decode_from(&mut r)?),
             1 => ServerMsg::StealReq {
                 thief: r.get_u64()? as Rank,
                 work_types: get_u32_list(&mut r)?,
+                need: r.get_u32()?,
             },
             2 => {
                 let n = r.get_u32()? as usize;
@@ -512,6 +623,20 @@ mod tests {
             Request::Put(task(0, i32::MAX, None)),
             Request::Get {
                 work_types: vec![0, 1, 2],
+                max_tasks: 1,
+            },
+            Request::Get {
+                work_types: vec![1],
+                max_tasks: 16,
+            },
+            Request::PutBatch(vec![task(1, 3, None), task(0, -1, Some(2))]),
+            Request::PutBatch(vec![]),
+            Request::TaskDoneBatch {
+                results: vec![
+                    (true, String::new()),
+                    (false, "boom".into()),
+                    (true, String::new()),
+                ],
             },
             Request::Finished,
             Request::TaskDone {
@@ -562,6 +687,8 @@ mod tests {
                 ("b".into(), Bytes::new()),
             ]),
             Response::DeliverTask(task(2, 0, Some(0))),
+            Response::DeliverBatch(vec![task(1, 5, None), task(1, 4, None), task(1, 3, None)]),
+            Response::DeliverBatch(vec![]),
             Response::NoMore {
                 quarantined: vec![],
             },
@@ -582,6 +709,7 @@ mod tests {
             ServerMsg::StealReq {
                 thief: 8,
                 work_types: vec![1],
+                need: 3,
             },
             ServerMsg::StealResp {
                 tasks: vec![task(1, 0, None), task(1, 9, None)],
@@ -606,5 +734,32 @@ mod tests {
         let enc = Request::Put(task(1, 1, None)).encode();
         assert!(Request::decode(&enc[..enc.len() - 1]).is_err());
         assert!(Request::decode(&[99]).is_err());
+    }
+
+    #[test]
+    fn shared_decode_aliases_payloads() {
+        // decode_shared must hand back payloads that point into the wire
+        // message's own allocation — the zero-copy receive path.
+        let batch = Response::DeliverBatch(vec![task(1, 0, None), task(1, 1, None)]);
+        let wire = batch.encode();
+        let lo = wire.as_ptr() as usize;
+        let hi = lo + wire.len();
+        match Response::decode_shared(&wire).unwrap() {
+            Response::DeliverBatch(tasks) => {
+                assert_eq!(tasks.len(), 2);
+                for t in &tasks {
+                    let p = t.payload.as_ptr() as usize;
+                    assert!(p >= lo && p + t.payload.len() <= hi, "payload was copied");
+                }
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // The copying decoder must NOT alias (callers may hold the payload
+        // after the arrival buffer is gone — here both are owned, but the
+        // contract is distinct allocations).
+        match Request::decode_shared(&Request::Put(task(1, 0, None)).encode()).unwrap() {
+            Request::Put(t) => assert_eq!(&t.payload[..], &task(1, 0, None).payload[..]),
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 }

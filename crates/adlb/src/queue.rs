@@ -152,9 +152,10 @@ impl WorkQueue {
         out
     }
 
-    /// Remove up to half the untargeted tasks of the given types (at least
-    /// one if any exist) — the work-stealing donation.
-    pub fn steal(&mut self, work_types: &[u32]) -> Vec<Task> {
+    /// The work-stealing donation: half the untargeted tasks of the given
+    /// types per request (at least one if any exist), raised to the
+    /// thief's `need` hint when more clients are starved than half covers.
+    pub fn steal(&mut self, work_types: &[u32], need: usize) -> Vec<Task> {
         let available: usize = work_types
             .iter()
             .filter_map(|wt| self.untargeted.get(wt).map(BinaryHeap::len))
@@ -162,7 +163,7 @@ impl WorkQueue {
         if available == 0 {
             return Vec::new();
         }
-        let take = (available / 2).max(1);
+        let take = (available / 2).max(need.min(available)).max(1);
         let mut out = Vec::with_capacity(take);
         // Round-robin across types, taking lowest-priority tasks is
         // complex; take from the largest heap first (they queue longest).
@@ -252,7 +253,7 @@ mod tests {
             q.push(task(1, 0, None, i));
         }
         q.push(task(1, 0, Some(2), 99));
-        let stolen = q.steal(&[1]);
+        let stolen = q.steal(&[1], 1);
         assert_eq!(stolen.len(), 5);
         assert_eq!(q.len(), 6); // 5 untargeted + 1 targeted
         assert!(stolen.iter().all(|t| t.target.is_none()));
@@ -261,16 +262,19 @@ mod tests {
     #[test]
     fn steal_from_empty_is_empty() {
         let mut q = WorkQueue::new();
-        assert!(q.steal(&[0, 1]).is_empty());
+        assert!(q.steal(&[0, 1], 1).is_empty());
         q.push(task(1, 0, Some(4), 1));
-        assert!(q.steal(&[1]).is_empty(), "targeted tasks are not stealable");
+        assert!(
+            q.steal(&[1], 1).is_empty(),
+            "targeted tasks are not stealable"
+        );
     }
 
     #[test]
     fn steal_single_task() {
         let mut q = WorkQueue::new();
         q.push(task(1, 0, None, 1));
-        assert_eq!(q.steal(&[1]).len(), 1);
+        assert_eq!(q.steal(&[1], 1).len(), 1);
         assert!(q.is_empty());
     }
 

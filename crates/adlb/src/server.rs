@@ -6,7 +6,7 @@
 //! timer is a short receive timeout that paces steal attempts and
 //! termination polls.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -100,6 +100,9 @@ pub struct ServerStats {
     pub protocol_errors: u64,
     /// Client ranks of this server observed to have died.
     pub ranks_failed: u64,
+    /// Tasks delivered beyond the first of a `DeliverBatch` — round trips
+    /// the prefetch pipeline saved clients.
+    pub tasks_prefetched: u64,
 }
 
 /// An in-flight task: delivered to a client, not yet acknowledged.
@@ -118,11 +121,16 @@ struct Server {
     parked: Vec<(Rank, Vec<u32>)>,
     finished: HashSet<Rank>,
     /// Tasks delivered to clients and not yet acknowledged, keyed by the
-    /// holder's rank (a client holds at most one task at a time).
-    in_flight: HashMap<Rank, Lease>,
-    /// Clients whose lease was revoked by timeout; their next TaskDone is
-    /// stale (the task was already requeued) and must be ignored.
-    lease_revoked: HashSet<Rank>,
+    /// holder's rank. A client may hold a whole prefetched batch; leases
+    /// are released oldest-first because clients acknowledge in execution
+    /// order (which is delivery order).
+    in_flight: HashMap<Rank, VecDeque<Lease>>,
+    /// Stale-ack credits per rank: when leases are revoked by timeout the
+    /// tasks are requeued immediately, but the (possibly still alive)
+    /// holder will eventually acknowledge them. That many subsequent acks
+    /// from the rank refer to revoked leases and must be swallowed, not
+    /// matched against newer leases.
+    lease_revoked: HashMap<Rank, usize>,
     /// Tasks dropped after exhausting their retry budget, kept for
     /// post-mortem inspection.
     quarantined: Vec<Task>,
@@ -162,7 +170,7 @@ pub fn serve(comm: Comm, layout: Layout, config: ServerConfig) -> ServerStats {
         parked: Vec::new(),
         finished: HashSet::new(),
         in_flight: HashMap::new(),
-        lease_revoked: HashSet::new(),
+        lease_revoked: HashMap::new(),
         quarantined: Vec::new(),
         quarantine_reports: Vec::new(),
         my_client_count,
@@ -189,14 +197,16 @@ impl Server {
                 .comm
                 .recv_timeout(Src::Any, TagSel::Any, self.config.poll_interval)
             {
-                Some(m) if m.tag == TAG_REQ => match Request::decode(&m.data) {
+                // Shared decode: task payloads alias the arrival buffer
+                // instead of being copied out of it (zero-copy receive).
+                Some(m) if m.tag == TAG_REQ => match Request::decode_shared(&m.data) {
                     Ok(req) => self.handle_request(m.source, req),
                     Err(e) => self.protocol_error(format_args!(
                         "undecodable request from rank {}: {e:?}",
                         m.source
                     )),
                 },
-                Some(m) if m.tag == TAG_SRV => match ServerMsg::decode(&m.data) {
+                Some(m) if m.tag == TAG_SRV => match ServerMsg::decode_shared(&m.data) {
                     Ok(msg) => {
                         if self.handle_server_msg(m.source, msg) {
                             return self.shutdown();
@@ -232,7 +242,7 @@ impl Server {
         self.parked.len() + self.finished.len() == self.my_client_count
             && self.queue.is_empty()
             && !self.outstanding_steal
-            && self.in_flight.is_empty()
+            && self.in_flight.values().all(VecDeque::is_empty)
     }
 
     // -- task routing ----------------------------------------------------
@@ -290,14 +300,32 @@ impl Server {
     /// lease timeout is configured — times out.
     fn deliver(&mut self, rank: Rank, task: Task) {
         self.stats.tasks_delivered += 1;
-        self.in_flight.insert(
-            rank,
-            Lease {
-                task: task.clone(),
-                since: Instant::now(),
-            },
-        );
+        self.in_flight.entry(rank).or_default().push_back(Lease {
+            task: task.clone(),
+            since: Instant::now(),
+        });
         self.respond(rank, Response::DeliverTask(task));
+    }
+
+    /// Hand a whole prefetch batch to a client in one response, opening a
+    /// lease per task in delivery order. Clients acknowledge in the same
+    /// order, so releases always pop the front of the deque.
+    fn deliver_batch(&mut self, rank: Rank, tasks: Vec<Task>) {
+        debug_assert!(!tasks.is_empty());
+        if tasks.len() == 1 {
+            return self.deliver(rank, tasks.into_iter().next().unwrap());
+        }
+        self.stats.tasks_delivered += tasks.len() as u64;
+        self.stats.tasks_prefetched += tasks.len() as u64 - 1;
+        let now = Instant::now();
+        let leases = self.in_flight.entry(rank).or_default();
+        for t in &tasks {
+            leases.push_back(Lease {
+                task: t.clone(),
+                since: now,
+            });
+        }
+        self.respond(rank, Response::DeliverBatch(tasks));
     }
 
     /// A failed task comes back: retry it with a priority penalty, or
@@ -368,9 +396,14 @@ impl Server {
             self.finished.insert(rank);
             self.parked.retain(|(r, _)| *r != rank);
             self.lease_revoked.remove(&rank);
-            if let Some(lease) = self.in_flight.remove(&rank) {
-                if let Some(task) = self.retarget_for_dead(lease.task, rank) {
-                    self.retry_or_quarantine(task, true, &format!("holder rank {rank} died"));
+            // The dead rank's ENTIRE lease deque requeues: with prefetch a
+            // client may die holding a whole undone batch, and every one
+            // of those tasks must run somewhere else.
+            if let Some(leases) = self.in_flight.remove(&rank) {
+                for lease in leases {
+                    if let Some(task) = self.retarget_for_dead(lease.task, rank) {
+                        self.retry_or_quarantine(task, true, &format!("holder rank {rank} died"));
+                    }
                 }
             }
             let stranded = self.queue.drain_targeted(rank);
@@ -391,19 +424,32 @@ impl Server {
         let expired: Vec<Rank> = self
             .in_flight
             .iter()
-            .filter(|(_, l)| now.duration_since(l.since) > timeout)
+            .filter(|(_, d)| {
+                d.front()
+                    .is_some_and(|l| now.duration_since(l.since) > timeout)
+            })
             .map(|(r, _)| *r)
             .collect();
         for rank in expired {
-            let lease = self.in_flight.remove(&rank).expect("expired lease");
+            // Revoke the rank's whole deque, not just the expired front:
+            // acks are matched FIFO, so releasing later leases while the
+            // front is requeued would misattribute every following ack.
+            let leases = self.in_flight.remove(&rank).expect("expired lease");
             eprintln!(
-                "adlb server {}: lease on rank {rank} expired; requeueing",
-                self.comm.rank()
+                "adlb server {}: {} lease(s) on rank {rank} expired; requeueing",
+                self.comm.rank(),
+                leases.len()
             );
-            // The holder may still be alive and eventually ack; that ack
-            // is now stale and must not release a newer lease.
-            self.lease_revoked.insert(rank);
-            self.retry_or_quarantine(lease.task, true, &format!("lease on rank {rank} expired"));
+            // The holder may still be alive and eventually ack; that many
+            // acks are now stale and must not release newer leases.
+            *self.lease_revoked.entry(rank).or_insert(0) += leases.len();
+            for lease in leases {
+                self.retry_or_quarantine(
+                    lease.task,
+                    true,
+                    &format!("lease on rank {rank} expired"),
+                );
+            }
         }
     }
 
@@ -416,9 +462,34 @@ impl Server {
                 self.route_task(task);
                 self.respond(source, Response::Ok);
             }
-            Request::Get { work_types } => {
+            Request::PutBatch(tasks) => {
+                // Each task routes exactly as if it had arrived alone; the
+                // batch shares one wire message and one ack.
+                for task in tasks {
+                    self.route_task(task);
+                }
+                self.respond(source, Response::Ok);
+            }
+            Request::Get {
+                work_types,
+                max_tasks,
+            } => {
                 match self.queue.pop_for(source, &work_types) {
-                    Some(task) => self.deliver(source, task),
+                    Some(first) => {
+                        let cap = max_tasks.max(1) as usize;
+                        if cap == 1 {
+                            self.deliver(source, first);
+                        } else {
+                            let mut batch = vec![first];
+                            while batch.len() < cap {
+                                match self.queue.pop_for(source, &work_types) {
+                                    Some(t) => batch.push(t),
+                                    None => break,
+                                }
+                            }
+                            self.deliver_batch(source, batch);
+                        }
+                    }
                     None => {
                         self.parked.push((source, work_types));
                         // An empty queue with parked clients is the steal
@@ -428,16 +499,10 @@ impl Server {
                 }
             }
             Request::TaskDone { ok, error } => {
-                if self.lease_revoked.remove(&source) {
-                    // Stale ack for a lease already revoked by timeout:
-                    // the task was requeued, nothing to release.
-                } else if let Some(lease) = self.in_flight.remove(&source) {
-                    if !ok {
-                        self.retry_or_quarantine(lease.task, false, &error);
-                    }
-                } else {
-                    self.protocol_error(format_args!("TaskDone from rank {source} with no lease"));
-                }
+                self.handle_acks(source, vec![(ok, error)]);
+            }
+            Request::TaskDoneBatch { results } => {
+                self.handle_acks(source, results);
             }
             Request::Finished => {
                 self.finished.insert(source);
@@ -528,6 +593,39 @@ impl Server {
         }
     }
 
+    /// Release leases for a batch of acknowledgements from `source`, in
+    /// order. Each entry either consumes a stale-ack credit (its lease was
+    /// already revoked and the task requeued) or releases the oldest open
+    /// lease; failed results feed the retry/quarantine policy.
+    fn handle_acks(&mut self, source: Rank, results: Vec<(bool, String)>) {
+        for (ok, error) in results {
+            if let Some(stale) = self.lease_revoked.get_mut(&source) {
+                *stale -= 1;
+                if *stale == 0 {
+                    self.lease_revoked.remove(&source);
+                }
+                continue;
+            }
+            match self
+                .in_flight
+                .get_mut(&source)
+                .and_then(VecDeque::pop_front)
+            {
+                Some(lease) => {
+                    if !ok {
+                        self.retry_or_quarantine(lease.task, false, &error);
+                    }
+                }
+                None => {
+                    self.protocol_error(format_args!("task ack from rank {source} with no lease"))
+                }
+            }
+        }
+        if self.in_flight.get(&source).is_some_and(VecDeque::is_empty) {
+            self.in_flight.remove(&source);
+        }
+    }
+
     /// Turn a datum close into targeted high-priority notification tasks.
     fn notify_all(&mut self, id: u64, subscribers: Vec<Rank>) {
         for rank in subscribers {
@@ -552,8 +650,12 @@ impl Server {
                 self.fwd_in += 1;
                 self.accept_task(task);
             }
-            ServerMsg::StealReq { thief, work_types } => {
-                let tasks = self.queue.steal(&work_types);
+            ServerMsg::StealReq {
+                thief,
+                work_types,
+                need,
+            } => {
+                let tasks = self.queue.steal(&work_types, need as usize);
                 // Empty steal traffic must not perturb the epoch, or the
                 // steal retry loop would keep termination detection from
                 // ever seeing two stable rounds.
@@ -585,6 +687,10 @@ impl Server {
                     for t in tasks {
                         self.accept_task(t);
                     }
+                    // The victim clearly has work: if clients are still
+                    // starved, go straight back for more instead of
+                    // pacing the next attempt on the poll timeout.
+                    self.try_steal();
                 }
             }
             ServerMsg::Check { round } => {
@@ -675,6 +781,8 @@ impl Server {
             ServerMsg::StealReq {
                 thief: self.comm.rank(),
                 work_types: types,
+                // Sizing hint: at least one task per starved client.
+                need: self.parked.len() as u32,
             }
             .encode(),
         );

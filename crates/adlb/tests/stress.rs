@@ -115,6 +115,112 @@ fn randomized_delivery_exactly_once() {
     }
 }
 
+mod batch_fault_interaction {
+    //! Batching × fault tolerance: a client that dies holding a prefetched
+    //! batch must have every undone task of that batch requeued exactly
+    //! once, and an acknowledged batch must never be requeued.
+
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    use adlb::{serve, AdlbClient, Layout, ServerConfig, WORK_TYPE_WORK};
+    use mpisim::{FaultPlan, World};
+
+    const N_TASKS: u64 = 20;
+
+    /// Ranks: 0 submitter, 1 victim, 2 survivor, 3 server. The submitter
+    /// queues all tasks before the victim's first `Get` (so the server
+    /// leases it a full prefetch batch of 8); `kill_sends` scripts the
+    /// victim's death point in its send stream. Returns (tid → executing
+    /// ranks, server stats).
+    fn run_batch_death(kill_sends: u64) -> (HashMap<u64, Vec<usize>>, adlb::ServerStats) {
+        let layout = Layout::new(4, 1);
+        let plan = FaultPlan::new().kill_after_sends(1, kill_sends);
+        let executed: Mutex<HashMap<u64, Vec<usize>>> = Mutex::new(HashMap::new());
+        let outcome = World::run_faulty(4, &plan, |comm| {
+            let rank = comm.rank();
+            if layout.is_server(rank) {
+                return Some(serve(comm, layout, ServerConfig::default()));
+            }
+            let mut client = AdlbClient::new(comm, layout);
+            if rank == 0 {
+                for tid in 0..N_TASKS {
+                    client.put(WORK_TYPE_WORK, 0, None, tid.to_le_bytes().to_vec());
+                }
+                client.finish();
+                return None;
+            }
+            // Victim waits for the queue to fill; the survivor starts
+            // later still, so the victim's Get is the first one served.
+            std::thread::sleep(std::time::Duration::from_millis(if rank == 1 {
+                40
+            } else {
+                120
+            }));
+            while let Some(t) = client.get(&[WORK_TYPE_WORK]) {
+                let tid = u64::from_le_bytes(t.payload[..8].try_into().unwrap());
+                executed.lock().unwrap().entry(tid).or_default().push(rank);
+            }
+            None
+        });
+        assert_eq!(outcome.killed, vec![1], "only the victim dies");
+        let stats = outcome
+            .outputs
+            .into_iter()
+            .flatten()
+            .flatten()
+            .next()
+            .expect("server stats");
+        (executed.into_inner().unwrap(), stats)
+    }
+
+    #[test]
+    fn dead_client_holding_prefetched_batch_requeues_every_task_once() {
+        // Send #1 is the victim's Get: it dies with the whole DeliverBatch
+        // of 8 undelivered, having executed nothing. Every task must run
+        // exactly once, all on the survivor.
+        let (executed, stats) = run_batch_death(1);
+        for tid in 0..N_TASKS {
+            let ranks = executed.get(&tid).cloned().unwrap_or_default();
+            assert_eq!(ranks, vec![2], "task {tid} ran {ranks:?}, want once on 2");
+        }
+        assert_eq!(stats.ranks_failed, 1);
+        assert_eq!(
+            stats.tasks_requeued, 8,
+            "the full prefetched batch requeues, each task once"
+        );
+        assert!(stats.tasks_prefetched > 0, "batching was in play");
+    }
+
+    #[test]
+    fn acked_batch_is_never_requeued_when_holder_dies() {
+        // Send #1 is the Get; the victim then drains its whole batch of 8
+        // locally and send #2 is the TaskDoneBatch acknowledging all of
+        // them — it dies right after. The acks land before death
+        // detection (per-pair FIFO), so nothing requeues and the
+        // remaining 12 tasks run exactly once on the survivor.
+        let (executed, stats) = run_batch_death(2);
+        let mut victim_ran = 0;
+        for tid in 0..N_TASKS {
+            let ranks = executed.get(&tid).cloned().unwrap_or_default();
+            assert_eq!(
+                ranks.len(),
+                1,
+                "task {tid} ran {ranks:?}, want exactly once"
+            );
+            if ranks == [1] {
+                victim_ran += 1;
+            }
+        }
+        assert_eq!(victim_ran, 8, "victim drained its full prefetched batch");
+        assert_eq!(stats.ranks_failed, 1);
+        assert_eq!(
+            stats.tasks_requeued, 0,
+            "an acknowledged batch must not rerun"
+        );
+    }
+}
+
 mod fault_properties {
     //! Property: under random consumer-death schedules, no task is lost
     //! and no task is executed twice.
@@ -132,16 +238,22 @@ mod fault_properties {
     use std::collections::HashMap;
     use std::sync::Mutex;
 
-    use adlb::{serve, AdlbClient, Layout, RetryPolicy, ServerConfig, WORK_TYPE_WORK};
+    use adlb::{
+        serve, AdlbClient, ClientConfig, Layout, RetryPolicy, ServerConfig, WORK_TYPE_WORK,
+    };
     use mpisim::{FaultPlan, World};
     use proptest::prelude::*;
 
     /// One death-schedule scenario. `kills` pairs a consumer index with a
     /// message count; the consumer dies at that point in its protocol.
+    /// `prefetch` sets the consumers' batch depth (1 = the unbatched PR 1
+    /// protocol) — exactly-once must hold at every depth, because a death
+    /// mid-batch requeues the whole remaining lease deque.
     fn run_deaths(
         servers: usize,
         consumers: usize,
         total_tasks: usize,
+        prefetch: u32,
         kills: &[(usize, u64, bool)], // (consumer idx, count, kill-on-send?)
     ) -> Result<(), TestCaseError> {
         let clients = consumers + 1; // rank 0 submits
@@ -182,7 +294,14 @@ mod fault_properties {
                 serve(comm, layout, config.clone());
                 return;
             }
-            let mut client = AdlbClient::new(comm, layout);
+            let mut client = AdlbClient::with_config(
+                comm,
+                layout,
+                ClientConfig {
+                    prefetch,
+                    put_buffer: 0,
+                },
+            );
             if rank == 0 {
                 for tid in 0..total_tasks as u64 {
                     // ~1/4 targeted at some consumer (possibly a victim).
@@ -230,12 +349,13 @@ mod fault_properties {
             servers in 1usize..3,
             consumers in 2usize..6,
             total in 20usize..60,
+            prefetch in 1u32..12,
             kills in proptest::collection::vec(
                 (0usize..8, 1u64..25, any::<bool>()),
                 1..3,
             ),
         ) {
-            run_deaths(servers, consumers, total, &kills)?;
+            run_deaths(servers, consumers, total, prefetch, &kills)?;
         }
     }
 }

@@ -15,7 +15,9 @@
 //!
 //! Series C and D vary the control side itself (servers, engines).
 
-use swiftt_bench::{banner, header, ms, rate, row, time_median};
+use std::time::Duration;
+
+use swiftt_bench::{banner, header, ms, rate, row, smoke, time_median, BenchReport, Json};
 use swiftt_core::{Role, Runtime};
 
 /// Bag of `n` tasks; each prints `cost <units>` from its worker.
@@ -47,6 +49,94 @@ fn worker_costs(r: &swiftt_core::RunResult) -> Vec<u64> {
         .collect()
 }
 
+/// Series E: raw ADLB control-plane throughput. One submitter floods
+/// `tasks` tasks of `payload` bytes; `workers` workers drain them through
+/// a single server. This isolates the put/get protocol cost — no
+/// interpreter, no dataflow — so it is the direct measure of the wire
+/// pipeline (and the acceptance gauge for batching changes).
+fn adlb_throughput(workers: usize, payload: usize, tasks: usize, batching: bool) -> Duration {
+    use adlb::{serve, AdlbClient, ClientConfig, Layout, ServerConfig, WORK_TYPE_WORK};
+    use mpisim::World;
+
+    let size = workers + 2; // submitter + workers + server
+    let layout = Layout::new(size, 1);
+    let body = vec![0x61u8; payload];
+    let reps = if smoke() { 1 } else { 3 };
+    // Batched: prefetch + pipelined puts (the default wire protocol).
+    // Unbatched: the PR 1 one-task-per-round-trip protocol (ablation E5).
+    let config = if batching {
+        ClientConfig {
+            prefetch: 8,
+            put_buffer: 16,
+        }
+    } else {
+        ClientConfig::unbatched()
+    };
+    time_median(reps, || {
+        let body = body.clone();
+        let executed: Vec<u64> = World::run(size, move |comm| {
+            let rank = comm.rank();
+            if layout.is_server(rank) {
+                serve(comm, layout, ServerConfig::default());
+                return 0u64;
+            }
+            let mut client = AdlbClient::with_config(comm, layout, config);
+            if rank == 0 {
+                for _ in 0..tasks {
+                    client.put(WORK_TYPE_WORK, 0, None, body.clone());
+                }
+                client.finish();
+                return 0;
+            }
+            let mut n = 0u64;
+            while client.get(&[WORK_TYPE_WORK]).is_some() {
+                n += 1;
+            }
+            n
+        });
+        assert_eq!(executed.iter().sum::<u64>(), tasks as u64);
+    })
+}
+
+/// Run series E over worker and payload sweeps, printing the table and
+/// appending machine-readable rows to `report`.
+fn payload_series(report: &mut BenchReport) {
+    let tasks = if smoke() { 300 } else { 2000 };
+
+    println!();
+    println!("series E: raw ADLB put/get pipeline (1 server, wall)");
+    header("workers x payload", &["batching", "makespan ms", "tasks/s"]);
+    let mut record = |workers: usize, payload: usize, batching: bool| {
+        let d = adlb_throughput(workers, payload, tasks, batching);
+        row(
+            &format!("{workers} x {payload}B"),
+            &[
+                if batching { "on" } else { "off" }.to_string(),
+                ms(d),
+                rate(tasks as u64, d),
+            ],
+        );
+        report.row(&[
+            ("series", Json::Str("adlb_pipeline".into())),
+            ("workers", Json::U64(workers as u64)),
+            ("servers", Json::U64(1)),
+            ("payload_bytes", Json::U64(payload as u64)),
+            ("tasks", Json::U64(tasks as u64)),
+            ("batching", Json::Bool(batching)),
+            ("wall_secs", Json::F64(d.as_secs_f64())),
+            ("tasks_per_sec", Json::F64(tasks as f64 / d.as_secs_f64())),
+        ]);
+    };
+    for batching in [true, false] {
+        for workers in [1usize, 2, 4, 8] {
+            record(workers, 64, batching);
+        }
+        for payload in [1024usize, 16384] {
+            record(8, payload, batching);
+        }
+    }
+}
+
 fn main() {
     banner(
         "F2",
@@ -60,6 +150,8 @@ fn main() {
             .unwrap_or(1)
     );
 
+    let mut report = BenchReport::new("f2");
+
     let tasks = 192usize;
     let unit = 5u64;
     let program = costed_bag(tasks, unit);
@@ -68,7 +160,12 @@ fn main() {
     println!();
     println!("series A: work distribution, workers sweep (virtual units)");
     header("workers", &["virt makespan", "ideal", "imbalance", "busy"]);
-    for workers in [1usize, 2, 4, 8, 16, 32] {
+    let worker_sweep: &[usize] = if smoke() {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
+    for &workers in worker_sweep {
         let rt = Runtime::new(workers + 2);
         let r = rt.run(&program).expect("run failed");
         let costs = worker_costs(&r);
@@ -89,13 +186,35 @@ fn main() {
     println!();
     println!("series B: zero-work tasks — control-plane task-rate ceiling (wall)");
     header("workers", &["makespan ms", "tasks/s"]);
-    let noop = costed_bag(600, 0);
-    for workers in [1usize, 4, 16] {
+    let noop_tasks = if smoke() { 120 } else { 600 };
+    let noop = costed_bag(noop_tasks, 0);
+    let b_sweep: &[usize] = if smoke() { &[4] } else { &[1, 4, 16] };
+    for &workers in b_sweep {
         let rt = Runtime::new(workers + 2);
-        let d = time_median(3, || {
+        let d = time_median(if smoke() { 1 } else { 3 }, || {
             rt.run(&noop).expect("run failed");
         });
-        row(&workers.to_string(), &[ms(d), rate(600, d)]);
+        row(&workers.to_string(), &[ms(d), rate(noop_tasks as u64, d)]);
+        report.row(&[
+            ("series", Json::Str("turbine_ceiling".into())),
+            ("workers", Json::U64(workers as u64)),
+            ("servers", Json::U64(1)),
+            ("tasks", Json::U64(noop_tasks as u64)),
+            ("wall_secs", Json::F64(d.as_secs_f64())),
+            (
+                "tasks_per_sec",
+                Json::F64(noop_tasks as f64 / d.as_secs_f64()),
+            ),
+        ]);
+    }
+
+    payload_series(&mut report);
+
+    if smoke() {
+        let path = report.write().expect("write BENCH_f2.json");
+        println!();
+        println!("smoke mode: wrote {}", path.display());
+        return;
     }
 
     println!();
@@ -159,4 +278,6 @@ fn main() {
     println!();
     println!("shape check: series A tracks ideal until saturation; series B is flat-");
     println!("to-declining (control-bound); series D moves rule creation off engine 0.");
+    let path = report.write().expect("write BENCH_f2.json");
+    println!("wrote {}", path.display());
 }

@@ -6,7 +6,131 @@
 //! the *shapes* (who wins, crossover locations, scaling slopes) are the
 //! reproduction targets; see EXPERIMENTS.md.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// A JSON scalar for [`BenchReport`] rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A string value.
+    Str(String),
+    /// An unsigned integer value.
+    U64(u64),
+    /// A floating-point value (rendered with enough precision to round-trip).
+    F64(f64),
+    /// A boolean value.
+    Bool(bool),
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Json::Str(s) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        '\n' => write!(f, "\\n")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+            Json::U64(v) => write!(f, "{v}"),
+            Json::F64(v) => {
+                if v.is_finite() {
+                    write!(f, "{v}")
+                } else {
+                    write!(f, "null")
+                }
+            }
+            Json::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Machine-readable benchmark output: a flat list of measurement rows,
+/// written as `BENCH_<name>.json` so perf PRs leave a tracked trajectory
+/// (see EXPERIMENTS.md). The schema is deliberately flat — one JSON object
+/// per measurement with self-describing keys — so downstream tooling can
+/// diff runs without knowing each experiment's table shape.
+pub struct BenchReport {
+    name: String,
+    rows: Vec<Vec<(String, Json)>>,
+}
+
+impl BenchReport {
+    /// Start a report for experiment `name` (e.g. `"f2"`).
+    pub fn new(name: &str) -> Self {
+        BenchReport {
+            name: name.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one measurement row.
+    pub fn row(&mut self, fields: &[(&str, Json)]) {
+        self.rows.push(
+            fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        );
+    }
+
+    /// Render the report as a JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"experiment\": {},\n",
+            Json::Str(self.name.clone())
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("    {");
+            for (j, (k, v)) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", Json::Str(k.clone()), v));
+            }
+            out.push('}');
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write `BENCH_<name>.json`. The directory is `$SWIFTT_BENCH_DIR` when
+    /// set, else the workspace root (two levels above this crate), so the
+    /// file lands next to the repo's other `BENCH_*.json` trajectory files.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var_os("SWIFTT_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                    .join("..")
+                    .join("..")
+            });
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+}
+
+/// Whether the benches run in CI smoke mode (`SWIFTT_BENCH_SMOKE=1`):
+/// fewer repetitions and smaller task counts, same tables and JSON schema.
+pub fn smoke() -> bool {
+    std::env::var("SWIFTT_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
 
 /// Print an experiment header in a uniform style.
 pub fn banner(id: &str, title: &str, claim: &str) {
@@ -83,5 +207,23 @@ mod tests {
     fn formatting() {
         assert_eq!(ms(Duration::from_millis(1500)), "1500.00");
         assert_eq!(sim_ms(2_000_000), "2.00");
+    }
+
+    #[test]
+    fn bench_report_renders_valid_rows() {
+        let mut r = BenchReport::new("t1");
+        r.row(&[
+            ("series", Json::Str("a\"b".into())),
+            ("n", Json::U64(3)),
+            ("rate", Json::F64(1.5)),
+            ("batching", Json::Bool(true)),
+        ]);
+        r.row(&[("n", Json::U64(4))]);
+        let doc = r.render();
+        assert!(doc.contains("\"experiment\": \"t1\""));
+        assert!(
+            doc.contains("{\"series\": \"a\\\"b\", \"n\": 3, \"rate\": 1.5, \"batching\": true},")
+        );
+        assert!(doc.contains("{\"n\": 4}\n"));
     }
 }

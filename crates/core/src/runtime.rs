@@ -20,6 +20,7 @@ pub struct Runtime {
     engines: usize,
     policy: InterpPolicy,
     steal: bool,
+    batching: bool,
     retry: adlb::RetryPolicy,
     faults: FaultPlan,
     natives: Vec<NativeLibrary>,
@@ -42,6 +43,7 @@ impl Runtime {
             engines: 1,
             policy: InterpPolicy::Retain,
             steal: true,
+            batching: true,
             retry: adlb::RetryPolicy::default(),
             faults: FaultPlan::new(),
             natives: Vec::new(),
@@ -71,6 +73,14 @@ impl Runtime {
     /// Enable/disable ADLB work stealing (ablation switch).
     pub fn work_stealing(mut self, on: bool) -> Self {
         self.steal = on;
+        self
+    }
+
+    /// Enable/disable client-side wire batching — get prefetch and put
+    /// pipelining (ablation switch E5). Off recovers the PR 1
+    /// one-task-per-round-trip protocol.
+    pub fn batching(mut self, on: bool) -> Self {
+        self.batching = on;
         self
     }
 
@@ -139,6 +149,7 @@ impl Runtime {
                 retry: self.retry,
                 ..adlb::ServerConfig::default()
             },
+            batching: self.batching,
         }
     }
 

@@ -106,15 +106,38 @@ impl WireWriter {
 }
 
 /// Sequential message decoder over a byte slice.
+///
+/// When constructed with [`WireReader::shared`] the reader also holds a
+/// handle on the arrival buffer, and [`WireReader::get_bytes_shared`]
+/// returns zero-copy [`Bytes`] views into it instead of copies — the
+/// payload fast path for large task bodies.
 pub struct WireReader<'a> {
     buf: &'a [u8],
+    /// The arrival buffer `buf` borrows from, when known; enables
+    /// zero-copy slicing in [`WireReader::get_bytes_shared`].
+    shared: Option<&'a Bytes>,
     pos: usize,
 }
 
 impl<'a> WireReader<'a> {
     /// Start decoding at the front of `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        WireReader { buf, pos: 0 }
+        WireReader {
+            buf,
+            shared: None,
+            pos: 0,
+        }
+    }
+
+    /// Start decoding an arrival buffer; length-prefixed byte fields read
+    /// via [`WireReader::get_bytes_shared`] alias `buf`'s allocation
+    /// instead of copying out of it.
+    pub fn shared(buf: &'a Bytes) -> Self {
+        WireReader {
+            buf,
+            shared: Some(buf),
+            pos: 0,
+        }
     }
 
     fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
@@ -158,6 +181,19 @@ impl<'a> WireReader<'a> {
     pub fn get_bytes(&mut self) -> Result<&'a [u8], WireError> {
         let len = self.get_u32()? as usize;
         self.take(len, "bytes body")
+    }
+
+    /// Decode a length-prefixed byte field as owned [`Bytes`]. With a
+    /// [`WireReader::shared`] reader this is zero-copy (a view of the
+    /// arrival buffer); otherwise it copies.
+    pub fn get_bytes_shared(&mut self) -> Result<Bytes, WireError> {
+        let len = self.get_u32()? as usize;
+        let start = self.pos;
+        self.take(len, "bytes body")?;
+        match self.shared {
+            Some(owner) => Ok(owner.slice(start..start + len)),
+            None => Ok(Bytes::copy_from_slice(&self.buf[start..start + len])),
+        }
     }
 
     /// Decode a length-prefixed UTF-8 string.
@@ -232,6 +268,28 @@ mod tests {
         let msg = w.finish();
         let mut r = WireReader::new(&msg);
         assert!(r.get_str().is_err());
+    }
+
+    #[test]
+    fn shared_reader_aliases_arrival_buffer() {
+        let mut w = WireWriter::new();
+        w.put_u32(7).put_bytes(b"payload").put_u8(9);
+        let msg = w.finish();
+        let mut r = WireReader::shared(&msg);
+        assert_eq!(r.get_u32().unwrap(), 7);
+        let body = r.get_bytes_shared().unwrap();
+        assert_eq!(&body[..], b"payload");
+        // Zero-copy: the view points into the message allocation.
+        assert_eq!(body.as_ptr() as usize, msg.as_ptr() as usize + 8);
+        assert_eq!(r.get_u8().unwrap(), 9);
+        r.expect_end().unwrap();
+
+        // Unshared readers still produce (copied) owned bytes.
+        let mut r2 = WireReader::new(&msg);
+        r2.get_u32().unwrap();
+        let copied = r2.get_bytes_shared().unwrap();
+        assert_eq!(&copied[..], b"payload");
+        assert_ne!(copied.as_ptr() as usize, msg.as_ptr() as usize + 8);
     }
 
     #[test]

@@ -58,6 +58,17 @@ enum Output {
     Custom(Box<dyn FnMut(&str)>),
 }
 
+/// Script-cache capacity; reaching it triggers a second-chance sweep
+/// instead of a wholesale clear, so hot fragments (proc bodies, the leaf
+/// tasks a worker evaluates in a loop) keep their parse trees.
+const SCRIPT_CACHE_CAP: usize = 4096;
+
+struct CachedScript {
+    parsed: Rc<Script>,
+    /// Hit since the last eviction sweep (second-chance bit).
+    hot: bool,
+}
+
 /// A Tcl interpreter instance.
 ///
 /// Each Turbine worker/engine rank embeds one `Interp` — the paper's model
@@ -68,7 +79,7 @@ pub struct Interp {
     procs: HashMap<String, ProcDef>,
     packages: HashMap<String, (String, PackageInit)>,
     provided: HashMap<String, String>,
-    script_cache: HashMap<String, Rc<Script>>,
+    script_cache: HashMap<String, CachedScript>,
     context: HashMap<TypeId, Box<dyn Any>>,
     output: Output,
     rand_state: u64,
@@ -281,14 +292,30 @@ impl Interp {
     }
 
     fn parse_cached(&mut self, script: &str) -> Result<Rc<Script>, Exception> {
-        if let Some(hit) = self.script_cache.get(script) {
-            return Ok(hit.clone());
+        if let Some(hit) = self.script_cache.get_mut(script) {
+            hit.hot = true;
+            return Ok(hit.parsed.clone());
         }
         let parsed = Rc::new(parser::parse_script(script)?);
-        if self.script_cache.len() >= 4096 {
-            self.script_cache.clear();
+        if self.script_cache.len() >= SCRIPT_CACHE_CAP {
+            // Second-chance sweep: evict entries not hit since the last
+            // sweep and demote the survivors, so a one-shot flood of
+            // unique scripts cannot flush the fragments a worker
+            // re-evaluates every task.
+            self.script_cache
+                .retain(|_, entry| std::mem::replace(&mut entry.hot, false));
+            if self.script_cache.len() >= SCRIPT_CACHE_CAP {
+                // Every entry was hot: clear rather than grow unbounded.
+                self.script_cache.clear();
+            }
         }
-        self.script_cache.insert(script.to_string(), parsed.clone());
+        self.script_cache.insert(
+            script.to_string(),
+            CachedScript {
+                parsed: parsed.clone(),
+                hot: false,
+            },
+        );
         Ok(parsed)
     }
 
@@ -478,6 +505,35 @@ fn annotate(e: Exception, cmd: &Command) -> Exception {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn script_cache_eviction_keeps_hot_fragments() {
+        let mut i = Interp::new();
+        // A "hot" fragment, evaluated repeatedly like a worker's leaf task.
+        i.eval("set hot 1").unwrap();
+        let hot_rc = i.script_cache.get("set hot 1").unwrap().parsed.clone();
+        // Flood the cache past capacity with unique one-shot scripts,
+        // touching the hot fragment along the way so it carries its
+        // second-chance bit into the sweep.
+        for n in 0..SCRIPT_CACHE_CAP + 10 {
+            i.eval(&format!("set x{n} {n}")).unwrap();
+            if n % 512 == 0 {
+                i.eval("set hot 1").unwrap();
+            }
+        }
+        assert!(
+            i.script_cache.len() < SCRIPT_CACHE_CAP,
+            "sweep must have evicted the cold flood"
+        );
+        let still = i
+            .script_cache
+            .get("set hot 1")
+            .expect("hot fragment survives eviction");
+        assert!(
+            Rc::ptr_eq(&still.parsed, &hot_rc),
+            "hot fragment keeps its original parse tree"
+        );
+    }
 
     #[test]
     fn globals_vs_locals() {

@@ -69,7 +69,7 @@ impl Ctx {
     }
 
     /// Perform a dispatch decision from the engine state.
-    pub fn perform(&self, d: Dispatch) {
+    pub fn perform(&mut self, d: Dispatch) {
         if let Dispatch::Put(wt, prio, target, action) = d {
             self.client.put(wt, prio, target, action.into_bytes());
         }
@@ -116,7 +116,7 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
 
     cmd!("turbine::rank", |_i, ctx: &SharedCtx, argv: &[String]| {
         need(argv, 1, 1, "turbine::rank")?;
-        Ok(ctx.borrow().client.rank().to_string())
+        Ok(ctx.borrow_mut().client.rank().to_string())
     });
     cmd!(
         "turbine::engines",
@@ -137,7 +137,7 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
         let id = parse_id(&argv[1])?;
         let ty = TurbineType::from_name(&argv[2])
             .ok_or_else(|| ex(format!("unknown turbine type \"{}\"", argv[2])))?;
-        ctx.borrow().client.create(id, ty.tag()).map_err(ex)?;
+        ctx.borrow_mut().client.create(id, ty.tag()).map_err(ex)?;
         Ok(String::new())
     });
 
@@ -147,7 +147,7 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
         |_i, ctx: &SharedCtx, argv: &[String]| {
             need(argv, 2, 2, "turbine::store_void id")?;
             let id = parse_id(&argv[1])?;
-            ctx.borrow().client.store(id, Vec::new()).map_err(ex)?;
+            ctx.borrow_mut().client.store(id, Vec::new()).map_err(ex)?;
             Ok(String::new())
         }
     );
@@ -160,7 +160,7 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
                 .trim()
                 .parse()
                 .map_err(|_| ex(format!("store_integer: \"{}\" is not an integer", argv[2])))?;
-            ctx.borrow()
+            ctx.borrow_mut()
                 .client
                 .store(id, types::encode_integer(v).to_vec())
                 .map_err(ex)?;
@@ -176,7 +176,7 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
                 .trim()
                 .parse()
                 .map_err(|_| ex(format!("store_float: \"{}\" is not a float", argv[2])))?;
-            ctx.borrow()
+            ctx.borrow_mut()
                 .client
                 .store(id, types::encode_float(v).to_vec())
                 .map_err(ex)?;
@@ -188,7 +188,7 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
         |_i, ctx: &SharedCtx, argv: &[String]| {
             need(argv, 3, 3, "turbine::store_string id value")?;
             let id = parse_id(&argv[1])?;
-            ctx.borrow()
+            ctx.borrow_mut()
                 .client
                 .store(id, argv[2].clone().into_bytes())
                 .map_err(ex)?;
@@ -207,14 +207,14 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
                 let b = blobs.borrow();
                 b.get(h).map_err(ex)?.as_bytes().to_vec()
             };
-            ctx.borrow().client.store(id, bytes).map_err(ex)?;
+            ctx.borrow_mut().client.store(id, bytes).map_err(ex)?;
             Ok(String::new())
         }
     );
 
     // -- scalar retrieves --------------------------------------------------
     fn fetch_closed(ctx: &SharedCtx, id: u64) -> Result<bytes::Bytes, Exception> {
-        ctx.borrow()
+        ctx.borrow_mut()
             .client
             .retrieve(id)
             .map_err(ex)?
@@ -259,7 +259,7 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
     cmd!("turbine::closed", |_i, ctx: &SharedCtx, argv: &[String]| {
         need(argv, 2, 2, "turbine::closed id")?;
         let id = parse_id(&argv[1])?;
-        Ok((ctx.borrow().client.exists(id).map_err(ex)? as i64).to_string())
+        Ok((ctx.borrow_mut().client.exists(id).map_err(ex)? as i64).to_string())
     });
 
     // -- containers --------------------------------------------------------
@@ -268,7 +268,7 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
         |_i, ctx: &SharedCtx, argv: &[String]| {
             need(argv, 4, 4, "turbine::container_insert id subscript value")?;
             let id = parse_id(&argv[1])?;
-            ctx.borrow()
+            ctx.borrow_mut()
                 .client
                 .insert(id, &argv[2], argv[3].clone().into_bytes())
                 .map_err(ex)?;
@@ -280,7 +280,7 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
         |_i, ctx: &SharedCtx, argv: &[String]| {
             need(argv, 3, 3, "turbine::container_lookup id subscript")?;
             let id = parse_id(&argv[1])?;
-            let v = ctx.borrow().client.lookup(id, &argv[2]).map_err(ex)?;
+            let v = ctx.borrow_mut().client.lookup(id, &argv[2]).map_err(ex)?;
             match v {
                 Some(b) => types::decode_string(&b).map_err(ex),
                 None => Err(ex(format!("container <{id}> has no member [{}]", argv[2]))),
@@ -292,7 +292,7 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
         |_i, ctx: &SharedCtx, argv: &[String]| {
             need(argv, 2, 2, "turbine::container_keys id")?;
             let id = parse_id(&argv[1])?;
-            let pairs = ctx.borrow().client.enumerate(id).map_err(ex)?;
+            let pairs = ctx.borrow_mut().client.enumerate(id).map_err(ex)?;
             let keys: Vec<String> = pairs.into_iter().map(|(k, _)| k).collect();
             Ok(tclish::format_list(&keys))
         }
@@ -302,7 +302,7 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
         |_i, ctx: &SharedCtx, argv: &[String]| {
             need(argv, 2, 2, "turbine::container_values id")?;
             let id = parse_id(&argv[1])?;
-            let pairs = ctx.borrow().client.enumerate(id).map_err(ex)?;
+            let pairs = ctx.borrow_mut().client.enumerate(id).map_err(ex)?;
             let vals: Result<Vec<String>, Exception> = pairs
                 .into_iter()
                 .map(|(_, v)| types::decode_string(&v).map_err(ex))
@@ -316,7 +316,7 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
             need(argv, 2, 2, "turbine::container_size id")?;
             let id = parse_id(&argv[1])?;
             Ok(ctx
-                .borrow()
+                .borrow_mut()
                 .client
                 .enumerate(id)
                 .map_err(ex)?
@@ -333,7 +333,10 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
                 .trim()
                 .parse()
                 .map_err(|_| ex("write_refcount_incr: bad delta"))?;
-            ctx.borrow().client.incr_writers(id, delta).map_err(ex)?;
+            ctx.borrow_mut()
+                .client
+                .incr_writers(id, delta)
+                .map_err(ex)?;
             Ok(String::new())
         }
     );
@@ -343,7 +346,7 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
             need(argv, 2, 2, "turbine::container_close id")?;
             let id = parse_id(&argv[1])?;
             // Closing = dropping the creating scope's writer slot.
-            ctx.borrow().client.incr_writers(id, -1).map_err(ex)?;
+            ctx.borrow_mut().client.incr_writers(id, -1).map_err(ex)?;
             Ok(String::new())
         }
     );
@@ -424,7 +427,7 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
             .trim()
             .parse()
             .map_err(|_| ex("spawn: bad priority"))?;
-        ctx.borrow()
+        ctx.borrow_mut()
             .client
             .put(wt, priority, None, argv[3].clone().into_bytes());
         Ok(String::new())

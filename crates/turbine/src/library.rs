@@ -430,7 +430,7 @@ mod tests {
                     Some(t) if t.work_type == adlb::WORK_TYPE_NOTIFY => {
                         let id = u64::from_le_bytes(t.payload[..8].try_into().unwrap());
                         let ds = ctx.borrow_mut().engine.fire(id);
-                        let c = ctx.borrow();
+                        let mut c = ctx.borrow_mut();
                         for d in ds {
                             c.perform(d);
                         }
@@ -626,7 +626,7 @@ mod tests {
                     Some(t) => {
                         let id = u64::from_le_bytes(t.payload[..8].try_into().unwrap());
                         let ds = ctx.borrow_mut().engine.fire(id);
-                        let c = ctx.borrow();
+                        let mut c = ctx.borrow_mut();
                         for d in ds {
                             c.perform(d);
                         }

@@ -36,6 +36,10 @@ pub struct TurbineConfig {
     pub policy: InterpPolicy,
     /// ADLB server tunables.
     pub server: ServerConfig,
+    /// Client-side wire batching: get prefetch and put pipelining. On by
+    /// default; switch off (the E5 ablation) to recover the PR 1
+    /// one-task-per-round-trip protocol.
+    pub batching: bool,
 }
 
 impl Default for TurbineConfig {
@@ -45,6 +49,24 @@ impl Default for TurbineConfig {
             engines: 1,
             policy: InterpPolicy::Retain,
             server: ServerConfig::default(),
+            batching: true,
+        }
+    }
+}
+
+impl TurbineConfig {
+    /// The ADLB client knobs implied by [`TurbineConfig::batching`]:
+    /// prefetch batches of tasks and pipeline puts when on, PR 1 wire
+    /// behavior when off. Puts from engines and workers are always safe to
+    /// buffer because every blocking client operation flushes them first.
+    pub fn client_config(&self) -> adlb::ClientConfig {
+        if self.batching {
+            adlb::ClientConfig {
+                prefetch: 8,
+                put_buffer: 16,
+            }
+        } else {
+            adlb::ClientConfig::unbatched()
         }
     }
 }
@@ -154,7 +176,7 @@ pub fn run_rank_with(
         };
     }
 
-    let client = AdlbClient::new(comm, layout);
+    let client = AdlbClient::with_config(comm, layout, config.client_config());
     let ctx = Ctx::new(client, role == Role::Engine, config.policy);
     ctx.borrow_mut().args = program.args.iter().cloned().collect();
     let mut interp = Interp::new();
@@ -256,15 +278,15 @@ pub fn engine_loop(interp: &mut Interp, ctx: &SharedCtx) -> Result<(), tclish::T
                         .expect("notify payload must be 8 bytes"),
                 );
                 let dispatches = ctx.borrow_mut().engine.fire(id);
-                let c = ctx.borrow();
+                let mut c = ctx.borrow_mut();
                 for d in dispatches {
                     c.perform(d);
                 }
             }
             Some(t) => {
-                let code = String::from_utf8(t.payload.to_vec())
+                let code = std::str::from_utf8(&t.payload)
                     .map_err(|_| tclish::TclError::new("non-UTF-8 control task"))?;
-                interp.eval(&code)?;
+                interp.eval(code)?;
             }
         }
     }

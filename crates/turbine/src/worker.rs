@@ -30,8 +30,10 @@ pub fn worker_loop(interp: &mut Interp, ctx: &SharedCtx) -> Result<u64, TclError
         let Some(task) = task else {
             return Ok(count);
         };
-        let outcome = match String::from_utf8(task.payload.to_vec()) {
-            Ok(code) => interp.eval(&code).map(|_| ()),
+        // Zero-copy hot path: the payload is a view into the arrival
+        // buffer; validate UTF-8 in place instead of cloning it.
+        let outcome = match std::str::from_utf8(&task.payload) {
+            Ok(code) => interp.eval(code).map(|_| ()),
             Err(_) => Err(TclError::new("worker received non-UTF-8 task payload")),
         };
         let mut c = ctx.borrow_mut();

@@ -68,6 +68,46 @@ fn mid_run_worker_death_terminates_without_duplicates() {
 }
 
 #[test]
+fn worker_death_with_batch_in_flight_loses_no_tasks() {
+    // Batching is on by default, so a worker's first Get asks for a whole
+    // batch. Kill worker 2 right after that Get is delivered: whatever
+    // the server leased to it (up to a full prefetch batch) is in flight
+    // to a dead rank and must be requeued — every task surfaces from the
+    // survivors exactly once.
+    let plan = FaultPlan::new().kill_after_sends(2, 1);
+    let r = Runtime::new(6)
+        .faults(plan)
+        .run(r#"foreach i in [0:39] { printf("task %d", i); }"#)
+        .expect("run must survive the dead worker");
+    assert_eq!(r.killed_ranks, vec![2]);
+    assert_eq!(r.server_totals().ranks_failed, 1);
+    assert_eq!(
+        unique_lines(&r.stdout).len(),
+        40,
+        "victim executed nothing; all 40 tasks ran once on survivors"
+    );
+}
+
+#[test]
+fn batching_ablation_produces_identical_results() {
+    // The E5 ablation knob: the same program under the batched pipeline
+    // and under the PR 1 one-task-per-round-trip protocol must produce
+    // the same task set.
+    let src = r#"foreach i in [0:19] { printf("task %d", i); }"#;
+    let batched = Runtime::new(5).run(src).expect("batched run");
+    let unbatched = Runtime::new(5)
+        .batching(false)
+        .run(src)
+        .expect("unbatched run");
+    let mut a = unique_lines(&batched.stdout);
+    let mut b = unique_lines(&unbatched.stdout);
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a.len(), 20);
+    assert_eq!(a, b, "batching must not change program output");
+}
+
+#[test]
 fn delayed_messages_do_not_break_exactly_once() {
     // Delays reorder nothing (delivery is still per-pair FIFO) but
     // stretch the schedule; the run must still produce every task once.

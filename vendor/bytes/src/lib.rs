@@ -2,53 +2,94 @@
 //!
 //! The build environment has no registry access, so this crate provides
 //! exactly the surface the workspace uses: a cheaply cloneable immutable
-//! byte buffer ([`Bytes`]), a growable builder ([`BytesMut`]) and the
-//! little-endian append methods of the [`BufMut`] trait. `Bytes` is a
-//! whole-buffer `Arc<[u8]>` — no sub-slice views, which the workspace
-//! never takes.
+//! byte buffer ([`Bytes`]) with zero-copy sub-slice views, a growable
+//! builder ([`BytesMut`]) and the little-endian append methods of the
+//! [`BufMut`] trait.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable contiguous byte buffer.
+///
+/// A `Bytes` is a view `(offset, len)` into a shared `Arc<[u8]>`;
+/// [`Bytes::slice`] produces sub-views without copying, like the real
+/// `bytes` crate. This is what lets message payloads alias the arrival
+/// buffer instead of being copied out of it.
 #[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
+    fn whole(data: Arc<[u8]>) -> Self {
+        let end = data.len();
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
+    }
+
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes {
-            data: Arc::from(&[][..]),
-        }
+        Bytes::whole(Arc::from(&[][..]))
     }
 
     /// Wrap a static slice (copied; this stand-in keeps one representation).
     pub fn from_static(b: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(b) }
+        Bytes::whole(Arc::from(b))
     }
 
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(b: &[u8]) -> Self {
-        Bytes { data: Arc::from(b) }
+        Bytes::whole(Arc::from(b))
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
     }
 
     /// Copy out to a `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self[..].to_vec()
+    }
+
+    /// A zero-copy sub-view of this buffer: shares the backing allocation,
+    /// adjusting only the view bounds.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            begin <= end && end <= self.len(),
+            "slice {begin}..{end} out of bounds of {}",
+            self.len()
+        );
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + begin,
+            end: self.start + end,
+        }
     }
 }
 
@@ -61,33 +102,31 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        &self[..]
     }
 }
 
 impl std::borrow::Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        &self[..]
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: v.into() }
+        Bytes::whole(v.into())
     }
 }
 
 impl From<String> for Bytes {
     fn from(s: String) -> Self {
-        Bytes {
-            data: s.into_bytes().into(),
-        }
+        Bytes::whole(s.into_bytes().into())
     }
 }
 
@@ -149,7 +188,7 @@ impl Hash for Bytes {
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fmt_escaped(&self.data, f)
+        fmt_escaped(&self[..], f)
     }
 }
 
@@ -201,9 +240,7 @@ impl BytesMut {
 
     /// Convert into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes {
-            data: self.buf.into(),
-        }
+        Bytes::whole(self.buf.into())
     }
 }
 
@@ -272,6 +309,29 @@ mod tests {
         assert_eq!(&b[b.len() - 3..], b"xyz");
         let c = b.clone();
         assert_eq!(b, c);
+    }
+
+    #[test]
+    fn slices_share_backing_without_copying() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
+        let s = b.slice(2..6);
+        assert_eq!(&s[..], &[2, 3, 4, 5]);
+        // Same allocation: the slice's data pointer sits inside b's range.
+        let base = b.as_ptr() as usize;
+        let view = s.as_ptr() as usize;
+        assert_eq!(view, base + 2);
+        // Sub-slicing a slice composes offsets.
+        let s2 = s.slice(1..=2);
+        assert_eq!(&s2[..], &[3, 4]);
+        assert_eq!(s.slice(..).len(), 4);
+        assert!(s.slice(2..2).is_empty());
+        assert_eq!(format!("{:?}", s2), "b\"\\x03\\x04\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_slice_panics() {
+        Bytes::from(vec![1u8, 2]).slice(1..4);
     }
 
     #[test]
