@@ -1,13 +1,19 @@
 //! The client-side API: what engines and workers call.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
+use std::time::Duration;
 
 use bytes::Bytes;
-use mpisim::{Comm, Rank, TagSel};
+use mpisim::{Comm, Rank, Src, TagSel};
 
 use crate::datastore::DataError;
 use crate::layout::Layout;
-use crate::msg::{Request, Response, Task, TAG_REQ, TAG_RESP};
+use crate::msg::{seal_seq, Request, Response, Task, TAG_REQ, TAG_RESP};
+
+/// How long an awaited request waits for its response before checking
+/// whether the serving rank died. While the server is alive the client
+/// just keeps waiting — the timeout is a liveness probe, not a deadline.
+const RETRY_PROBE: Duration = Duration::from_millis(20);
 
 /// Client-side batching knobs for the pipelined wire protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +31,11 @@ pub struct ClientConfig {
     /// always flushed before any other server round trip, so a client
     /// never parks or reads data while holding unsubmitted work.
     pub put_buffer: usize,
+    /// Flush the buffered stdout stream to the server once it exceeds
+    /// this many bytes (it also flushes before every awaited round trip
+    /// and at `finish`). 0 ships every [`AdlbClient::send_output`]
+    /// immediately.
+    pub output_buffer: usize,
 }
 
 impl Default for ClientConfig {
@@ -32,6 +43,7 @@ impl Default for ClientConfig {
         ClientConfig {
             prefetch: 8,
             put_buffer: 0,
+            output_buffer: 0,
         }
     }
 }
@@ -43,6 +55,7 @@ impl ClientConfig {
         ClientConfig {
             prefetch: 1,
             put_buffer: 0,
+            output_buffer: 0,
         }
     }
 }
@@ -54,6 +67,17 @@ impl ClientConfig {
 /// Unlike the one-message-per-task PR 1 protocol, gets prefetch batches of
 /// tasks and lease acknowledgements ride back in batches (see
 /// [`ClientConfig`]); `DESIGN.md` documents the batched wire protocol.
+///
+/// ## Failover
+///
+/// Every request carries a per-client sequence number; servers replicate
+/// a per-client high-water mark and the last awaited response, so the
+/// protocol is exactly-once across server failures. When the server a
+/// request targets dies mid-wait, the client re-routes to the dead
+/// server's ring successor (which has promoted the replica), re-sends
+/// any unconfirmed fire-and-forget messages, and repeats the request;
+/// duplicates are dropped (or re-answered from the response cache) on
+/// the server side.
 pub struct AdlbClient {
     comm: Comm,
     layout: Layout,
@@ -76,15 +100,32 @@ pub struct AdlbClient {
     pending_acks: Vec<(bool, String)>,
     /// Buffered puts awaiting a flush (only when `config.put_buffer > 0`).
     put_buf: Vec<Task>,
-    /// Cached encoding of the last `Get` request; work types are almost
-    /// always identical call-to-call, so this skips both the `to_vec` and
-    /// the re-encode on the hot path.
+    /// Buffered stdout awaiting a flush (see `ClientConfig::output_buffer`).
+    out_buf: String,
+    /// Cached encoding of the last `Get` request body; work types are
+    /// almost always identical call-to-call, so this skips both the
+    /// `to_vec` and the re-encode on the hot path (the 8-byte seq seal is
+    /// appended per send).
     cached_get: Option<(Vec<u32>, Bytes)>,
     /// Quarantine reports the server attached to its shutdown notice:
     /// tasks that exhausted their retry budget, with the error that
     /// killed the last attempt.
     quarantine_reports: Vec<String>,
+    /// Set when the shutdown notice carried a shard-loss diagnosis: the
+    /// run was aborted, not completed, and callers should fail loudly.
+    abort_reason: Option<String>,
     next_id: u64,
+    /// Last request sequence number used (seq 0 is never sent).
+    next_seq: u64,
+    /// Servers this client observed to be dead (its own view; servers
+    /// confirm independently via the membership protocol).
+    dead: HashSet<Rank>,
+    /// Sealed fire-and-forget messages (acks, output) sent to the home
+    /// server since its last awaited response. If the home dies, these
+    /// may not have reached the replica and are re-sent to the successor
+    /// ahead of the repeated request; the server-side seq dedup drops the
+    /// ones that did make it.
+    unconfirmed: Vec<Bytes>,
 }
 
 impl AdlbClient {
@@ -113,9 +154,14 @@ impl AdlbClient {
             prefetch: VecDeque::new(),
             pending_acks: Vec::new(),
             put_buf: Vec::new(),
+            out_buf: String::new(),
             cached_get: None,
             quarantine_reports: Vec::new(),
+            abort_reason: None,
             next_id: 0,
+            next_seq: 0,
+            dead: HashSet::new(),
+            unconfirmed: Vec::new(),
         }
     }
 
@@ -136,16 +182,93 @@ impl AdlbClient {
         id
     }
 
-    /// One acknowledged round trip. Buffered puts and pending acks are
-    /// flushed first so the server observes this client's operations in
-    /// program order (non-overtaking delivery makes the flushed messages
-    /// land before `req`).
-    fn request(&mut self, server: Rank, req: &Request) -> Response {
+    /// Seal a request body with the next sequence number.
+    fn seal(&mut self, body: &[u8]) -> Bytes {
+        self.next_seq += 1;
+        seal_seq(body, self.next_seq)
+    }
+
+    /// The rank currently serving home server `home`.
+    fn host_of(&self, home: Rank) -> Rank {
+        self.layout.route(home, &self.dead)
+    }
+
+    /// Send a sealed fire-and-forget message to the home server and
+    /// remember it for re-send on failover.
+    fn send_ff(&mut self, body: Bytes) {
+        let sealed = self.seal(&body);
+        self.unconfirmed.push(sealed.clone());
+        let host = self.host_of(self.my_server);
+        self.comm.send(host, TAG_REQ, sealed);
+    }
+
+    /// One awaited round trip against home server `home`, surviving the
+    /// death of the rank serving it: on death, re-route to the ring
+    /// successor, replay unconfirmed fire-and-forget traffic (home server
+    /// only), and repeat the request under its original seq — the
+    /// server-side dedup makes the retry exactly-once.
+    ///
+    /// Responses are received from any rank and matched by their sealed
+    /// seq: after a failover the answer may arrive from the promoted
+    /// successor rather than the rank the request was sent to (the
+    /// successor pushes a dead server's cached responses unprompted), and
+    /// stale duplicates of already-consumed responses must be dropped.
+    fn exchange(&mut self, home: Rank, sealed: Bytes, seq: u64) -> Response {
+        let mut host = self.host_of(home);
+        self.comm.send(host, TAG_REQ, sealed.clone());
+        loop {
+            match self
+                .comm
+                .recv_timeout(Src::Any, TagSel::Of(TAG_RESP), RETRY_PROBE)
+            {
+                Some(m) => {
+                    let (resp, rseq) =
+                        Response::decode_sealed(&m.data).expect("bad server response");
+                    if rseq != seq {
+                        // A re-sent copy of a response this client already
+                        // consumed (failover duplicate): drop it.
+                        continue;
+                    }
+                    if home == self.my_server {
+                        // The response proves the serving rank processed
+                        // (and replicated) everything we sent before this
+                        // request — per-pair FIFO delivery.
+                        self.unconfirmed.clear();
+                    }
+                    return resp;
+                }
+                None => {
+                    if self.comm.is_alive(host) {
+                        continue; // slow, not dead: keep waiting
+                    }
+                    self.dead.insert(host);
+                    let next = self.host_of(home);
+                    eprintln!(
+                        "adlb client {}: server rank {host} died; retrying with rank {next}",
+                        self.comm.rank()
+                    );
+                    if home == self.my_server {
+                        for b in &self.unconfirmed {
+                            self.comm.send(next, TAG_REQ, b.clone());
+                        }
+                    }
+                    self.comm.send(next, TAG_REQ, sealed.clone());
+                    host = next;
+                }
+            }
+        }
+    }
+
+    /// One acknowledged round trip. Buffered puts, output and pending
+    /// acks are flushed first so the server observes this client's
+    /// operations in program order (non-overtaking delivery makes the
+    /// flushed messages land before `req`).
+    fn request(&mut self, home: Rank, req: &Request) -> Response {
         self.flush_puts();
+        self.flush_output();
         self.flush_acks();
-        self.comm.send(server, TAG_REQ, req.encode());
-        let m = self.comm.recv(server, TagSel::Of(TAG_RESP));
-        Response::decode_shared(&m.data).expect("bad server response")
+        let sealed = self.seal(&req.encode());
+        self.exchange(home, sealed, self.next_seq)
     }
 
     fn data_request(&mut self, id: u64, req: &Request) -> Response {
@@ -196,10 +319,10 @@ impl AdlbClient {
         } else {
             Request::PutBatch(batch)
         };
-        // Direct send/recv: request() would recurse into this flush.
-        self.comm.send(self.my_server, TAG_REQ, req.encode());
-        let m = self.comm.recv(self.my_server, TagSel::Of(TAG_RESP));
-        let resp = Response::decode(&m.data).expect("bad server response");
+        // Sealed exchange directly: request() would recurse into this
+        // flush.
+        let sealed = self.seal(&req.encode());
+        let resp = self.exchange(self.my_server, sealed, self.next_seq);
         Self::expect_put_ok(self.comm.rank(), resp);
     }
 
@@ -211,6 +334,33 @@ impl AdlbClient {
             ),
         }
     }
+
+    // -- output streaming -------------------------------------------------
+
+    /// Stream a chunk of this rank's stdout to the server tier, where it
+    /// is accumulated (and replicated) per rank. Output shipped before a
+    /// rank dies survives it — the run's report can include everything
+    /// the dead rank managed to say.
+    pub fn send_output(&mut self, text: &str) {
+        if text.is_empty() {
+            return;
+        }
+        self.out_buf.push_str(text);
+        if self.out_buf.len() >= self.config.output_buffer {
+            self.flush_output();
+        }
+    }
+
+    /// Force out any buffered output now (fire-and-forget).
+    pub fn flush_output(&mut self) {
+        if self.out_buf.is_empty() {
+            return;
+        }
+        let text = std::mem::take(&mut self.out_buf);
+        self.send_ff(Request::Output { text }.encode());
+    }
+
+    // -- leases -----------------------------------------------------------
 
     /// Record the outcome of the task currently handed to the caller, if
     /// any. The ack ships (batched) on the next server trip;
@@ -238,7 +388,7 @@ impl AdlbClient {
         } else {
             Request::TaskDoneBatch { results }
         };
-        self.comm.send(self.my_server, TAG_REQ, req.encode());
+        self.send_ff(req.encode());
     }
 
     /// Report that the most recently delivered task failed in a contained
@@ -259,9 +409,17 @@ impl AdlbClient {
         &self.quarantine_reports
     }
 
-    /// Encoded `Get` for `work_types`, reusing the cached encoding when
-    /// the types match the previous call (cloning [`Bytes`] is an `Arc`
-    /// bump, not a copy).
+    /// The shard-loss diagnosis from the server's shutdown notice, if the
+    /// run was aborted by an unrecoverable server death (replication too
+    /// low to promote a replica). `None` after a clean shutdown — and
+    /// before [`AdlbClient::get`] has returned `None`.
+    pub fn run_aborted(&self) -> Option<&str> {
+        self.abort_reason.as_deref()
+    }
+
+    /// Encoded `Get` body for `work_types`, reusing the cached encoding
+    /// when the types match the previous call (cloning [`Bytes`] is an
+    /// `Arc` bump, not a copy).
     fn encoded_get(&mut self, work_types: &[u32]) -> Bytes {
         match &self.cached_get {
             Some((cached, enc)) if cached == work_types => enc.clone(),
@@ -297,12 +455,12 @@ impl AdlbClient {
         }
         loop {
             self.flush_puts();
+            self.flush_output();
             self.flush_acks();
-            let enc = self.encoded_get(work_types);
-            self.comm.send(self.my_server, TAG_REQ, enc);
-            let m = self.comm.recv(self.my_server, TagSel::Of(TAG_RESP));
+            let body = self.encoded_get(work_types);
+            let sealed = self.seal(&body);
             // Zero-copy decode: task payloads alias the arrival buffer.
-            let resp = Response::decode_shared(&m.data).expect("bad server response");
+            let resp = self.exchange(self.my_server, sealed, self.next_seq);
             match resp {
                 Response::DeliverTask(t) => {
                     self.handed_out = true;
@@ -325,9 +483,13 @@ impl AdlbClient {
                         }
                     }
                 }
-                Response::NoMore { quarantined } => {
+                Response::NoMore {
+                    quarantined,
+                    aborted,
+                } => {
                     self.shutdown_seen = true;
                     self.quarantine_reports = quarantined;
+                    self.abort_reason = aborted;
                     return None;
                 }
                 other => {
@@ -345,6 +507,8 @@ impl AdlbClient {
     /// Declare that this client will issue no further requests. Must be
     /// called by clients that stop calling [`AdlbClient::get`] before
     /// shutdown, or termination detection would wait on them forever.
+    /// Awaited, so a server failover during the handshake is survived
+    /// like any other request.
     pub fn finish(&mut self) {
         if self.shutdown_seen || self.finished_sent {
             return;
@@ -357,11 +521,14 @@ impl AdlbClient {
             self.pending_acks
                 .push((false, "returned unexecuted: client finished".to_string()));
         }
-        self.flush_puts();
-        self.flush_acks();
         self.finished_sent = true;
-        self.comm
-            .send(self.my_server, TAG_REQ, Request::Finished.encode());
+        match self.request(self.my_server, &Request::Finished) {
+            Response::Ok | Response::NoMore { .. } => {}
+            other => eprintln!(
+                "adlb client {}: finish got unexpected response {other:?}",
+                self.comm.rank()
+            ),
+        }
     }
 
     // -- data -------------------------------------------------------------
@@ -737,5 +904,27 @@ mod tests {
         });
         let total: u64 = out.iter().flatten().sum();
         assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn output_streams_accumulate_on_the_server() {
+        let layout = Layout::new(3, 1);
+        let out = World::run(3, move |comm| {
+            if layout.is_server(comm.rank()) {
+                let outcome = crate::server::serve_ext(comm, layout, ServerConfig::default());
+                return outcome
+                    .streams
+                    .iter()
+                    .map(|(r, s)| format!("{r}:{s}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+            }
+            let mut c = AdlbClient::new(comm, layout);
+            c.send_output(&format!("hello from {}", c.rank()));
+            c.send_output("!");
+            c.finish();
+            String::new()
+        });
+        assert_eq!(out[2], "0:hello from 0! 1:hello from 1!");
     }
 }

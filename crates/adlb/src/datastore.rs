@@ -47,7 +47,7 @@ pub enum DatumValue {
 }
 
 /// One typed future.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Datum {
     /// Turbine type tag (opaque to ADLB).
     pub type_tag: u8,
@@ -68,7 +68,7 @@ pub struct Datum {
 pub const TYPE_TAG_CONTAINER: u8 = 100;
 
 /// The shard of the data store owned by one server.
-#[derive(Default)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct DataStore {
     data: HashMap<u64, Datum>,
 }
@@ -89,6 +89,24 @@ impl DataStore {
     #[allow(dead_code)] // diagnostics / tests
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+
+    /// Iterate over resident datums (replica snapshot encoding).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&u64, &Datum)> {
+        self.data.iter()
+    }
+
+    /// Install a datum wholesale (replica snapshot decoding).
+    pub(crate) fn insert_datum(&mut self, id: u64, d: Datum) {
+        self.data.insert(id, d);
+    }
+
+    /// Absorb another shard (failover promotion). Ids are sharded across
+    /// servers, so the two key sets are disjoint in practice; on a
+    /// collision the absorbed shard wins (it is the authoritative replica
+    /// of the dead primary).
+    pub(crate) fn merge(&mut self, other: DataStore) {
+        self.data.extend(other.data);
     }
 
     /// Create a datum (idempotent creation is an error: ids are unique).

@@ -66,9 +66,56 @@ impl Layout {
             .collect()
     }
 
-    /// The server hosting datum `id` (sharded by id).
+    /// The server hosting datum `id` (sharded by id). This is the
+    /// *primary*; with replication the shard also lives on the primary's
+    /// ring successors ([`Layout::successors`]).
     pub fn data_owner(&self, id: u64) -> Rank {
         self.first_server() + (id % self.servers as u64) as usize
+    }
+
+    /// Index of a server rank within the server ring, `0..servers`.
+    pub fn server_index(&self, server: Rank) -> usize {
+        assert!(self.is_server(server));
+        server - self.first_server()
+    }
+
+    /// The next server after `server` on the consistent successor ring
+    /// (wrapping). With one server this is `server` itself.
+    pub fn next_server(&self, server: Rank) -> Rank {
+        let idx = self.server_index(server);
+        self.first_server() + (idx + 1) % self.servers
+    }
+
+    /// The `k` ring successors of `server` (excluding `server` itself),
+    /// capped at the other servers. Replication places a shard on its
+    /// primary plus the first `R - 1` successors.
+    pub fn successors(&self, server: Rank, k: usize) -> Vec<Rank> {
+        let k = k.min(self.servers - 1);
+        let mut out = Vec::with_capacity(k);
+        let mut s = server;
+        for _ in 0..k {
+            s = self.next_server(s);
+            out.push(s);
+        }
+        out
+    }
+
+    /// The first server at or after `server` on the ring that is not in
+    /// `dead`. This is the failover route: requests for a dead server's
+    /// shard go to its first live successor (which holds the replica at
+    /// `replication >= 2`).
+    ///
+    /// # Panics
+    /// Panics if every server is dead.
+    pub fn route(&self, server: Rank, dead: &std::collections::HashSet<Rank>) -> Rank {
+        let mut s = server;
+        for _ in 0..self.servers {
+            if !dead.contains(&s) {
+                return s;
+            }
+            s = self.next_server(s);
+        }
+        panic!("all {} ADLB servers are dead", self.servers);
     }
 }
 
@@ -113,5 +160,29 @@ mod tests {
     #[should_panic]
     fn all_servers_is_invalid() {
         Layout::new(2, 2);
+    }
+
+    #[test]
+    fn ring_successors_wrap() {
+        let l = Layout::new(11, 3); // servers 8, 9, 10
+        assert_eq!(l.next_server(8), 9);
+        assert_eq!(l.next_server(10), 8);
+        assert_eq!(l.successors(9, 2), vec![10, 8]);
+        // k capped at the other servers.
+        assert_eq!(l.successors(9, 7), vec![10, 8]);
+        let l1 = Layout::new(3, 1);
+        assert_eq!(l1.next_server(2), 2);
+        assert!(l1.successors(2, 1).is_empty());
+    }
+
+    #[test]
+    fn route_skips_dead_servers() {
+        use std::collections::HashSet;
+        let l = Layout::new(11, 3);
+        let dead: HashSet<Rank> = [9].into_iter().collect();
+        assert_eq!(l.route(8, &dead), 8);
+        assert_eq!(l.route(9, &dead), 10);
+        let dead2: HashSet<Rank> = [9, 10].into_iter().collect();
+        assert_eq!(l.route(9, &dead2), 8, "route wraps past multiple deaths");
     }
 }

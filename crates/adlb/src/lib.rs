@@ -56,12 +56,16 @@
 mod client;
 mod datastore;
 mod layout;
+mod membership;
 mod msg;
 mod queue;
+mod replica;
 mod server;
 
 pub use client::{AdlbClient, ClientConfig};
 pub use datastore::{DataError, Datum, DatumValue, TYPE_TAG_CONTAINER};
 pub use layout::Layout;
+pub use membership::{MemberState, Membership};
 pub use msg::{Task, WORK_TYPE_CONTROL, WORK_TYPE_NOTIFY, WORK_TYPE_WORK};
-pub use server::{serve, RetryPolicy, ServerConfig, ServerStats};
+pub use replica::{Ledger, ReplOp};
+pub use server::{serve, serve_ext, RetryPolicy, ServerConfig, ServerOutcome, ServerStats};

@@ -1,0 +1,203 @@
+//! Server-tier membership: heartbeat-based failure detection among the
+//! ADLB servers.
+//!
+//! Every server beacons [`ServerMsg::Heartbeat`] to its peers on a short
+//! interval (any message counts as a heartbeat, so busy links never pay
+//! extra traffic). A peer silent past `suspect_after` becomes *suspect*;
+//! a suspect is confirmed against the transport's liveness oracle
+//! ([`mpisim::Comm::is_alive`] — the stand-in for MPI's error handler
+//! callbacks) and either rehabilitated or declared *dead*. Death is
+//! permanent and drives failover: ledger promotion, client re-routing,
+//! and termination-detection reconfiguration.
+//!
+//! The struct is pure logic (no communicator handle) so the protocol's
+//! state machine is unit-testable without a simulated world.
+//!
+//! [`ServerMsg::Heartbeat`]: crate::msg::ServerMsg::Heartbeat
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use mpisim::Rank;
+
+/// Failure-detector verdict for one peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberState {
+    /// Heard from recently.
+    Alive,
+    /// Silent past the suspicion window; pending confirmation.
+    Suspect,
+    /// Confirmed dead (permanent).
+    Dead,
+}
+
+/// Failure detector over a fixed peer set.
+#[derive(Debug)]
+pub struct Membership {
+    state: HashMap<Rank, MemberState>,
+    last_heard: HashMap<Rank, Instant>,
+    suspect_after: std::time::Duration,
+    dead: HashSet<Rank>,
+}
+
+impl Membership {
+    /// Track `peers`, all initially alive as of `now`.
+    pub fn new(
+        peers: impl IntoIterator<Item = Rank>,
+        suspect_after: std::time::Duration,
+        now: Instant,
+    ) -> Self {
+        let mut state = HashMap::new();
+        let mut last_heard = HashMap::new();
+        for p in peers {
+            state.insert(p, MemberState::Alive);
+            last_heard.insert(p, now);
+        }
+        Membership {
+            state,
+            last_heard,
+            suspect_after,
+            dead: HashSet::new(),
+        }
+    }
+
+    /// Record traffic from `peer` (any message is a liveness proof).
+    pub fn heard(&mut self, peer: Rank, now: Instant) {
+        if let Some(s) = self.state.get_mut(&peer) {
+            if *s != MemberState::Dead {
+                *s = MemberState::Alive;
+                self.last_heard.insert(peer, now);
+            }
+        }
+    }
+
+    /// Advance the detector: silent peers become suspect, suspects are
+    /// checked against the liveness oracle. Returns peers newly confirmed
+    /// dead this tick.
+    pub fn tick(&mut self, now: Instant, is_alive: impl Fn(Rank) -> bool) -> Vec<Rank> {
+        let mut newly_dead = Vec::new();
+        for (&peer, s) in self.state.iter_mut() {
+            match *s {
+                MemberState::Alive => {
+                    if now.duration_since(self.last_heard[&peer]) >= self.suspect_after {
+                        *s = MemberState::Suspect;
+                    }
+                }
+                MemberState::Suspect => {
+                    if is_alive(peer) {
+                        // False alarm (slow peer): rehabilitate.
+                        *s = MemberState::Alive;
+                        self.last_heard.insert(peer, now);
+                    } else {
+                        *s = MemberState::Dead;
+                        self.dead.insert(peer);
+                        newly_dead.push(peer);
+                    }
+                }
+                MemberState::Dead => {}
+            }
+        }
+        newly_dead.sort_unstable();
+        newly_dead
+    }
+
+    /// Declare `peer` dead out-of-band (a request already implicated it
+    /// and the oracle confirmed). Returns `true` if this is news.
+    pub fn mark_dead(&mut self, peer: Rank) -> bool {
+        match self.state.get_mut(&peer) {
+            Some(s) if *s != MemberState::Dead => {
+                *s = MemberState::Dead;
+                self.dead.insert(peer);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Current verdict for `peer` (peers not tracked read as alive).
+    pub fn state_of(&self, peer: Rank) -> MemberState {
+        self.state
+            .get(&peer)
+            .copied()
+            .unwrap_or(MemberState::Alive)
+    }
+
+    /// The confirmed-dead set.
+    pub fn dead(&self) -> &HashSet<Rank> {
+        &self.dead
+    }
+
+    /// Whether `peer` is confirmed dead.
+    pub fn is_dead(&self, peer: Rank) -> bool {
+        self.dead.contains(&peer)
+    }
+
+    /// Peers not confirmed dead, sorted.
+    pub fn live_peers(&self) -> Vec<Rank> {
+        let mut live: Vec<Rank> = self
+            .state
+            .keys()
+            .copied()
+            .filter(|p| !self.dead.contains(p))
+            .collect();
+        live.sort_unstable();
+        live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const WINDOW: Duration = Duration::from_millis(10);
+
+    #[test]
+    fn silence_then_dead_oracle_confirms() {
+        let t0 = Instant::now();
+        let mut m = Membership::new([8, 9], WINDOW, t0);
+        assert!(m.tick(t0, |_| true).is_empty());
+        // Both silent past the window: suspect, then oracle says 9 died.
+        let t1 = t0 + WINDOW;
+        assert!(m.tick(t1, |_| true).is_empty(), "first tick only suspects");
+        assert_eq!(m.state_of(8), MemberState::Suspect);
+        let newly = m.tick(t1, |r| r != 9);
+        assert_eq!(newly, vec![9]);
+        assert_eq!(m.state_of(9), MemberState::Dead);
+        assert!(m.is_dead(9));
+        assert_eq!(m.live_peers(), vec![8]);
+        // 8 was rehabilitated by the oracle.
+        assert_eq!(m.state_of(8), MemberState::Alive);
+        // Death is permanent: later traffic cannot resurrect 9.
+        m.heard(9, t1);
+        assert_eq!(m.state_of(9), MemberState::Dead);
+        // And it is only reported once: 8 goes suspect, then dead, while
+        // 9's death is never re-announced.
+        assert!(m.tick(t1 + WINDOW, |_| false).is_empty());
+        let again = m.tick(t1 + WINDOW, |_| false);
+        assert!(again.contains(&8));
+        assert!(!again.contains(&9));
+    }
+
+    #[test]
+    fn traffic_resets_the_window() {
+        let t0 = Instant::now();
+        let mut m = Membership::new([8], WINDOW, t0);
+        for i in 1..10 {
+            m.heard(8, t0 + WINDOW / 2 * i);
+            assert!(m.tick(t0 + WINDOW / 2 * i, |_| false).is_empty());
+        }
+        assert_eq!(m.state_of(8), MemberState::Alive);
+    }
+
+    #[test]
+    fn mark_dead_is_idempotent_news() {
+        let t0 = Instant::now();
+        let mut m = Membership::new([8, 9], WINDOW, t0);
+        assert!(m.mark_dead(9));
+        assert!(!m.mark_dead(9), "second report is not news");
+        assert!(m.is_dead(9));
+        // tick never re-reports an out-of-band death.
+        assert!(m.tick(t0 + WINDOW * 3, |r| r == 8).is_empty());
+    }
+}

@@ -3,6 +3,8 @@
 use bytes::Bytes;
 use mpisim::{Rank, Tag, WireError, WireReader, WireWriter};
 
+use crate::replica::{Ledger, ReplOp};
+
 /// Control work (engine-to-engine dataflow bookkeeping).
 pub const WORK_TYPE_CONTROL: u32 = 0;
 /// Ordinary leaf tasks executed by workers.
@@ -44,7 +46,7 @@ impl Task {
         }
     }
 
-    fn encode_into(&self, w: &mut WireWriter) {
+    pub(crate) fn encode_into(&self, w: &mut WireWriter) {
         w.put_u32(self.work_type);
         w.put_i64(self.priority as i64);
         w.put_i64(self.target.map(|t| t as i64).unwrap_or(-1));
@@ -52,7 +54,7 @@ impl Task {
         w.put_bytes(&self.payload);
     }
 
-    fn decode_from(r: &mut WireReader) -> Result<Task, WireError> {
+    pub(crate) fn decode_from(r: &mut WireReader) -> Result<Task, WireError> {
         let work_type = r.get_u32()?;
         let priority = r.get_i64()? as i32;
         let target = match r.get_i64()? {
@@ -73,20 +75,32 @@ impl Task {
     }
 }
 
-fn encode_task_list(w: &mut WireWriter, tasks: &[Task]) {
+pub(crate) fn encode_task_list(w: &mut WireWriter, tasks: &[Task]) {
     w.put_u32(tasks.len() as u32);
     for t in tasks {
         t.encode_into(w);
     }
 }
 
-fn decode_task_list(r: &mut WireReader) -> Result<Vec<Task>, WireError> {
+pub(crate) fn decode_task_list(r: &mut WireReader) -> Result<Vec<Task>, WireError> {
     let n = r.get_u32()? as usize;
     let mut tasks = Vec::with_capacity(n.min(4096));
     for _ in 0..n {
         tasks.push(Task::decode_from(r)?);
     }
     Ok(tasks)
+}
+
+/// Append a client's per-message sequence number to an encoded request
+/// body. Every client→server message on the wire is sealed this way; the
+/// server deduplicates re-sent messages after a failover by
+/// `(client, seq)`. The seq trails the body so cached encodings (e.g. the
+/// client's repeated `Get`) can be reused byte-for-byte.
+pub fn seal_seq(body: &[u8], seq: u64) -> Bytes {
+    let mut buf = Vec::with_capacity(body.len() + 8);
+    buf.extend_from_slice(body);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    Bytes::from(buf)
 }
 
 /// Client → server requests.
@@ -118,6 +132,12 @@ pub enum Request {
     /// server, so N tasks cost one ack message.
     TaskDoneBatch {
         results: Vec<(bool, String)>,
+    },
+    /// Incremental stdout from a client (fire-and-forget). The server
+    /// accumulates and replicates each client's stream so output produced
+    /// before a rank death survives it.
+    Output {
+        text: String,
     },
     DataCreate {
         id: u64,
@@ -172,9 +192,11 @@ pub enum Response {
     DeliverBatch(Vec<Task>),
     /// Shutdown: no more work will ever arrive. Carries the (capped)
     /// quarantine reports of the responding server so clients can explain
-    /// why some dataflow never completed.
+    /// why some dataflow never completed, and — when the run was cut
+    /// short by an unrecoverable server loss — the abort diagnosis.
     NoMore {
         quarantined: Vec<String>,
+        aborted: Option<String>,
     },
     Error(String),
 }
@@ -182,8 +204,18 @@ pub enum Response {
 /// Server ↔ server messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServerMsg {
-    /// Move a task to the server owning its destination.
-    Forward(Task),
+    /// Move a task to the server owning its destination. `dest` is the
+    /// *home* server the task belongs to (which may be dead — the message
+    /// is then addressed to its promoted successor), `origin` the server
+    /// whose transfer ledger carries the entry, and `fseq` the per-
+    /// `(origin, dest)` write-ahead transfer sequence number used for
+    /// exactly-once application across failovers.
+    Forward {
+        origin: Rank,
+        dest: Rank,
+        fseq: u64,
+        task: Task,
+    },
     StealReq {
         thief: Rank,
         work_types: Vec<u32>,
@@ -192,7 +224,13 @@ pub enum ServerMsg {
         /// never less than half its eligible queue).
         need: u32,
     },
+    /// Stolen tasks, shipped under the same write-ahead transfer protocol
+    /// as [`ServerMsg::Forward`] (`fseq == 0` marks an empty response,
+    /// which transfers nothing and is not replicated).
     StealResp {
+        origin: Rank,
+        dest: Rank,
+        fseq: u64,
         tasks: Vec<Task>,
     },
     /// Termination-detection poll from the master.
@@ -206,23 +244,73 @@ pub enum ServerMsg {
         fwd_out: u64,
         fwd_in: u64,
     },
-    Shutdown,
+    /// Global shutdown, carrying the (capped) quarantine reports gathered
+    /// by the master so every server can hand them to its clients.
+    Shutdown {
+        reports: Vec<String>,
+    },
+    /// Liveness beacon between servers (membership protocol). Any message
+    /// counts as a heartbeat; this one exists for otherwise-idle servers.
+    Heartbeat,
+    /// Write-through replication: state-changing ops a primary streams to
+    /// the ring successors holding its replica ledger.
+    Repl {
+        ops: Vec<ReplOp>,
+    },
+    /// Full replica state, sent when a server (re)gains a replica holder —
+    /// at startup, after a membership change reshapes the ring, or after a
+    /// promotion merges a dead server's ledger.
+    Snapshot {
+        ledger: Ledger,
+    },
+    /// Receiver has durably applied transfer `fseq` from `origin`'s ledger
+    /// toward home `dest`; the sender may retire the write-ahead entry.
+    XferAck {
+        origin: Rank,
+        dest: Rank,
+        fseq: u64,
+    },
+    /// Sent as a server's very last message after global termination: every
+    /// shutdown `NoMore` this server owed its clients precedes the `Bye`
+    /// in its send stream, and sends complete in program order — so a
+    /// delivered `Bye` is a receipt that those notices left too. Peers
+    /// linger until every live peer says `Bye`; a peer that dies instead
+    /// gets its replica promoted so its stranded clients still get their
+    /// shutdown notices.
+    Bye,
 }
 
-fn put_u32_list(w: &mut WireWriter, v: &[u32]) {
+pub(crate) fn put_u32_list(w: &mut WireWriter, v: &[u32]) {
     w.put_u32(v.len() as u32);
     for x in v {
         w.put_u32(*x);
     }
 }
 
-fn get_u32_list(r: &mut WireReader) -> Result<Vec<u32>, WireError> {
+pub(crate) fn get_u32_list(r: &mut WireReader) -> Result<Vec<u32>, WireError> {
     let n = r.get_u32()? as usize;
     (0..n).map(|_| r.get_u32()).collect()
 }
 
+pub(crate) fn put_str_list(w: &mut WireWriter, v: &[String]) {
+    w.put_u32(v.len() as u32);
+    for s in v {
+        w.put_str(s);
+    }
+}
+
+pub(crate) fn get_str_list(r: &mut WireReader) -> Result<Vec<String>, WireError> {
+    let n = r.get_u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        out.push(r.get_str()?.to_string());
+    }
+    Ok(out)
+}
+
 impl Request {
-    /// Serialize for the wire.
+    /// Serialize the request body. The wire form additionally carries the
+    /// client's sequence number — see [`seal_seq`].
     pub fn encode(&self) -> Bytes {
         let mut w = WireWriter::new();
         match self {
@@ -305,25 +393,30 @@ impl Request {
                     w.put_str(error);
                 }
             }
+            Request::Output { text } => {
+                w.put_u8(16);
+                w.put_str(text);
+            }
         }
         w.finish()
     }
 
-    /// Deserialize from the wire (payload bytes copied out of `buf`).
-    /// The live protocol paths use [`Request::decode_shared`]; this form
-    /// decodes from a bare slice for tests and tooling.
+    /// Deserialize a sealed wire message into `(request, seq)` (payload
+    /// bytes copied out of `buf`). The live protocol paths use
+    /// [`Request::decode_shared`]; this form decodes from a bare slice for
+    /// tests and tooling.
     #[allow(dead_code)]
-    pub fn decode(buf: &[u8]) -> Result<Request, WireError> {
+    pub fn decode(buf: &[u8]) -> Result<(Request, u64), WireError> {
         Self::decode_reader(WireReader::new(buf))
     }
 
-    /// Deserialize from an arrival buffer; task payloads alias `buf`
-    /// (zero-copy) instead of being copied out of it.
-    pub fn decode_shared(buf: &Bytes) -> Result<Request, WireError> {
+    /// Deserialize a sealed wire message from an arrival buffer; task
+    /// payloads alias `buf` (zero-copy) instead of being copied out of it.
+    pub fn decode_shared(buf: &Bytes) -> Result<(Request, u64), WireError> {
         Self::decode_reader(WireReader::shared(buf))
     }
 
-    fn decode_reader(mut r: WireReader) -> Result<Request, WireError> {
+    fn decode_reader(mut r: WireReader) -> Result<(Request, u64), WireError> {
         let kind = r.get_u8()?;
         let req = match kind {
             0 => Request::Put(Task::decode_from(&mut r)?),
@@ -376,6 +469,9 @@ impl Request {
                 }
                 Request::TaskDoneBatch { results }
             }
+            16 => Request::Output {
+                text: r.get_str()?.to_string(),
+            },
             _ => {
                 return Err(WireError {
                     context: "unknown request kind",
@@ -383,8 +479,9 @@ impl Request {
                 })
             }
         };
+        let seq = r.get_u64()?;
         r.expect_end()?;
-        Ok(req)
+        Ok((req, seq))
     }
 }
 
@@ -424,11 +521,23 @@ impl Response {
                 w.put_u8(4);
                 t.encode_into(&mut w);
             }
-            Response::NoMore { quarantined } => {
+            Response::NoMore {
+                quarantined,
+                aborted,
+            } => {
                 w.put_u8(5);
                 w.put_u32(quarantined.len() as u32);
                 for q in quarantined {
                     w.put_str(q);
+                }
+                match aborted {
+                    None => {
+                        w.put_u8(0);
+                    }
+                    Some(a) => {
+                        w.put_u8(1);
+                        w.put_str(a);
+                    }
                 }
             }
             Response::Error(e) => {
@@ -444,17 +553,40 @@ impl Response {
     }
 
     /// Deserialize from the wire (payload bytes copied out of `buf`).
+    #[cfg(test)]
     pub fn decode(buf: &[u8]) -> Result<Response, WireError> {
         Self::decode_reader(WireReader::new(buf))
     }
 
     /// Deserialize from an arrival buffer; task payloads alias `buf`
     /// (zero-copy) instead of being copied out of it.
+    #[cfg(test)]
     pub fn decode_shared(buf: &Bytes) -> Result<Response, WireError> {
         Self::decode_reader(WireReader::shared(buf))
     }
 
+    /// Deserialize a sealed response from an arrival buffer into
+    /// `(response, seq)`, where `seq` identifies the request it answers.
+    /// Clients match the seq against their outstanding request and drop
+    /// anything else — a failover may re-send cached responses the client
+    /// already consumed, and those duplicates must not be mistaken for
+    /// the answer to a later request.
+    pub fn decode_sealed(buf: &Bytes) -> Result<(Response, u64), WireError> {
+        let mut r = WireReader::shared(buf);
+        let resp = Self::decode_body(&mut r)?;
+        let seq = r.get_u64()?;
+        r.expect_end()?;
+        Ok((resp, seq))
+    }
+
+    #[cfg(test)]
     fn decode_reader(mut r: WireReader) -> Result<Response, WireError> {
+        let resp = Self::decode_body(&mut r)?;
+        r.expect_end()?;
+        Ok(resp)
+    }
+
+    fn decode_body(r: &mut WireReader) -> Result<Response, WireError> {
         let resp = match r.get_u8()? {
             0 => Response::Ok,
             1 => Response::Bool(r.get_u8()? != 0),
@@ -475,17 +607,24 @@ impl Response {
                 }
                 Response::Pairs(pairs)
             }
-            4 => Response::DeliverTask(Task::decode_from(&mut r)?),
+            4 => Response::DeliverTask(Task::decode_from(r)?),
             5 => {
                 let n = r.get_u32()? as usize;
                 let mut quarantined = Vec::with_capacity(n.min(64));
                 for _ in 0..n {
                     quarantined.push(r.get_str()?.to_string());
                 }
-                Response::NoMore { quarantined }
+                let aborted = match r.get_u8()? {
+                    0 => None,
+                    _ => Some(r.get_str()?.to_string()),
+                };
+                Response::NoMore {
+                    quarantined,
+                    aborted,
+                }
             }
             6 => Response::Error(r.get_str()?.to_string()),
-            7 => Response::DeliverBatch(decode_task_list(&mut r)?),
+            7 => Response::DeliverBatch(decode_task_list(r)?),
             _ => {
                 return Err(WireError {
                     context: "unknown response kind",
@@ -493,7 +632,6 @@ impl Response {
                 })
             }
         };
-        r.expect_end()?;
         Ok(resp)
     }
 }
@@ -503,9 +641,17 @@ impl ServerMsg {
     pub fn encode(&self) -> Bytes {
         let mut w = WireWriter::new();
         match self {
-            ServerMsg::Forward(t) => {
+            ServerMsg::Forward {
+                origin,
+                dest,
+                fseq,
+                task,
+            } => {
                 w.put_u8(0);
-                t.encode_into(&mut w);
+                w.put_u64(*origin as u64);
+                w.put_u64(*dest as u64);
+                w.put_u64(*fseq);
+                task.encode_into(&mut w);
             }
             ServerMsg::StealReq {
                 thief,
@@ -517,12 +663,17 @@ impl ServerMsg {
                 put_u32_list(&mut w, work_types);
                 w.put_u32(*need);
             }
-            ServerMsg::StealResp { tasks } => {
+            ServerMsg::StealResp {
+                origin,
+                dest,
+                fseq,
+                tasks,
+            } => {
                 w.put_u8(2);
-                w.put_u32(tasks.len() as u32);
-                for t in tasks {
-                    t.encode_into(&mut w);
-                }
+                w.put_u64(*origin as u64);
+                w.put_u64(*dest as u64);
+                w.put_u64(*fseq);
+                encode_task_list(&mut w, tasks);
             }
             ServerMsg::Check { round } => {
                 w.put_u8(3);
@@ -542,8 +693,32 @@ impl ServerMsg {
                 w.put_u64(*fwd_out);
                 w.put_u64(*fwd_in);
             }
-            ServerMsg::Shutdown => {
+            ServerMsg::Shutdown { reports } => {
                 w.put_u8(5);
+                put_str_list(&mut w, reports);
+            }
+            ServerMsg::Heartbeat => {
+                w.put_u8(6);
+            }
+            ServerMsg::Repl { ops } => {
+                w.put_u8(7);
+                w.put_u32(ops.len() as u32);
+                for op in ops {
+                    op.encode_into(&mut w);
+                }
+            }
+            ServerMsg::Snapshot { ledger } => {
+                w.put_u8(8);
+                ledger.encode_into(&mut w);
+            }
+            ServerMsg::XferAck { origin, dest, fseq } => {
+                w.put_u8(9);
+                w.put_u64(*origin as u64);
+                w.put_u64(*dest as u64);
+                w.put_u64(*fseq);
+            }
+            ServerMsg::Bye => {
+                w.put_u8(10);
             }
         }
         w.finish()
@@ -565,20 +740,23 @@ impl ServerMsg {
 
     fn decode_reader(mut r: WireReader) -> Result<ServerMsg, WireError> {
         let msg = match r.get_u8()? {
-            0 => ServerMsg::Forward(Task::decode_from(&mut r)?),
+            0 => ServerMsg::Forward {
+                origin: r.get_u64()? as Rank,
+                dest: r.get_u64()? as Rank,
+                fseq: r.get_u64()?,
+                task: Task::decode_from(&mut r)?,
+            },
             1 => ServerMsg::StealReq {
                 thief: r.get_u64()? as Rank,
                 work_types: get_u32_list(&mut r)?,
                 need: r.get_u32()?,
             },
-            2 => {
-                let n = r.get_u32()? as usize;
-                let mut tasks = Vec::with_capacity(n);
-                for _ in 0..n {
-                    tasks.push(Task::decode_from(&mut r)?);
-                }
-                ServerMsg::StealResp { tasks }
-            }
+            2 => ServerMsg::StealResp {
+                origin: r.get_u64()? as Rank,
+                dest: r.get_u64()? as Rank,
+                fseq: r.get_u64()?,
+                tasks: decode_task_list(&mut r)?,
+            },
             3 => ServerMsg::Check {
                 round: r.get_u64()?,
             },
@@ -589,7 +767,27 @@ impl ServerMsg {
                 fwd_out: r.get_u64()?,
                 fwd_in: r.get_u64()?,
             },
-            5 => ServerMsg::Shutdown,
+            5 => ServerMsg::Shutdown {
+                reports: get_str_list(&mut r)?,
+            },
+            6 => ServerMsg::Heartbeat,
+            7 => {
+                let n = r.get_u32()? as usize;
+                let mut ops = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    ops.push(ReplOp::decode_from(&mut r)?);
+                }
+                ServerMsg::Repl { ops }
+            }
+            8 => ServerMsg::Snapshot {
+                ledger: Ledger::decode_from(&mut r)?,
+            },
+            9 => ServerMsg::XferAck {
+                origin: r.get_u64()? as Rank,
+                dest: r.get_u64()? as Rank,
+                fseq: r.get_u64()?,
+            },
+            10 => ServerMsg::Bye,
             _ => {
                 return Err(WireError {
                     context: "unknown server message kind",
@@ -647,6 +845,9 @@ mod tests {
                 ok: false,
                 error: "NameError: x is not defined".into(),
             },
+            Request::Output {
+                text: "line one\nline two\n".into(),
+            },
             Request::DataCreate { id: 7, type_tag: 3 },
             Request::DataStore {
                 id: 9,
@@ -668,9 +869,10 @@ mod tests {
             Request::DataExists { id: 0 },
             Request::DataIncrWriters { id: 3, delta: -1 },
         ];
-        for c in cases {
-            let enc = c.encode();
-            assert_eq!(Request::decode(&enc).unwrap(), c);
+        for (i, c) in cases.into_iter().enumerate() {
+            let seq = i as u64 + 1;
+            let wire = seal_seq(&c.encode(), seq);
+            assert_eq!(Request::decode(&wire).unwrap(), (c, seq));
         }
     }
 
@@ -691,9 +893,15 @@ mod tests {
             Response::DeliverBatch(vec![]),
             Response::NoMore {
                 quarantined: vec![],
+                aborted: None,
             },
             Response::NoMore {
                 quarantined: vec!["task failed 4 attempts: boom".into()],
+                aborted: None,
+            },
+            Response::NoMore {
+                quarantined: vec![],
+                aborted: Some("server rank 3 died and its shard is unrecoverable".into()),
             },
             Response::Error("bad thing".into()),
         ];
@@ -705,14 +913,28 @@ mod tests {
     #[test]
     fn server_msg_round_trips() {
         let cases = vec![
-            ServerMsg::Forward(task(1, 2, Some(5))),
+            ServerMsg::Forward {
+                origin: 9,
+                dest: 8,
+                fseq: 4,
+                task: task(1, 2, Some(5)),
+            },
             ServerMsg::StealReq {
                 thief: 8,
                 work_types: vec![1],
                 need: 3,
             },
             ServerMsg::StealResp {
+                origin: 9,
+                dest: 8,
+                fseq: 2,
                 tasks: vec![task(1, 0, None), task(1, 9, None)],
+            },
+            ServerMsg::StealResp {
+                origin: 9,
+                dest: 8,
+                fseq: 0,
+                tasks: vec![],
             },
             ServerMsg::Check { round: 3 },
             ServerMsg::CheckResp {
@@ -722,7 +944,17 @@ mod tests {
                 fwd_out: 5,
                 fwd_in: 5,
             },
-            ServerMsg::Shutdown,
+            ServerMsg::Shutdown { reports: vec![] },
+            ServerMsg::Shutdown {
+                reports: vec!["task quarantined: boom".into()],
+            },
+            ServerMsg::Heartbeat,
+            ServerMsg::XferAck {
+                origin: 8,
+                dest: 9,
+                fseq: 11,
+            },
+            ServerMsg::Bye,
         ];
         for c in cases {
             assert_eq!(ServerMsg::decode(&c.encode()).unwrap(), c);
@@ -731,7 +963,7 @@ mod tests {
 
     #[test]
     fn truncated_messages_error() {
-        let enc = Request::Put(task(1, 1, None)).encode();
+        let enc = seal_seq(&Request::Put(task(1, 1, None)).encode(), 1);
         assert!(Request::decode(&enc[..enc.len() - 1]).is_err());
         assert!(Request::decode(&[99]).is_err());
     }
@@ -757,8 +989,9 @@ mod tests {
         // The copying decoder must NOT alias (callers may hold the payload
         // after the arrival buffer is gone — here both are owned, but the
         // contract is distinct allocations).
-        match Request::decode_shared(&Request::Put(task(1, 0, None)).encode()).unwrap() {
-            Request::Put(t) => assert_eq!(&t.payload[..], &task(1, 0, None).payload[..]),
+        let sealed = seal_seq(&Request::Put(task(1, 0, None)).encode(), 5);
+        match Request::decode_shared(&sealed).unwrap() {
+            (Request::Put(t), 5) => assert_eq!(&t.payload[..], &task(1, 0, None).payload[..]),
             other => panic!("wrong variant: {other:?}"),
         }
     }

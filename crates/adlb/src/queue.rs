@@ -132,6 +132,20 @@ impl WorkQueue {
         }
     }
 
+    /// Every queued task, cloned, in no particular order (the replica
+    /// ledger stores the queue as a multiset; promotion re-pushes and the
+    /// priority heaps re-sort).
+    pub fn snapshot(&self) -> Vec<Task> {
+        let mut out = Vec::with_capacity(self.len);
+        for heap in self.untargeted.values() {
+            out.extend(heap.iter().map(|e| e.task.clone()));
+        }
+        for heap in self.targeted.values() {
+            out.extend(heap.iter().map(|e| e.task.clone()));
+        }
+        out
+    }
+
     /// Remove every task targeted at `rank` (all work types). Used when a
     /// rank dies: its pinned tasks must be dropped or retargeted, or they
     /// would sit in the queue forever and block termination.

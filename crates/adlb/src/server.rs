@@ -3,8 +3,17 @@
 //! A server owns: the work queues for its clients, one shard of the data
 //! store, the work-stealing policy, and (on the master server) the
 //! termination-detection protocol. Everything is message-driven; the only
-//! timer is a short receive timeout that paces steal attempts and
-//! termination polls.
+//! timer is a short receive timeout that paces steal attempts, heartbeats
+//! and termination polls.
+//!
+//! With `replication >= 2` the server additionally mirrors its
+//! recoverable state (a [`Ledger`]) on its ring successors, streams every
+//! state change to them *before* any client-visible response leaves this
+//! rank (write-through), and participates in the heartbeat membership
+//! protocol — see [`crate::replica`] and [`crate::membership`]. When a
+//! peer dies, the first live successor merges the dead peer's ledger into
+//! its own live state and serves the shard in its place; the other
+//! servers re-route their in-flight task transfers and carry on.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
@@ -14,8 +23,10 @@ use mpisim::{Comm, Rank, Src, TagSel};
 
 use crate::datastore::DataStore;
 use crate::layout::Layout;
-use crate::msg::{Request, Response, ServerMsg, Task, TAG_REQ, TAG_RESP, TAG_SRV};
+use crate::membership::Membership;
+use crate::msg::{seal_seq, Request, Response, ServerMsg, Task, TAG_REQ, TAG_RESP, TAG_SRV};
 use crate::queue::WorkQueue;
+use crate::replica::{Ledger, ReplOp, Xfer};
 
 /// How a server treats tasks whose holder died or reported failure.
 #[derive(Debug, Clone, Copy)]
@@ -27,10 +38,12 @@ pub struct RetryPolicy {
     /// requeued, so repeatedly failing work drifts behind fresh work
     /// instead of hot-looping at the head of the queue.
     pub priority_penalty: i32,
-    /// If set, a lease older than this is revoked and its task requeued
-    /// even though the holder still looks alive. `None` (the default)
-    /// trusts liveness detection alone, which preserves exactly-once
-    /// delivery for slow-but-alive clients.
+    /// A lease older than this is revoked and its task requeued even
+    /// though the holder still looks alive. On by default (30 s — far
+    /// beyond any healthy task round trip, so it only fires on truly
+    /// wedged holders); set `None` to trust liveness detection alone,
+    /// which preserves exactly-once delivery for arbitrarily slow
+    /// clients.
     pub lease_timeout: Option<Duration>,
 }
 
@@ -39,7 +52,7 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_retries: 3,
             priority_penalty: 1,
-            lease_timeout: None,
+            lease_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -58,6 +71,16 @@ pub struct ServerConfig {
     pub notify_priority: i32,
     /// Retry/requeue policy for failed tasks and dead clients.
     pub retry: RetryPolicy,
+    /// Copies of each server's recoverable state, counting the primary.
+    /// 1 disables replication (a dead server's shard is lost and every
+    /// survivor winds the run down with a diagnosis); `R >= 2` survives
+    /// `R - 1` server deaths with full failover.
+    pub replication: usize,
+    /// How often an otherwise-idle server beacons liveness to its peers.
+    pub heartbeat_interval: Duration,
+    /// Peer silence beyond this marks it suspect; suspects are confirmed
+    /// against the transport's liveness oracle before failover starts.
+    pub suspect_after: Duration,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +90,9 @@ impl Default for ServerConfig {
             steal_enabled: true,
             notify_priority: i32::MAX,
             retry: RetryPolicy::default(),
+            replication: 1,
+            heartbeat_interval: Duration::from_millis(1),
+            suspect_after: Duration::from_millis(10),
         }
     }
 }
@@ -103,12 +129,51 @@ pub struct ServerStats {
     /// Tasks delivered beyond the first of a `DeliverBatch` — round trips
     /// the prefetch pipeline saved clients.
     pub tasks_prefetched: u64,
+    /// Dead-server shards this server promoted and took over.
+    pub failovers: u64,
+    /// Replication ops shipped to replica holders (write amplification:
+    /// one op counted once per holder it was sent to).
+    pub repl_ops: u64,
+}
+
+/// Everything a server hands back at shutdown: counters, the stdout
+/// streams its clients uploaded, and which streams are known-truncated
+/// (their rank died mid-run).
+#[derive(Debug, Clone, Default)]
+pub struct ServerOutcome {
+    /// Monitoring counters.
+    pub stats: ServerStats,
+    /// Accumulated stdout per client rank, sorted by rank.
+    pub streams: Vec<(Rank, String)>,
+    /// Ranks whose stream may be missing output (the rank died, or its
+    /// unreplicated stream died with its server).
+    pub truncated: Vec<Rank>,
 }
 
 /// An in-flight task: delivered to a client, not yet acknowledged.
 struct Lease {
     task: Task,
     since: Instant,
+}
+
+/// A parked `Get`, waiting for matching work.
+#[derive(Clone)]
+struct Parked {
+    rank: Rank,
+    work_types: Vec<u32>,
+    max_tasks: u32,
+    /// The request's dedup seq — recorded (with the cached response) only
+    /// when the `Get` is finally answered, so a re-sent copy of a parked
+    /// `Get` after failover is processed fresh instead of dropped.
+    seq: u64,
+}
+
+/// A write-ahead transfer awaiting its receiver's ack, plus where the
+/// wire message was last sent (`None`: inherited from a dead peer's
+/// ledger and not yet re-driven).
+struct PendingXfer {
+    x: Xfer,
+    sent_to: Option<Rank>,
 }
 
 struct Server {
@@ -118,8 +183,11 @@ struct Server {
     queue: WorkQueue,
     store: DataStore,
     /// Parked GET requests in arrival order.
-    parked: Vec<(Rank, Vec<u32>)>,
+    parked: Vec<Parked>,
     finished: HashSet<Rank>,
+    /// Clients this server is responsible for: its layout clients plus
+    /// any adopted from dead peers.
+    my_clients: HashSet<Rank>,
     /// Tasks delivered to clients and not yet acknowledged, keyed by the
     /// holder's rank. A client may hold a whole prefetched batch; leases
     /// are released oldest-first because clients acknowledge in execution
@@ -137,11 +205,66 @@ struct Server {
     /// One human-readable report per quarantined task (the error of its
     /// final attempt); shipped to clients with the shutdown notice.
     quarantine_reports: Vec<String>,
-    my_client_count: usize,
-    epoch: u64,
-    fwd_out: u64,
-    fwd_in: u64,
+    /// Per-client request dedup high-water mark (see [`ReplOp::SeqResp`]).
+    client_seqs: HashMap<Rank, u64>,
+    /// Cached encoded response for each client's last awaited request,
+    /// re-sent verbatim when a failover makes the client repeat it.
+    client_resps: HashMap<Rank, (u64, Bytes)>,
+    /// Accumulated stdout stream per client.
+    outputs: HashMap<Rank, String>,
+    /// Ranks whose stream is known-incomplete.
+    truncated: HashSet<Rank>,
+    // -- replication -----------------------------------------------------
+    /// Peer failure detector (empty with one server).
+    membership: Membership,
+    /// Replica ledgers this server holds for its ring predecessors.
+    ledgers: HashMap<Rank, Ledger>,
+    /// Current replica holders for *this* server's ledger.
+    repl_targets: Vec<Rank>,
+    /// Write-ahead transfer entries not yet acked by their receiver.
+    pending_xfers: Vec<PendingXfer>,
+    /// Last used outbound transfer seq per destination home (origin=me).
+    next_fseq: HashMap<Rank, u64>,
+    /// Applied inbound transfer high-water per `(dest home, origin)`.
+    xfer_applied: HashMap<(Rank, Rank), u64>,
+    /// Homes whose shard was lost (died with no replica to promote).
+    lost_homes: HashSet<Rank>,
+    /// Winding down after an unrecoverable peer death (replication=1):
+    /// every `Get` is answered `NoMore`, lost-shard data ops get benign
+    /// defaults, and the server exits once its clients are accounted for.
+    aborting: bool,
+    /// The shard-loss diagnosis, attached to every `NoMore` so clients
+    /// can fail the run instead of mistaking the wind-down for a clean
+    /// finish.
+    abort_reason: Option<String>,
+    /// Global termination has been decided and this server is in its
+    /// post-shutdown linger: every remaining `Get` is answered `NoMore`,
+    /// and a peer death no longer aborts anything — the run already
+    /// completed; failover now only re-delivers shutdown notices.
+    shutdown: bool,
+    /// Peers whose `Bye` (final message after their shutdown notices) has
+    /// arrived. The linger ends when every live peer has said goodbye.
+    byes: HashSet<Rank>,
+    /// Clients adopted from a peer that died mid-shutdown whose terminal
+    /// notices cannot be proven delivered (not marked finished in the
+    /// merged replica). The linger must answer each one's retried request
+    /// before exiting — otherwise the retry lands in an exited rank's
+    /// mailbox and the client waits forever, since exited ranks still
+    /// read alive.
+    stranded: HashSet<Rank>,
+    last_heartbeat: Instant,
+    // -- transaction buffer ----------------------------------------------
+    /// Replication ops of the message currently being handled; committed
+    /// (sent to `repl_targets`) before any buffered send leaves.
+    tx_ops: Vec<ReplOp>,
+    /// Outbound messages of the current handler, flushed after the ops.
+    /// The client-visible response is always pushed last, so a mid-handler
+    /// kill can lose the response but never a replicated effect that the
+    /// response would have acknowledged.
+    tx_sends: Vec<(Rank, mpisim::Tag, Bytes)>,
+    // -- work stealing ---------------------------------------------------
     outstanding_steal: bool,
+    steal_victim: Option<Rank>,
     steal_victim_cursor: usize,
     /// Consecutive empty steal responses in the current sweep.
     empty_steal_streak: usize,
@@ -149,49 +272,86 @@ struct Server {
     /// empty sweep. Prevents the empty-steal ping-pong from starving the
     /// termination detector while still retrying for late remote work.
     steal_backoff: u32,
-    // Master-only termination state.
+    // -- termination detection (master only) -----------------------------
+    epoch: u64,
+    fwd_out: u64,
+    fwd_in: u64,
     check_round: u64,
+    check_members: Vec<Rank>,
     check_responses: HashMap<Rank, (bool, u64, u64, u64)>,
     check_in_flight: bool,
     prev_snapshot: Option<Vec<u64>>,
     stats: ServerStats,
 }
 
-/// Run the ADLB server loop on this rank until global termination.
+/// Run the ADLB server loop on this rank until global termination,
+/// returning the monitoring counters. See [`serve_ext`] for the full
+/// outcome (streamed client stdout included).
 pub fn serve(comm: Comm, layout: Layout, config: ServerConfig) -> ServerStats {
+    serve_ext(comm, layout, config).stats
+}
+
+/// Run the ADLB server loop on this rank until global termination.
+pub fn serve_ext(comm: Comm, layout: Layout, config: ServerConfig) -> ServerOutcome {
     assert!(layout.is_server(comm.rank()), "serve() on a client rank");
-    let my_client_count = layout.clients_of(comm.rank()).len();
+    let me = comm.rank();
+    let my_clients: HashSet<Rank> = layout.clients_of(me).into_iter().collect();
+    let peers: Vec<Rank> = layout.server_ranks().filter(|r| *r != me).collect();
+    let now = Instant::now();
+    let membership = Membership::new(peers, config.suspect_after, now);
     let mut s = Server {
         comm,
         layout,
-        config,
         queue: WorkQueue::new(),
         store: DataStore::new(),
         parked: Vec::new(),
         finished: HashSet::new(),
+        my_clients,
         in_flight: HashMap::new(),
         lease_revoked: HashMap::new(),
         quarantined: Vec::new(),
         quarantine_reports: Vec::new(),
-        my_client_count,
-        epoch: 0,
-        fwd_out: 0,
-        fwd_in: 0,
+        client_seqs: HashMap::new(),
+        client_resps: HashMap::new(),
+        outputs: HashMap::new(),
+        truncated: HashSet::new(),
+        membership,
+        ledgers: HashMap::new(),
+        repl_targets: Vec::new(),
+        pending_xfers: Vec::new(),
+        next_fseq: HashMap::new(),
+        xfer_applied: HashMap::new(),
+        abort_reason: None,
+        shutdown: false,
+        byes: HashSet::new(),
+        stranded: HashSet::new(),
+        lost_homes: HashSet::new(),
+        aborting: false,
+        last_heartbeat: now,
+        tx_ops: Vec::new(),
+        tx_sends: Vec::new(),
         outstanding_steal: false,
+        steal_victim: None,
         steal_victim_cursor: 0,
         empty_steal_streak: 0,
         steal_backoff: 0,
+        epoch: 0,
+        fwd_out: 0,
+        fwd_in: 0,
         check_round: 0,
+        check_members: Vec::new(),
         check_responses: HashMap::new(),
         check_in_flight: false,
         prev_snapshot: None,
         stats: ServerStats::default(),
+        config,
     };
+    s.refresh_repl_targets();
     s.run()
 }
 
 impl Server {
-    fn run(&mut self) -> ServerStats {
+    fn run(&mut self) -> ServerOutcome {
         loop {
             match self
                 .comm
@@ -199,30 +359,50 @@ impl Server {
             {
                 // Shared decode: task payloads alias the arrival buffer
                 // instead of being copied out of it (zero-copy receive).
-                Some(m) if m.tag == TAG_REQ => match Request::decode_shared(&m.data) {
-                    Ok(req) => self.handle_request(m.source, req),
-                    Err(e) => self.protocol_error(format_args!(
-                        "undecodable request from rank {}: {e:?}",
-                        m.source
-                    )),
-                },
-                Some(m) if m.tag == TAG_SRV => match ServerMsg::decode_shared(&m.data) {
-                    Ok(msg) => {
-                        if self.handle_server_msg(m.source, msg) {
-                            return self.shutdown();
-                        }
+                Some(m) if m.tag == TAG_REQ => {
+                    match Request::decode_shared(&m.data) {
+                        Ok((req, seq)) => self.handle_request(m.source, req, seq),
+                        Err(e) => self.protocol_error(format_args!(
+                            "undecodable request from rank {}: {e:?}",
+                            m.source
+                        )),
                     }
-                    Err(e) => self.protocol_error(format_args!(
-                        "undecodable server message from rank {}: {e:?}",
-                        m.source
-                    )),
-                },
+                    self.commit_tx();
+                }
+                Some(m) if m.tag == TAG_SRV => {
+                    if self.membership.is_dead(m.source) {
+                        // A straggler (e.g. fault-delayed) message from a
+                        // peer whose ledger was already merged: applying it
+                        // now would double-apply its effects.
+                        continue;
+                    }
+                    self.membership.heard(m.source, Instant::now());
+                    match ServerMsg::decode_shared(&m.data) {
+                        Ok(msg) => {
+                            let shutdown = self.handle_server_msg(m.source, msg);
+                            self.commit_tx();
+                            if shutdown {
+                                return self.finish_run();
+                            }
+                        }
+                        Err(e) => self.protocol_error(format_args!(
+                            "undecodable server message from rank {}: {e:?}",
+                            m.source
+                        )),
+                    }
+                }
                 Some(m) => self.protocol_error(format_args!(
                     "unexpected tag {} from rank {}",
                     m.tag, m.source
                 )),
-                None => self.idle_actions(),
+                None => {
+                    if self.idle_actions() {
+                        return self.finish_run();
+                    }
+                    self.commit_tx();
+                }
             }
+            self.maybe_heartbeat();
         }
     }
 
@@ -234,32 +414,227 @@ impl Server {
         eprintln!("adlb server {}: protocol error: {what}", self.comm.rank());
     }
 
-    fn respond(&self, rank: Rank, resp: Response) {
-        self.comm.send(rank, TAG_RESP, resp.encode());
+    // -- write-through transaction buffer --------------------------------
+
+    /// Ship the current handler's replication ops to the replica holders,
+    /// then flush its buffered sends. The order is the crash-consistency
+    /// invariant: a kill can land between sends, so anything a peer or
+    /// client is about to observe must already be on its way to the
+    /// replicas.
+    fn commit_tx(&mut self) {
+        if !self.tx_ops.is_empty() {
+            let ops = std::mem::take(&mut self.tx_ops);
+            if !self.repl_targets.is_empty() && !self.aborting {
+                self.stats.repl_ops += (ops.len() * self.repl_targets.len()) as u64;
+                let msg = ServerMsg::Repl { ops }.encode();
+                for &t in &self.repl_targets.clone() {
+                    self.comm.send(t, TAG_SRV, msg.clone());
+                }
+            }
+        }
+        for (rank, tag, bytes) in std::mem::take(&mut self.tx_sends) {
+            self.comm.send(rank, tag, bytes);
+        }
+    }
+
+    fn op(&mut self, op: ReplOp) {
+        self.tx_ops.push(op);
+    }
+
+    /// Buffer a response, sealed with the seq of the request it answers
+    /// (the client drops responses whose seq is not its outstanding
+    /// request — see [`Response::decode_sealed`]). When `replicate` is
+    /// set, also record the `(seq, sealed response)` pair locally and in
+    /// the replica stream so a promoted successor can answer the client's
+    /// re-send byte-for-byte — or push it unprompted at promotion, in
+    /// case the client's copy died in the dead server's send queue.
+    fn send_response(&mut self, rank: Rank, seq: u64, resp: Response, replicate: bool) {
+        let bytes = seal_seq(&resp.encode(), seq);
+        if replicate {
+            self.record_seq(rank, seq, Some(bytes.clone()));
+        }
+        // Any answered round trip un-strands the client: it got the
+        // response it was blocked on (see `linger`).
+        self.stranded.remove(&rank);
+        self.tx_sends.push((rank, TAG_RESP, bytes));
+    }
+
+    /// Mark client request `seq` fully processed (with its cached
+    /// response, for awaited requests).
+    fn record_seq(&mut self, client: Rank, seq: u64, resp: Option<Bytes>) {
+        let hw = self.client_seqs.entry(client).or_default();
+        *hw = (*hw).max(seq);
+        if let Some(b) = &resp {
+            self.client_resps.insert(client, (seq, b.clone()));
+        }
+        self.op(ReplOp::SeqResp { client, seq, resp });
     }
 
     fn quiescent(&self) -> bool {
-        self.parked.len() + self.finished.len() == self.my_client_count
-            && self.queue.is_empty()
+        self.my_clients.iter().all(|c| {
+            self.finished.contains(c) || self.parked.iter().any(|p| p.rank == *c)
+        }) && self.queue.is_empty()
             && !self.outstanding_steal
             && self.in_flight.values().all(VecDeque::is_empty)
+            && self.pending_xfers.is_empty()
+    }
+
+    /// The current termination-detection owner: the first live server on
+    /// the ring starting from the layout's first server.
+    fn master(&self) -> Rank {
+        self.layout
+            .route(self.layout.first_server(), self.membership.dead())
+    }
+
+    /// Where requests for home server `home` are currently served.
+    fn host_of(&self, home: Rank) -> Rank {
+        self.layout.route(home, self.membership.dead())
     }
 
     // -- task routing ----------------------------------------------------
 
-    /// Send a task toward its home: targeted tasks go to the target's
-    /// server; untargeted tasks stay here.
+    /// Send a task toward its home: targeted tasks go to the server
+    /// currently hosting the target's home; untargeted tasks stay here.
     fn route_task(&mut self, task: Task) {
         if let Some(target) = task.target {
             let home = self.layout.server_of(target);
-            if home != self.comm.rank() {
-                self.fwd_out += 1;
-                self.comm
-                    .send(home, TAG_SRV, ServerMsg::Forward(task).encode());
+            if self.host_of(home) != self.comm.rank() {
+                self.send_xfer(home, vec![task], false);
                 return;
             }
         }
         self.accept_task(task);
+    }
+
+    /// Ship tasks to the server hosting home `dest` under the write-ahead
+    /// transfer protocol: log (and replicate) the transfer first, then
+    /// send; the entry is retired by the receiver's ack and re-driven to
+    /// the promoted successor if the receiver dies first.
+    fn send_xfer(&mut self, dest: Rank, tasks: Vec<Task>, steal: bool) {
+        debug_assert!(!tasks.is_empty());
+        let fseq = {
+            let e = self.next_fseq.entry(dest).or_default();
+            *e += 1;
+            *e
+        };
+        self.fwd_out += tasks.len() as u64;
+        self.op(ReplOp::XferOut {
+            dest,
+            fseq,
+            steal,
+            tasks: tasks.clone(),
+        });
+        let origin = self.comm.rank();
+        let host = self.host_of(dest);
+        let wire = xfer_wire(origin, dest, fseq, steal, &tasks);
+        self.tx_sends.push((host, TAG_SRV, wire));
+        self.pending_xfers.push(PendingXfer {
+            x: Xfer {
+                origin,
+                dest,
+                fseq,
+                steal,
+                tasks,
+            },
+            sent_to: Some(host),
+        });
+    }
+
+    /// Apply an inbound transfer exactly once (dedup by `(dest, origin)`
+    /// high-water) and ack it. Returns whether the transfer was fresh.
+    fn apply_xfer(
+        &mut self,
+        sender: Rank,
+        origin: Rank,
+        dest: Rank,
+        fseq: u64,
+        tasks: Vec<Task>,
+    ) -> bool {
+        let me = self.comm.rank();
+        if dest != me {
+            // Addressed to us for a home we don't know is dead yet?
+            self.ensure_home(dest);
+            if self.host_of(dest) != me {
+                self.protocol_error(format_args!(
+                    "transfer for home {dest} (origin {origin}) misrouted here"
+                ));
+                return false;
+            }
+        }
+        let hw = self.xfer_applied.get(&(dest, origin)).copied().unwrap_or(0);
+        let fresh = fseq > hw;
+        if fresh {
+            self.xfer_applied.insert((dest, origin), fseq);
+            self.epoch += 1;
+            self.fwd_in += tasks.len() as u64;
+            self.op(ReplOp::XferIn {
+                origin,
+                dest,
+                fseq,
+                n: tasks.len() as u64,
+            });
+            for t in tasks {
+                self.accept_task(t);
+            }
+        }
+        self.tx_sends
+            .push((sender, TAG_SRV, ServerMsg::XferAck { origin, dest, fseq }.encode()));
+        fresh
+    }
+
+    /// Re-send every write-ahead entry whose last receiver died (or that
+    /// was inherited from a dead peer and never re-driven). Entries whose
+    /// new host is this server are applied locally — the dedup high-water
+    /// (merged from the dead peer's ledger) decides whether the dead peer
+    /// had already applied them.
+    fn redrive_pending_xfers(&mut self) {
+        let me = self.comm.rank();
+        let mut retired = Vec::new();
+        for i in 0..self.pending_xfers.len() {
+            let needs = match self.pending_xfers[i].sent_to {
+                None => true,
+                Some(h) => self.membership.is_dead(h),
+            };
+            if !needs {
+                continue;
+            }
+            let x = self.pending_xfers[i].x.clone();
+            let host = self.host_of(x.dest);
+            if host == me {
+                let hw = self
+                    .xfer_applied
+                    .get(&(x.dest, x.origin))
+                    .copied()
+                    .unwrap_or(0);
+                if x.fseq > hw {
+                    self.xfer_applied.insert((x.dest, x.origin), x.fseq);
+                    self.epoch += 1;
+                    self.fwd_in += x.tasks.len() as u64;
+                    self.op(ReplOp::XferIn {
+                        origin: x.origin,
+                        dest: x.dest,
+                        fseq: x.fseq,
+                        n: x.tasks.len() as u64,
+                    });
+                    for t in x.tasks {
+                        self.accept_task(t);
+                    }
+                }
+                self.op(ReplOp::XferDone {
+                    origin: x.origin,
+                    dest: x.dest,
+                    fseq: x.fseq,
+                });
+                retired.push(i);
+            } else {
+                let wire = xfer_wire(x.origin, x.dest, x.fseq, x.steal, &x.tasks);
+                self.tx_sends.push((host, TAG_SRV, wire));
+                self.pending_xfers[i].sent_to = Some(host);
+            }
+        }
+        for i in retired.into_iter().rev() {
+            self.pending_xfers.remove(i);
+        }
     }
 
     /// Deliver to a parked client or enqueue locally.
@@ -279,53 +654,96 @@ impl Server {
         // came from.
         self.steal_backoff = 0;
         self.empty_steal_streak = 0;
-        let slot = self.parked.iter().position(|(rank, types)| {
-            types.contains(&task.work_type)
+        let slot = self.parked.iter().position(|p| {
+            p.work_types.contains(&task.work_type)
                 && match task.target {
-                    Some(t) => *rank == t,
+                    Some(t) => p.rank == t,
                     None => true,
                 }
         });
         match slot {
             Some(i) => {
-                let (rank, _) = self.parked.remove(i);
-                self.deliver(rank, task);
+                let p = self.parked.remove(i);
+                self.stats.tasks_delivered += 1;
+                self.open_leases(p.rank, std::slice::from_ref(&task));
+                self.send_response(p.rank, p.seq, Response::DeliverTask(task), true);
             }
-            None => self.queue.push(task),
+            None => {
+                self.op(ReplOp::Push {
+                    tasks: vec![task.clone()],
+                });
+                self.queue.push(task);
+            }
         }
     }
 
-    /// Hand a task to a client and open a lease on it. The lease stays
-    /// open until the client acknowledges (TaskDone), dies, or — if a
-    /// lease timeout is configured — times out.
-    fn deliver(&mut self, rank: Rank, task: Task) {
-        self.stats.tasks_delivered += 1;
-        self.in_flight.entry(rank).or_default().push_back(Lease {
-            task: task.clone(),
-            since: Instant::now(),
+    /// Open a lease per task, in delivery order, and replicate them.
+    /// Clients acknowledge in the same order, so releases always pop the
+    /// front of the deque.
+    fn open_leases(&mut self, rank: Rank, tasks: &[Task]) {
+        self.op(ReplOp::LeaseOpen {
+            client: rank,
+            tasks: tasks.to_vec(),
         });
-        self.respond(rank, Response::DeliverTask(task));
-    }
-
-    /// Hand a whole prefetch batch to a client in one response, opening a
-    /// lease per task in delivery order. Clients acknowledge in the same
-    /// order, so releases always pop the front of the deque.
-    fn deliver_batch(&mut self, rank: Rank, tasks: Vec<Task>) {
-        debug_assert!(!tasks.is_empty());
-        if tasks.len() == 1 {
-            return self.deliver(rank, tasks.into_iter().next().unwrap());
-        }
-        self.stats.tasks_delivered += tasks.len() as u64;
-        self.stats.tasks_prefetched += tasks.len() as u64 - 1;
         let now = Instant::now();
         let leases = self.in_flight.entry(rank).or_default();
-        for t in &tasks {
+        for t in tasks {
             leases.push_back(Lease {
                 task: t.clone(),
                 since: now,
             });
         }
-        self.respond(rank, Response::DeliverBatch(tasks));
+    }
+
+    /// Pop up to `cap` matching tasks for `rank` from the queue.
+    fn take_from_queue(&mut self, rank: Rank, work_types: &[u32], cap: usize) -> Option<Vec<Task>> {
+        let first = self.queue.pop_for(rank, work_types)?;
+        let mut batch = vec![first];
+        while batch.len() < cap {
+            match self.queue.pop_for(rank, work_types) {
+                Some(t) => batch.push(t),
+                None => break,
+            }
+        }
+        Some(batch)
+    }
+
+    /// Answer a `Get` from the queue, opening leases and caching the
+    /// response under the request's seq.
+    fn deliver_from_queue(&mut self, p: &Parked) -> bool {
+        let cap = p.max_tasks.max(1) as usize;
+        let Some(mut batch) = self.take_from_queue(p.rank, &p.work_types, cap) else {
+            return false;
+        };
+        self.op(ReplOp::Remove {
+            tasks: batch.clone(),
+        });
+        self.stats.tasks_delivered += batch.len() as u64;
+        if batch.len() > 1 {
+            self.stats.tasks_prefetched += batch.len() as u64 - 1;
+        }
+        self.open_leases(p.rank, &batch);
+        let resp = if batch.len() == 1 {
+            Response::DeliverTask(batch.pop().unwrap())
+        } else {
+            Response::DeliverBatch(batch)
+        };
+        self.send_response(p.rank, p.seq, resp, true);
+        true
+    }
+
+    /// After a promotion merged a dead peer's queue, parked clients may
+    /// now be servable without any new task arriving.
+    fn service_parked(&mut self) {
+        let mut i = 0;
+        while i < self.parked.len() {
+            let p = self.parked[i].clone();
+            if self.deliver_from_queue(&p) {
+                self.parked.remove(i);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// A failed task comes back: retry it with a priority penalty, or
@@ -341,6 +759,9 @@ impl Server {
                 task.work_type, task.attempts, error
             );
             eprintln!("adlb server {}: {report}", self.comm.rank());
+            self.op(ReplOp::Quarantine {
+                report: report.clone(),
+            });
             self.quarantine_reports.push(report);
             self.quarantined.push(task);
             return;
@@ -380,8 +801,7 @@ impl Server {
     /// rescue tasks still queued with the dead rank as target.
     fn detect_dead_clients(&mut self) {
         let mine: Vec<Rank> = self
-            .layout
-            .clients_of(self.comm.rank())
+            .my_clients
             .iter()
             .copied()
             .filter(|r| !self.finished.contains(r) && !self.comm.is_alive(*r))
@@ -394,8 +814,10 @@ impl Server {
                 self.comm.rank()
             );
             self.finished.insert(rank);
-            self.parked.retain(|(r, _)| *r != rank);
+            self.truncated.insert(rank);
+            self.parked.retain(|p| p.rank != rank);
             self.lease_revoked.remove(&rank);
+            self.op(ReplOp::ClientDead { client: rank });
             // The dead rank's ENTIRE lease deque requeues: with prefetch a
             // client may die holding a whole undone batch, and every one
             // of those tasks must run somewhere else.
@@ -407,6 +829,11 @@ impl Server {
                 }
             }
             let stranded = self.queue.drain_targeted(rank);
+            if !stranded.is_empty() {
+                self.op(ReplOp::Remove {
+                    tasks: stranded.clone(),
+                });
+            }
             for t in stranded {
                 if let Some(t) = self.retarget_for_dead(t, rank) {
                     self.accept_task(t);
@@ -443,6 +870,7 @@ impl Server {
             // The holder may still be alive and eventually ack; that many
             // acks are now stale and must not release newer leases.
             *self.lease_revoked.entry(rank).or_insert(0) += leases.len();
+            self.op(ReplOp::LeaseRevoke { client: rank });
             for lease in leases {
                 self.retry_or_quarantine(
                     lease.task,
@@ -455,75 +883,153 @@ impl Server {
 
     // -- client requests ---------------------------------------------------
 
-    fn handle_request(&mut self, source: Rank, req: Request) {
+    /// The data shard a request implicates (`None` for non-data ops,
+    /// which belong to the sending client's home server).
+    fn data_home(&self, req: &Request) -> Option<Rank> {
+        match req {
+            Request::DataCreate { id, .. }
+            | Request::DataStore { id, .. }
+            | Request::DataRetrieve { id }
+            | Request::DataSubscribe { id, .. }
+            | Request::DataInsert { id, .. }
+            | Request::DataLookup { id, .. }
+            | Request::DataEnumerate { id }
+            | Request::DataClose { id }
+            | Request::DataExists { id }
+            | Request::DataIncrWriters { id, .. } => Some(self.layout.data_owner(*id)),
+            _ => None,
+        }
+    }
+
+    /// A message implicates home server `home`: if that peer silently
+    /// died (the sender noticed before we did), confirm against the
+    /// oracle and run the failover now, so the merged state is in place
+    /// before the message is served.
+    fn ensure_home(&mut self, home: Rank) {
+        if home == self.comm.rank() || self.membership.is_dead(home) {
+            return;
+        }
+        if !self.comm.is_alive(home) && self.membership.mark_dead(home) {
+            self.handle_server_death(home);
+        }
+    }
+
+    fn handle_request(&mut self, source: Rank, req: Request, seq: u64) {
+        let data_home = self.data_home(&req);
+        let home = data_home.unwrap_or_else(|| self.layout.server_of(source));
+        if home != self.comm.rank() {
+            self.ensure_home(home);
+        }
+        // Exactly-once: a re-sent awaited request gets its cached response
+        // verbatim; a re-sent fire-and-forget request is dropped.
+        let hw = self.client_seqs.get(&source).copied().unwrap_or(0);
+        if seq <= hw {
+            if let Some((s, bytes)) = self.client_resps.get(&source) {
+                if *s == seq {
+                    let b = bytes.clone();
+                    self.tx_sends.push((source, TAG_RESP, b));
+                }
+            }
+            return;
+        }
+        // Lost shard (a data home died with no replica): answer benignly
+        // so the program winds down through the NoMore path instead of
+        // crashing on spurious data errors.
+        if let Some(h) = data_home {
+            if self.lost_homes.contains(&h) {
+                self.serve_lost_home(source, &req, seq);
+                return;
+            }
+        }
         self.epoch += 1;
         match req {
             Request::Put(task) => {
+                if self.aborting {
+                    // Winding down: accept and drop — the machine will
+                    // never deliver it, and the client must not hang.
+                    self.send_response(source, seq, Response::Ok, false);
+                    return;
+                }
                 self.route_task(task);
-                self.respond(source, Response::Ok);
+                self.send_response(source, seq, Response::Ok, true);
             }
             Request::PutBatch(tasks) => {
+                if self.aborting {
+                    self.send_response(source, seq, Response::Ok, false);
+                    return;
+                }
                 // Each task routes exactly as if it had arrived alone; the
                 // batch shares one wire message and one ack.
                 for task in tasks {
                     self.route_task(task);
                 }
-                self.respond(source, Response::Ok);
+                self.send_response(source, seq, Response::Ok, true);
             }
             Request::Get {
                 work_types,
                 max_tasks,
             } => {
-                match self.queue.pop_for(source, &work_types) {
-                    Some(first) => {
-                        let cap = max_tasks.max(1) as usize;
-                        if cap == 1 {
-                            self.deliver(source, first);
-                        } else {
-                            let mut batch = vec![first];
-                            while batch.len() < cap {
-                                match self.queue.pop_for(source, &work_types) {
-                                    Some(t) => batch.push(t),
-                                    None => break,
-                                }
-                            }
-                            self.deliver_batch(source, batch);
-                        }
-                    }
-                    None => {
-                        self.parked.push((source, work_types));
-                        // An empty queue with parked clients is the steal
-                        // trigger; don't wait for the poll timeout.
-                        self.try_steal();
-                    }
+                if self.aborting || self.shutdown {
+                    self.answer_no_more(source, seq);
+                    return;
+                }
+                let p = Parked {
+                    rank: source,
+                    work_types,
+                    max_tasks,
+                    seq,
+                };
+                if !self.deliver_from_queue(&p) {
+                    self.parked.push(p);
+                    // An empty queue with parked clients is the steal
+                    // trigger; don't wait for the poll timeout.
+                    self.try_steal();
                 }
             }
             Request::TaskDone { ok, error } => {
                 self.handle_acks(source, vec![(ok, error)]);
+                self.record_seq(source, seq, None);
             }
             Request::TaskDoneBatch { results } => {
                 self.handle_acks(source, results);
+                self.record_seq(source, seq, None);
+            }
+            Request::Output { text } => {
+                self.op(ReplOp::Out {
+                    client: source,
+                    text: text.clone(),
+                });
+                self.outputs.entry(source).or_default().push_str(&text);
+                self.record_seq(source, seq, None);
             }
             Request::Finished => {
                 self.finished.insert(source);
-                self.parked.retain(|(r, _)| *r != source);
+                self.parked.retain(|p| p.rank != source);
+                self.op(ReplOp::ClientFinished { client: source });
+                self.send_response(source, seq, Response::Ok, true);
             }
             Request::DataCreate { id, type_tag } => {
                 self.stats.data_ops += 1;
-                let resp = match self.store.create(id, type_tag) {
-                    Ok(()) => Response::Ok,
-                    Err(e) => Response::Error(e.message),
-                };
-                self.respond(source, resp);
+                match self.store.create(id, type_tag) {
+                    Ok(()) => {
+                        self.op(ReplOp::Create { id, type_tag });
+                        self.send_response(source, seq, Response::Ok, true);
+                    }
+                    // Failed ops replicate nothing: the store is
+                    // unchanged, so a re-execution after failover yields
+                    // the same error deterministically.
+                    Err(e) => self.send_response(source, seq, Response::Error(e.message), false),
+                }
             }
             Request::DataStore { id, value } => {
                 self.stats.data_ops += 1;
-                match self.store.store(id, value) {
+                match self.store.store(id, value.clone()) {
                     Ok(subs) => {
+                        self.op(ReplOp::Store { id, value });
                         self.notify_all(id, subs);
-                        self.respond(source, Response::Ok);
+                        self.send_response(source, seq, Response::Ok, true);
                     }
-                    Err(e) => self.respond(source, Response::Error(e.message)),
+                    Err(e) => self.send_response(source, seq, Response::Error(e.message), false),
                 }
             }
             Request::DataRetrieve { id } => {
@@ -532,23 +1038,33 @@ impl Server {
                     Ok(v) => Response::MaybeBytes(v),
                     Err(e) => Response::Error(e.message),
                 };
-                self.respond(source, resp);
+                // Reads replicate nothing and leave the dedup high-water
+                // alone: a re-sent read simply re-executes.
+                self.send_response(source, seq, resp, false);
             }
             Request::DataSubscribe { id, rank } => {
                 self.stats.data_ops += 1;
-                let resp = match self.store.subscribe(id, rank) {
-                    Ok(closed) => Response::Bool(closed),
-                    Err(e) => Response::Error(e.message),
-                };
-                self.respond(source, resp);
+                match self.store.subscribe(id, rank) {
+                    Ok(true) => {
+                        // Already closed: no mutation happened.
+                        self.send_response(source, seq, Response::Bool(true), false);
+                    }
+                    Ok(false) => {
+                        self.op(ReplOp::Subscribe { id, rank });
+                        self.send_response(source, seq, Response::Bool(false), true);
+                    }
+                    Err(e) => self.send_response(source, seq, Response::Error(e.message), false),
+                }
             }
             Request::DataInsert { id, key, value } => {
                 self.stats.data_ops += 1;
-                let resp = match self.store.insert(id, &key, value) {
-                    Ok(()) => Response::Ok,
-                    Err(e) => Response::Error(e.message),
-                };
-                self.respond(source, resp);
+                match self.store.insert(id, &key, value.clone()) {
+                    Ok(()) => {
+                        self.op(ReplOp::Insert { id, key, value });
+                        self.send_response(source, seq, Response::Ok, true);
+                    }
+                    Err(e) => self.send_response(source, seq, Response::Error(e.message), false),
+                }
             }
             Request::DataLookup { id, key } => {
                 self.stats.data_ops += 1;
@@ -556,7 +1072,7 @@ impl Server {
                     Ok(v) => Response::MaybeBytes(v),
                     Err(e) => Response::Error(e.message),
                 };
-                self.respond(source, resp);
+                self.send_response(source, seq, resp, false);
             }
             Request::DataEnumerate { id } => {
                 self.stats.data_ops += 1;
@@ -564,33 +1080,72 @@ impl Server {
                     Ok(pairs) => Response::Pairs(pairs),
                     Err(e) => Response::Error(e.message),
                 };
-                self.respond(source, resp);
+                self.send_response(source, seq, resp, false);
             }
             Request::DataClose { id } => {
                 self.stats.data_ops += 1;
                 match self.store.close(id) {
                     Ok(subs) => {
+                        self.op(ReplOp::CloseDatum { id });
                         self.notify_all(id, subs);
-                        self.respond(source, Response::Ok);
+                        self.send_response(source, seq, Response::Ok, true);
                     }
-                    Err(e) => self.respond(source, Response::Error(e.message)),
+                    Err(e) => self.send_response(source, seq, Response::Error(e.message), false),
                 }
             }
             Request::DataExists { id } => {
                 self.stats.data_ops += 1;
-                self.respond(source, Response::Bool(self.store.exists_closed(id)));
+                let resp = Response::Bool(self.store.exists_closed(id));
+                self.send_response(source, seq, resp, false);
             }
             Request::DataIncrWriters { id, delta } => {
                 self.stats.data_ops += 1;
                 match self.store.incr_writers(id, delta) {
                     Ok(subs) => {
+                        self.op(ReplOp::IncrWriters { id, delta });
                         self.notify_all(id, subs);
-                        self.respond(source, Response::Ok);
+                        self.send_response(source, seq, Response::Ok, true);
                     }
-                    Err(e) => self.respond(source, Response::Error(e.message)),
+                    Err(e) => self.send_response(source, seq, Response::Error(e.message), false),
                 }
             }
         }
+    }
+
+    /// Terminal answer for a client's `Get` while winding down: `NoMore`
+    /// with the diagnosis, and the client counts as permanently parked.
+    fn answer_no_more(&mut self, source: Rank, seq: u64) {
+        self.finished.insert(source);
+        self.op(ReplOp::ClientFinished { client: source });
+        let quarantined = self.capped_reports();
+        let aborted = self.abort_reason.clone();
+        self.send_response(
+            source,
+            seq,
+            Response::NoMore {
+                quarantined,
+                aborted,
+            },
+            true,
+        );
+    }
+
+    /// Benign defaults for data ops against a shard that died with no
+    /// replica: reads see "not ready", writes vanish. The program cannot
+    /// complete — the `Get` path reports why — but it must not crash on
+    /// spurious errors either.
+    fn serve_lost_home(&mut self, source: Rank, req: &Request, seq: u64) {
+        self.stats.data_ops += 1;
+        let resp = match req {
+            Request::DataRetrieve { .. } | Request::DataLookup { .. } => {
+                Response::MaybeBytes(None)
+            }
+            Request::DataSubscribe { .. } | Request::DataExists { .. } => Response::Bool(false),
+            Request::DataEnumerate { .. } => Response::Pairs(Vec::new()),
+            _ => Response::Ok,
+        };
+        self.tx_sends
+            .push((source, TAG_RESP, seal_seq(&resp.encode(), seq)));
     }
 
     /// Release leases for a batch of acknowledgements from `source`, in
@@ -598,12 +1153,15 @@ impl Server {
     /// already revoked and the task requeued) or releases the oldest open
     /// lease; failed results feed the retry/quarantine policy.
     fn handle_acks(&mut self, source: Rank, results: Vec<(bool, String)>) {
+        let mut credits_used = 0u32;
+        let mut dropped = 0u32;
         for (ok, error) in results {
             if let Some(stale) = self.lease_revoked.get_mut(&source) {
                 *stale -= 1;
                 if *stale == 0 {
                     self.lease_revoked.remove(&source);
                 }
+                credits_used += 1;
                 continue;
             }
             match self
@@ -612,14 +1170,31 @@ impl Server {
                 .and_then(VecDeque::pop_front)
             {
                 Some(lease) => {
+                    dropped += 1;
                     if !ok {
                         self.retry_or_quarantine(lease.task, false, &error);
                     }
+                }
+                None if self.aborting => {
+                    // An adopted client acking a task its lost home leased:
+                    // nothing to release, nothing to report.
                 }
                 None => {
                     self.protocol_error(format_args!("task ack from rank {source} with no lease"))
                 }
             }
+        }
+        if credits_used > 0 {
+            self.op(ReplOp::CreditUse {
+                client: source,
+                n: credits_used,
+            });
+        }
+        if dropped > 0 {
+            self.op(ReplOp::LeaseDrop {
+                client: source,
+                n: dropped,
+            });
         }
         if self.in_flight.get(&source).is_some_and(VecDeque::is_empty) {
             self.in_flight.remove(&source);
@@ -645,10 +1220,13 @@ impl Server {
     /// Returns true when this server must shut down.
     fn handle_server_msg(&mut self, source: Rank, msg: ServerMsg) -> bool {
         match msg {
-            ServerMsg::Forward(task) => {
-                self.epoch += 1;
-                self.fwd_in += 1;
-                self.accept_task(task);
+            ServerMsg::Forward {
+                origin,
+                dest,
+                fseq,
+                task,
+            } => {
+                self.apply_xfer(source, origin, dest, fseq, vec![task]);
             }
             ServerMsg::StealReq {
                 thief,
@@ -656,42 +1234,90 @@ impl Server {
                 need,
             } => {
                 let tasks = self.queue.steal(&work_types, need as usize);
-                // Empty steal traffic must not perturb the epoch, or the
-                // steal retry loop would keep termination detection from
-                // ever seeing two stable rounds.
-                if !tasks.is_empty() {
-                    self.epoch += 1;
-                }
-                self.fwd_out += tasks.len() as u64;
-                self.stats.tasks_donated += tasks.len() as u64;
-                self.comm
-                    .send(thief, TAG_SRV, ServerMsg::StealResp { tasks }.encode());
-            }
-            ServerMsg::StealResp { tasks } => {
-                self.outstanding_steal = false;
-                self.fwd_in += tasks.len() as u64;
                 if tasks.is_empty() {
-                    // Try the next victim on the next idle tick; after a
-                    // fully empty sweep, back off.
-                    self.steal_victim_cursor += 1;
-                    self.empty_steal_streak += 1;
-                    if self.empty_steal_streak >= self.layout.servers - 1 {
-                        self.empty_steal_streak = 0;
-                        self.steal_backoff = 50;
-                    }
+                    // Empty steal traffic must not perturb the epoch or
+                    // the transfer ledger, or the steal retry loop would
+                    // keep termination detection from ever seeing two
+                    // stable rounds. fseq 0 marks "nothing transferred".
+                    self.tx_sends.push((
+                        thief,
+                        TAG_SRV,
+                        ServerMsg::StealResp {
+                            origin: self.comm.rank(),
+                            dest: thief,
+                            fseq: 0,
+                            tasks: Vec::new(),
+                        }
+                        .encode(),
+                    ));
                 } else {
                     self.epoch += 1;
-                    self.empty_steal_streak = 0;
-                    self.stats.steals_successful += 1;
-                    self.stats.tasks_stolen += tasks.len() as u64;
-                    for t in tasks {
-                        self.accept_task(t);
-                    }
-                    // The victim clearly has work: if clients are still
-                    // starved, go straight back for more instead of
-                    // pacing the next attempt on the poll timeout.
-                    self.try_steal();
+                    self.stats.tasks_donated += tasks.len() as u64;
+                    self.op(ReplOp::Remove {
+                        tasks: tasks.clone(),
+                    });
+                    self.send_xfer(thief, tasks, true);
                 }
+            }
+            ServerMsg::StealResp {
+                origin,
+                dest,
+                fseq,
+                tasks,
+            } => {
+                let mine = dest == self.comm.rank();
+                if mine && self.outstanding_steal {
+                    self.outstanding_steal = false;
+                    self.steal_victim = None;
+                    if fseq == 0 {
+                        // Try the next victim on the next idle tick; after
+                        // a fully empty sweep, back off.
+                        self.steal_victim_cursor += 1;
+                        self.empty_steal_streak += 1;
+                        let live_victims = self.membership.live_peers().len();
+                        if self.empty_steal_streak >= live_victims.max(1) {
+                            self.empty_steal_streak = 0;
+                            self.steal_backoff = 50;
+                        }
+                    }
+                }
+                if fseq != 0 {
+                    let n = tasks.len() as u64;
+                    let fresh = self.apply_xfer(source, origin, dest, fseq, tasks);
+                    if fresh && mine {
+                        self.empty_steal_streak = 0;
+                        self.stats.steals_successful += 1;
+                        self.stats.tasks_stolen += n;
+                        // The victim clearly has work: if clients are
+                        // still starved, go straight back for more instead
+                        // of pacing the next attempt on the poll timeout.
+                        self.try_steal();
+                    }
+                }
+            }
+            ServerMsg::XferAck { origin, dest, fseq } => {
+                let before = self.pending_xfers.len();
+                self.pending_xfers
+                    .retain(|p| !(p.x.origin == origin && p.x.dest == dest && p.x.fseq == fseq));
+                if self.pending_xfers.len() != before {
+                    self.op(ReplOp::XferDone { origin, dest, fseq });
+                }
+            }
+            ServerMsg::Repl { ops } => {
+                let ledger = self.ledgers.entry(source).or_default();
+                for op in &ops {
+                    ledger.apply(source, op);
+                }
+            }
+            ServerMsg::Snapshot { ledger } => {
+                self.ledgers.insert(source, ledger);
+            }
+            ServerMsg::Heartbeat => {}
+            ServerMsg::Bye => {
+                // A peer can finish (and say goodbye) before this server
+                // has processed its own Shutdown; remember the receipt for
+                // the linger phase.
+                self.byes.insert(source);
             }
             ServerMsg::Check { round } => {
                 // Termination polls do not bump the epoch: they must not
@@ -703,7 +1329,7 @@ impl Server {
                     fwd_out: self.fwd_out,
                     fwd_in: self.fwd_in,
                 };
-                self.comm.send(source, TAG_SRV, resp.encode());
+                self.tx_sends.push((source, TAG_SRV, resp.encode()));
             }
             ServerMsg::CheckResp {
                 round,
@@ -712,70 +1338,407 @@ impl Server {
                 fwd_out,
                 fwd_in,
             } => {
-                if round == self.check_round {
+                if round == self.check_round && self.check_members.contains(&source) {
                     self.check_responses
                         .insert(source, (quiescent, epoch, fwd_out, fwd_in));
-                    if self.check_responses.len() == self.layout.servers - 1 {
+                    if self.check_responses.len() == self.check_members.len() {
                         return self.evaluate_check_round();
                     }
                 }
             }
-            ServerMsg::Shutdown => return true,
+            ServerMsg::Shutdown { reports } => {
+                for r in reports {
+                    if !self.quarantine_reports.contains(&r) {
+                        self.quarantine_reports.push(r);
+                    }
+                }
+                // Relay to every live peer before exiting: if the master
+                // died mid-broadcast, whoever did hear it completes the
+                // broadcast (exiting ranks still read as alive to the
+                // oracle, so a promoted master could otherwise poll an
+                // already-gone peer forever).
+                let note = ServerMsg::Shutdown {
+                    reports: self.capped_reports(),
+                }
+                .encode();
+                for p in self.membership.live_peers() {
+                    if p != source {
+                        self.tx_sends.push((p, TAG_SRV, note.clone()));
+                    }
+                }
+                return true;
+            }
         }
         false
     }
 
+    // -- membership & failover ---------------------------------------------
+
+    fn maybe_heartbeat(&mut self) {
+        if self.layout.servers < 2 {
+            return;
+        }
+        let now = Instant::now();
+        if now.duration_since(self.last_heartbeat) < self.config.heartbeat_interval {
+            return;
+        }
+        self.last_heartbeat = now;
+        let beat = ServerMsg::Heartbeat.encode();
+        for p in self.membership.live_peers() {
+            self.comm.send(p, TAG_SRV, beat.clone());
+        }
+    }
+
+    /// Recompute who holds this server's replica: the first `R - 1` live
+    /// ring successors. A holder seen for the first time gets a full
+    /// snapshot before any further incremental ops.
+    fn refresh_repl_targets(&mut self) {
+        if self.config.replication < 2 || self.aborting || self.shutdown {
+            self.repl_targets.clear();
+            return;
+        }
+        let me = self.comm.rank();
+        let want = self.config.replication - 1;
+        let mut targets = Vec::new();
+        let mut s = me;
+        for _ in 0..self.layout.servers.saturating_sub(1) {
+            s = self.layout.next_server(s);
+            if s == me {
+                break;
+            }
+            if !self.membership.is_dead(s) {
+                targets.push(s);
+                if targets.len() == want {
+                    break;
+                }
+            }
+        }
+        for &t in &targets {
+            if !self.repl_targets.contains(&t) {
+                let snap = ServerMsg::Snapshot {
+                    ledger: self.snapshot_ledger(),
+                }
+                .encode();
+                self.comm.send(t, TAG_SRV, snap);
+            }
+        }
+        self.repl_targets = targets;
+    }
+
+    /// This server's live state in replicable form.
+    fn snapshot_ledger(&self) -> Ledger {
+        let mut leases: HashMap<Rank, VecDeque<Task>> = HashMap::new();
+        for (r, d) in &self.in_flight {
+            if !d.is_empty() {
+                leases.insert(*r, d.iter().map(|l| l.task.clone()).collect());
+            }
+        }
+        Ledger {
+            store: self.store.clone(),
+            queue: self.queue.snapshot(),
+            leases,
+            credits: self
+                .lease_revoked
+                .iter()
+                .map(|(r, n)| (*r, *n as u32))
+                .collect(),
+            seqs: self.client_seqs.clone(),
+            resps: self.client_resps.clone(),
+            outputs: self.outputs.clone(),
+            finished: self.finished.clone(),
+            quarantine: self.quarantine_reports.clone(),
+            pending_xfers: self.pending_xfers.iter().map(|p| p.x.clone()).collect(),
+            next_fseq: self.next_fseq.clone(),
+            xfer_applied: self.xfer_applied.clone(),
+            fwd_out: self.fwd_out,
+            fwd_in: self.fwd_in,
+        }
+    }
+
+    /// A peer is confirmed dead: absorb any straggler replication traffic
+    /// it sent before dying, promote its ledger if this server is the
+    /// first live successor (or start winding down when there is no
+    /// replica), re-route in-flight transfers, and reshape the ring.
+    /// Returns true when a deferred Shutdown was found (global
+    /// termination raced the death).
+    fn handle_server_death(&mut self, d: Rank) -> bool {
+        self.commit_tx();
+        eprintln!(
+            "adlb server {}: server rank {d} died; starting failover",
+            self.comm.rank()
+        );
+        self.epoch += 1;
+        // 1. Drain the dead peer's mailbox. Replication traffic still
+        // queued there is part of its ledger's history and must be
+        // applied *before* the merge; anything else is handled after the
+        // failover reshaped the ring.
+        let mut deferred = Vec::new();
+        while let Some(m) = self.comm.try_recv(Src::Of(d), TagSel::Any) {
+            if m.tag != TAG_SRV {
+                continue;
+            }
+            match ServerMsg::decode_shared(&m.data) {
+                Ok(ServerMsg::Repl { ops }) => {
+                    let ledger = self.ledgers.entry(d).or_default();
+                    for op in &ops {
+                        ledger.apply(d, op);
+                    }
+                }
+                Ok(ServerMsg::Snapshot { ledger }) => {
+                    self.ledgers.insert(d, ledger);
+                }
+                Ok(ServerMsg::Heartbeat) => {}
+                Ok(ServerMsg::Bye) => {
+                    // The peer died after completing its shutdown: its
+                    // clients already have their notices.
+                    self.byes.insert(d);
+                }
+                Ok(other) => deferred.push(other),
+                Err(e) => {
+                    self.protocol_error(format_args!("undecodable message from dead {d}: {e:?}"))
+                }
+            }
+        }
+        // 2. A steal outstanding against the dead victim will never be
+        // answered.
+        if self.steal_victim == Some(d) {
+            self.outstanding_steal = false;
+            self.steal_victim = None;
+        }
+        // 3. Abort any termination round in flight: its member set is
+        // stale, and a response from the dead peer will never come.
+        self.check_in_flight = false;
+        self.check_responses.clear();
+        self.prev_snapshot = None;
+        // 4. Promote or wind down. Either way the first live successor
+        // adopts the dead peer's clients: their re-routed requests land
+        // here, and the wind-down must account for them before exiting.
+        let successor = self.layout.route(d, self.membership.dead()) == self.comm.rank();
+        if successor {
+            for c in self.layout.clients_of(d) {
+                self.my_clients.insert(c);
+            }
+        }
+        if self.config.replication >= 2 {
+            if successor {
+                match self.ledgers.remove(&d) {
+                    Some(ledger) => self.promote(d, ledger),
+                    // After global termination nothing was lost — the run
+                    // completed; retried requests get terminal answers.
+                    None if self.shutdown => {}
+                    None => self.enter_abort(d, "its replica never reached this successor"),
+                }
+            }
+        } else if !self.shutdown {
+            self.enter_abort(d, "replication=1 keeps no replica");
+        }
+        // A peer that died mid-shutdown leaves clients whose `NoMore`
+        // notices may have died with it (unfinished in the merged
+        // replica). Keep the linger alive until each has been
+        // re-answered or is itself confirmed dead.
+        if successor && self.shutdown {
+            for c in self.layout.clients_of(d) {
+                if !self.finished.contains(&c) {
+                    self.stranded.insert(c);
+                }
+            }
+        }
+        // 5. Reshape the ring: the dead peer may have been one of our
+        // replica holders, and our promotion must reach the new holders.
+        self.refresh_repl_targets();
+        // 6. Handle what the dead peer had sent beyond replication.
+        let mut shutdown = false;
+        for msg in deferred {
+            shutdown |= self.handle_server_msg(d, msg);
+        }
+        // 7. Re-drive write-ahead transfers that were addressed to the
+        // dead peer (and any inherited from its ledger).
+        self.redrive_pending_xfers();
+        // 8. Merged work may satisfy parked clients right now.
+        self.service_parked();
+        self.commit_tx();
+        shutdown
+    }
+
+    /// Merge a dead peer's replica ledger into this server's live state:
+    /// this rank now serves the dead peer's shard, queue, leases and
+    /// clients.
+    fn promote(&mut self, d: Rank, ledger: Ledger) {
+        self.stats.failovers += 1;
+        self.epoch += 1;
+        eprintln!(
+            "adlb server {}: promoting replica of server {d} ({} datums, {} queued, {} leased)",
+            self.comm.rank(),
+            ledger.store.len(),
+            ledger.queue.len(),
+            ledger.leases.values().map(VecDeque::len).sum::<usize>(),
+        );
+        self.store.merge(ledger.store);
+        // Queue entries go in silently: the snapshot sent right after the
+        // merge carries them to the new replica holders.
+        for t in ledger.queue {
+            self.queue.push(t);
+        }
+        let now = Instant::now();
+        for (c, deque) in ledger.leases {
+            let mine = self.in_flight.entry(c).or_default();
+            for task in deque {
+                mine.push_back(Lease { task, since: now });
+            }
+        }
+        for (c, n) in ledger.credits {
+            *self.lease_revoked.entry(c).or_insert(0) += n as usize;
+        }
+        for (c, s) in ledger.seqs {
+            let hw = self.client_seqs.entry(c).or_default();
+            *hw = (*hw).max(s);
+        }
+        // Re-send every cached response unprompted: the dead server may
+        // have processed (and replicated) a request but died before the
+        // response left, and the waiting client's retry could race this
+        // server's own termination. Clients that did get the original
+        // drop the duplicate by its sealed seq. Without this push, a
+        // merged `ClientFinished` can satisfy quiescence and let the
+        // survivor exit while the finished client still waits for the Ok
+        // that died with its server.
+        for (c, (_, bytes)) in &ledger.resps {
+            self.tx_sends.push((*c, TAG_RESP, bytes.clone()));
+        }
+        self.client_resps.extend(ledger.resps);
+        for (c, text) in ledger.outputs {
+            self.outputs.entry(c).or_default().push_str(&text);
+        }
+        self.finished.extend(ledger.finished);
+        for q in ledger.quarantine {
+            if !self.quarantine_reports.contains(&q) {
+                self.quarantine_reports.push(q);
+            }
+        }
+        for x in ledger.pending_xfers {
+            self.pending_xfers.push(PendingXfer { x, sent_to: None });
+        }
+        // NOT merged: `next_fseq` — those counters number transfers with
+        // origin `d`; this server's own counters (origin = me) are
+        // already correct, and inherited entries keep their original
+        // origin and fseq.
+        for (k, f) in ledger.xfer_applied {
+            let hw = self.xfer_applied.entry(k).or_default();
+            *hw = (*hw).max(f);
+        }
+        self.fwd_out += ledger.fwd_out;
+        self.fwd_in += ledger.fwd_in;
+    }
+
+    /// No replica to promote: the shard is lost. Stay up, answer every
+    /// `Get` with `NoMore` plus the diagnosis (a clean, attributable
+    /// failure instead of a hang), give lost-shard data ops benign
+    /// defaults, and exit once every client is accounted for.
+    fn enter_abort(&mut self, d: Rank, why: &str) {
+        self.lost_homes.insert(d);
+        for c in self.layout.clients_of(d) {
+            self.truncated.insert(c);
+        }
+        if !self.aborting {
+            self.aborting = true;
+            self.repl_targets.clear();
+            let report = format!(
+                "server rank {d} died and its shard is unrecoverable ({why}): \
+                 queued tasks, leases and data futures on it are lost"
+            );
+            eprintln!(
+                "adlb server {}: {report}; winding down",
+                self.comm.rank()
+            );
+            self.abort_reason = Some(report.clone());
+            self.quarantine_reports.push(report);
+        }
+        // Parked clients will never be served: tell them now.
+        for p in std::mem::take(&mut self.parked) {
+            self.finished.insert(p.rank);
+            let quarantined = self.capped_reports();
+            let aborted = self.abort_reason.clone();
+            self.send_response(
+                p.rank,
+                p.seq,
+                Response::NoMore {
+                    quarantined,
+                    aborted,
+                },
+                true,
+            );
+        }
+    }
+
     // -- idle actions ------------------------------------------------------
 
-    fn idle_actions(&mut self) {
-        // Fault handling first: dead clients must be noticed (and their
-        // work requeued) before quiescence is evaluated, or termination
-        // would wait forever on a rank that will never park.
+    /// Returns true when the server should exit (abort-mode drain done).
+    fn idle_actions(&mut self) -> bool {
+        // Fault handling first: dead peers and clients must be noticed
+        // (and their work requeued or adopted) before quiescence is
+        // evaluated, or termination would wait forever on a rank that
+        // will never park.
+        let now = Instant::now();
+        let comm = self.comm.clone();
+        let newly_dead = self.membership.tick(now, |r| comm.is_alive(r));
+        for d in newly_dead {
+            if self.handle_server_death(d) {
+                // A Shutdown was sitting in the dead peer's mailbox.
+                return true;
+            }
+        }
         self.detect_dead_clients();
         self.check_lease_timeouts();
+        if self.aborting {
+            // Done when every client of ours is finished or dead; they
+            // all reach `finished` through NoMore, Finished, or death.
+            return self
+                .my_clients
+                .iter()
+                .all(|c| self.finished.contains(c) || !self.comm.is_alive(*c));
+        }
         // Termination check next: a fresh steal attempt would otherwise
         // mark this server non-quiescent on every tick.
-        if self.comm.rank() == self.layout.master_server()
-            && !self.check_in_flight
-            && self.quiescent()
-        {
-            self.start_check_round();
+        if self.comm.rank() == self.master() && !self.check_in_flight && self.quiescent() {
+            if self.start_check_round() {
+                return true;
+            }
         }
         if self.steal_backoff > 0 {
             self.steal_backoff -= 1;
-            return;
+            return false;
         }
         self.try_steal();
+        false
     }
 
     fn try_steal(&mut self) {
         if !self.config.steal_enabled
+            || self.aborting
             || self.steal_backoff > 0
             || self.outstanding_steal
-            || self.layout.servers < 2
             || self.parked.is_empty()
             || !self.queue.is_empty()
         {
             return;
         }
+        let others = self.membership.live_peers();
+        if others.is_empty() {
+            return;
+        }
         // Union of work types our parked clients want.
         let mut types: Vec<u32> = Vec::new();
-        for (_, ts) in &self.parked {
-            for t in ts {
+        for p in &self.parked {
+            for t in &p.work_types {
                 if !types.contains(t) {
                     types.push(*t);
                 }
             }
         }
-        let others: Vec<Rank> = self
-            .layout
-            .server_ranks()
-            .filter(|r| *r != self.comm.rank())
-            .collect();
         let victim = others[self.steal_victim_cursor % others.len()];
         self.outstanding_steal = true;
+        self.steal_victim = Some(victim);
         self.stats.steals_attempted += 1;
-        self.comm.send(
+        self.tx_sends.push((
             victim,
             TAG_SRV,
             ServerMsg::StealReq {
@@ -785,49 +1748,43 @@ impl Server {
                 need: self.parked.len() as u32,
             }
             .encode(),
-        );
+        ));
     }
 
-    fn start_check_round(&mut self) {
+    /// Poll the live peers for a termination round. Returns true when the
+    /// round decided termination immediately (no peers to wait for).
+    fn start_check_round(&mut self) -> bool {
         self.check_round += 1;
         self.check_responses.clear();
+        self.check_members = self.membership.live_peers();
         self.check_in_flight = true;
-        for r in self.layout.server_ranks() {
-            if r != self.comm.rank() {
-                self.comm.send(
-                    r,
-                    TAG_SRV,
-                    ServerMsg::Check {
-                        round: self.check_round,
-                    }
-                    .encode(),
-                );
-            }
+        for &r in &self.check_members.clone() {
+            self.tx_sends.push((
+                r,
+                TAG_SRV,
+                ServerMsg::Check {
+                    round: self.check_round,
+                }
+                .encode(),
+            ));
         }
-        if self.layout.servers == 1 {
-            // No peers to wait for: decide now. On termination, send the
-            // Shutdown sentinel to ourselves so run() exits through the
-            // same message-driven path as multi-server mode.
-            if self.evaluate_check_round() {
-                self.comm
-                    .send(self.comm.rank(), TAG_SRV, ServerMsg::Shutdown.encode());
-            }
+        if self.check_members.is_empty() {
+            // No peers to wait for (single server, or every peer dead):
+            // decide now.
+            return self.evaluate_check_round();
         }
+        false
     }
 
     /// All responses for the current round are in; decide.
     fn evaluate_check_round(&mut self) -> bool {
         self.check_in_flight = false;
-        let me = self.comm.rank();
         let mut all_quiescent = self.quiescent();
         let mut fwd_out_sum = self.fwd_out;
         let mut fwd_in_sum = self.fwd_in;
-        let mut snapshot: Vec<u64> = Vec::with_capacity(self.layout.servers);
+        let mut snapshot: Vec<u64> = Vec::with_capacity(self.check_members.len() + 1);
         snapshot.push(self.epoch);
-        for r in self.layout.server_ranks() {
-            if r == me {
-                continue;
-            }
+        for r in self.check_members.clone() {
             let (q, e, fo, fi) = self.check_responses[&r];
             all_quiescent &= q;
             fwd_out_sum += fo;
@@ -837,28 +1794,164 @@ impl Server {
         let stable = self.prev_snapshot.as_deref() == Some(&snapshot[..]);
         self.prev_snapshot = Some(snapshot);
         if all_quiescent && fwd_out_sum == fwd_in_sum && stable {
-            for r in self.layout.server_ranks() {
-                if r != me {
-                    self.comm.send(r, TAG_SRV, ServerMsg::Shutdown.encode());
-                }
+            let note = ServerMsg::Shutdown {
+                reports: self.capped_reports(),
+            }
+            .encode();
+            for r in self.membership.live_peers() {
+                self.tx_sends.push((r, TAG_SRV, note.clone()));
             }
             return true;
         }
         false
     }
 
-    fn shutdown(&mut self) -> ServerStats {
-        // Cap the reports shipped per client; the full list stays in
-        // `self.quarantined` for post-mortem inspection.
-        let reports: Vec<String> = self.quarantine_reports.iter().take(8).cloned().collect();
-        for (rank, _) in std::mem::take(&mut self.parked) {
-            self.respond(
-                rank,
-                Response::NoMore {
-                    quarantined: reports.clone(),
-                },
-            );
+    fn capped_reports(&self) -> Vec<String> {
+        // Cap the reports shipped per message; the full list stays in
+        // `self.quarantine_reports` for post-mortem inspection.
+        self.quarantine_reports.iter().take(8).cloned().collect()
+    }
+
+    fn finish_run(&mut self) -> ServerOutcome {
+        // Shutdown notices first, *replicated before they leave*
+        // (`commit_tx` ships the ops ahead of the sends): if this server
+        // dies between the sends below, the promoted successor re-pushes
+        // the cached notices to whoever missed theirs.
+        let reports = self.capped_reports();
+        for p in std::mem::take(&mut self.parked) {
+            self.finished.insert(p.rank);
+            self.op(ReplOp::ClientFinished { client: p.rank });
+            let resp = Response::NoMore {
+                quarantined: reports.clone(),
+                aborted: self.abort_reason.clone(),
+            };
+            self.send_response(p.rank, p.seq, resp, true);
         }
-        self.stats
+        self.commit_tx();
+        // Goodbye receipt last on every peer link: sends complete in
+        // program order, so a delivered `Bye` proves the notices above
+        // left too. Then stay up until every live peer's own `Bye`
+        // arrives — a peer that dies mid-shutdown instead would strand
+        // its parked clients with nobody left to answer their retries.
+        let bye = ServerMsg::Bye.encode();
+        for p in self.membership.live_peers() {
+            self.comm.send(p, TAG_SRV, bye.clone());
+        }
+        self.shutdown = true;
+        self.repl_targets.clear();
+        self.linger();
+        let mut streams: Vec<(Rank, String)> = self.outputs.drain().collect();
+        streams.sort();
+        let mut truncated: Vec<Rank> = self.truncated.iter().copied().collect();
+        truncated.sort_unstable();
+        ServerOutcome {
+            stats: self.stats,
+            streams,
+            truncated,
+        }
+    }
+
+    /// Post-termination linger: wait for every live peer's `Bye`,
+    /// meanwhile answering retried client requests terminally (their
+    /// server may have died mid-shutdown) and running failover for peers
+    /// that die instead of saying goodbye — promotion re-pushes the dead
+    /// peer's replicated shutdown notices to its stranded clients.
+    ///
+    /// The linger also outlives any client left stranded by such a death
+    /// (adopted but not provably notified): a stranded client is either
+    /// blocked retrying its request — it probes its dead home every
+    /// retry interval and re-sends here, where the answer un-strands it —
+    /// or was itself killed, in which case the membership tick drops it.
+    ///
+    /// This always terminates: every server sends `Bye` *before* it
+    /// starts waiting (no circular wait), an exited peer's `Bye` was its
+    /// last completed send, and a killed peer is confirmed dead by the
+    /// membership tick and dropped from the wait set.
+    fn linger(&mut self) {
+        loop {
+            if self
+                .membership
+                .live_peers()
+                .iter()
+                .all(|p| self.byes.contains(p))
+                && self.stranded.is_empty()
+            {
+                return;
+            }
+            match self
+                .comm
+                .recv_timeout(Src::Any, TagSel::Any, self.config.poll_interval)
+            {
+                Some(m) if m.tag == TAG_REQ => {
+                    // `shutdown` makes `Get` terminal (`NoMore`); dedup,
+                    // cached-response replay and data ops work as usual
+                    // over the merged state.
+                    if let Ok((req, seq)) = Request::decode_shared(&m.data) {
+                        self.handle_request(m.source, req, seq);
+                    }
+                    self.commit_tx();
+                }
+                Some(m) if m.tag == TAG_SRV => {
+                    if self.membership.is_dead(m.source) {
+                        continue;
+                    }
+                    self.membership.heard(m.source, Instant::now());
+                    match ServerMsg::decode_shared(&m.data) {
+                        Ok(ServerMsg::Bye) => {
+                            self.byes.insert(m.source);
+                        }
+                        Ok(ServerMsg::Repl { ops }) => {
+                            let ledger = self.ledgers.entry(m.source).or_default();
+                            for op in &ops {
+                                ledger.apply(m.source, op);
+                            }
+                        }
+                        Ok(ServerMsg::Snapshot { ledger }) => {
+                            self.ledgers.insert(m.source, ledger);
+                        }
+                        // Anything else is pre-shutdown traffic whose
+                        // effects no longer matter: termination required
+                        // global quiescence, so no transfer, steal or
+                        // check round can still be live.
+                        Ok(_) | Err(_) => {}
+                    }
+                }
+                Some(_) => {}
+                None => {
+                    let now = Instant::now();
+                    let comm = self.comm.clone();
+                    let newly_dead = self.membership.tick(now, |r| comm.is_alive(r));
+                    for d in newly_dead {
+                        self.handle_server_death(d);
+                    }
+                    // A stranded client that was itself killed will never
+                    // retry; stop waiting for it.
+                    self.stranded.retain(|c| comm.is_alive(*c));
+                    self.commit_tx();
+                }
+            }
+        }
+    }
+}
+
+/// The wire form of a write-ahead transfer: single non-steal tasks ride
+/// the `Forward` variant, everything else a `StealResp`.
+fn xfer_wire(origin: Rank, dest: Rank, fseq: u64, steal: bool, tasks: &[Task]) -> Bytes {
+    if !steal && tasks.len() == 1 {
+        ServerMsg::Forward {
+            origin,
+            dest,
+            fseq,
+            task: tasks[0].clone(),
+        }
+        .encode()
+    } else {
+        ServerMsg::StealResp {
+            origin,
+            dest,
+            fseq,
+            tasks: tasks.to_vec(),
+        }
+        .encode()
     }
 }

@@ -1,0 +1,229 @@
+//! Server-tier failover tests at the ADLB layer: with `replication = 2`,
+//! killing one server mid-run must not lose or duplicate any task, and
+//! the run must terminate cleanly with the survivor serving both shards.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use adlb::{serve_ext, AdlbClient, Layout, ServerConfig, WORK_TYPE_WORK};
+use mpisim::{FaultPlan, World};
+
+fn replicated_config() -> ServerConfig {
+    ServerConfig {
+        replication: 2,
+        ..ServerConfig::default()
+    }
+}
+
+/// 2 servers, 4 clients; kill one server after `kill_sends` of its sends.
+/// Returns (tid → execution count, survivor failover count, whether the
+/// kill actually fired — a late schedule point can land past the victim's
+/// final `Bye`, in which case it exits normally and nothing fails over).
+fn run_server_death(
+    victim_server: usize,
+    kill_sends: u64,
+    total: u64,
+) -> (HashMap<u64, u64>, u64, bool) {
+    let layout = Layout::new(6, 2);
+    let plan = FaultPlan::new().kill_after_sends(victim_server, kill_sends);
+    let executed: Mutex<HashMap<u64, u64>> = Mutex::new(HashMap::new());
+    let outcome = World::run_faulty(6, &plan, |comm| {
+        let rank = comm.rank();
+        if layout.is_server(rank) {
+            return Some(serve_ext(comm, layout, replicated_config()).stats.failovers);
+        }
+        let mut client = AdlbClient::new(comm, layout);
+        if rank == 0 {
+            for tid in 0..total {
+                // Mix of untargeted and targeted-at-a-consumer tasks so
+                // both queues and the forward path are exercised.
+                let target = if tid % 5 == 0 {
+                    Some(1 + (tid as usize) % 3)
+                } else {
+                    None
+                };
+                client.put(WORK_TYPE_WORK, (tid % 3) as i32, target, tid.to_le_bytes().to_vec());
+            }
+            client.finish();
+            return None;
+        }
+        while let Some(t) = client.get(&[WORK_TYPE_WORK]) {
+            let tid = u64::from_le_bytes(t.payload[..8].try_into().unwrap());
+            *executed.lock().unwrap().entry(tid).or_insert(0) += 1;
+            // Think-time so the kill lands while work is still in flight.
+            std::thread::sleep(Duration::from_micros(300));
+        }
+        None
+    });
+    let fired = !outcome.killed.is_empty();
+    if fired {
+        assert_eq!(outcome.killed, vec![victim_server]);
+    }
+    let failovers: u64 = outcome.outputs.into_iter().flatten().flatten().sum();
+    (executed.into_inner().unwrap(), failovers, fired)
+}
+
+#[test]
+fn killing_the_second_server_loses_nothing_at_replication_2() {
+    // Rank 5 is the non-master server; kill it mid-run at several points
+    // in its send stream (early: barely past startup snapshots; later:
+    // mid-delivery with leases and forwards in flight).
+    for kill_sends in [4, 20, 60] {
+        let (executed, failovers, fired) = run_server_death(5, kill_sends, 40);
+        for tid in 0..40 {
+            let n = executed.get(&tid).copied().unwrap_or(0);
+            assert_eq!(
+                n, 1,
+                "kill_sends={kill_sends}: task {tid} executed {n} times"
+            );
+        }
+        // At the late kill point the victim can die on or after its final
+        // `Bye` — or finish before its 60th send so the kill never fires —
+        // in which case nothing was stranded and no promotion is needed.
+        if !fired {
+            assert_eq!(failovers, 0, "kill_sends={kill_sends}: no kill, no promotion");
+        } else if kill_sends < 60 {
+            assert_eq!(failovers, 1, "kill_sends={kill_sends}: survivor promoted");
+        } else {
+            assert!(failovers <= 1, "kill_sends={kill_sends}: at most one promotion");
+        }
+    }
+}
+
+#[test]
+fn killing_the_master_server_loses_nothing_at_replication_2() {
+    // Rank 4 is the master (termination detection owner): its successor
+    // must take over both the shard and the termination protocol.
+    for kill_sends in [4, 20, 60] {
+        let (executed, failovers, fired) = run_server_death(4, kill_sends, 40);
+        for tid in 0..40 {
+            let n = executed.get(&tid).copied().unwrap_or(0);
+            assert_eq!(
+                n, 1,
+                "kill_sends={kill_sends}: task {tid} executed {n} times"
+            );
+        }
+        if !fired {
+            assert_eq!(failovers, 0, "kill_sends={kill_sends}: no kill, no promotion");
+        } else if kill_sends < 60 {
+            assert_eq!(failovers, 1, "kill_sends={kill_sends}: survivor promoted");
+        } else {
+            assert!(failovers <= 1, "kill_sends={kill_sends}: at most one promotion");
+        }
+    }
+}
+
+#[test]
+fn data_store_shard_survives_its_servers_death() {
+    // A datum created and stored on the victim's shard must be readable
+    // after failover, and a subscription parked on it must still fire.
+    let layout = Layout::new(4, 2);
+    // Servers are ranks 2 and 3. Kill rank 3 after its traffic includes
+    // the replicated create/store.
+    let plan = FaultPlan::new().kill_after_sends(3, 12);
+    let outcome = World::run_faulty(4, &plan, |comm| {
+        let rank = comm.rank();
+        if layout.is_server(rank) {
+            serve_ext(comm, layout, replicated_config());
+            return None;
+        }
+        let mut c = AdlbClient::new(comm, layout);
+        // Pick an id owned by server 3 (the victim).
+        let id = (0..64u64)
+            .find(|i| layout.data_owner(*i) == 3)
+            .expect("an id owned by rank 3");
+        if rank == 0 {
+            c.create(id, 0).unwrap();
+            c.store(id, b"replicated-value".to_vec()).unwrap();
+            c.finish();
+            return None;
+        }
+        // Rank 1: poll until the datum is closed (possibly across the
+        // failover), then read it back.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !c.exists(id).unwrap_or(false) {
+            assert!(std::time::Instant::now() < deadline, "datum never closed");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let v = c.retrieve(id).unwrap().expect("closed datum has a value");
+        c.finish();
+        Some(String::from_utf8(v.to_vec()).unwrap())
+    });
+    assert_eq!(outcome.killed, vec![3]);
+    assert_eq!(
+        outcome.outputs[1],
+        Some(Some("replicated-value".to_string()))
+    );
+}
+
+#[test]
+fn replication_1_server_death_fails_cleanly_not_hangs() {
+    // Same scenario as the failover tests but with replication disabled:
+    // the run must still terminate (no hang), clients must get a NoMore
+    // with a diagnosis, and nobody may panic.
+    let layout = Layout::new(6, 2);
+    // Kill early (6 sends: barely past the first deliveries) so the death
+    // lands while work is still in flight, not during shutdown.
+    let plan = FaultPlan::new().kill_after_sends(5, 6);
+    let outcome = World::run_faulty(6, &plan, |comm| {
+        let rank = comm.rank();
+        if layout.is_server(rank) {
+            serve_ext(comm, layout, ServerConfig::default());
+            return Vec::new();
+        }
+        let mut client = AdlbClient::new(comm, layout);
+        if rank == 0 {
+            for tid in 0..80u64 {
+                client.put(WORK_TYPE_WORK, 0, None, tid.to_le_bytes().to_vec());
+            }
+            client.finish();
+            return client.quarantine_reports().to_vec();
+        }
+        while let Some(_t) = client.get(&[WORK_TYPE_WORK]) {
+            std::thread::sleep(Duration::from_micros(300));
+        }
+        client.quarantine_reports().to_vec()
+    });
+    assert_eq!(outcome.killed, vec![5]);
+    // At least one surviving client must have been told why the run was
+    // cut short.
+    let all_reports: Vec<String> = outcome.outputs.into_iter().flatten().flatten().collect();
+    assert!(
+        all_reports.iter().any(|r| r.contains("unrecoverable")),
+        "no client saw the shard-loss diagnosis: {all_reports:?}"
+    );
+}
+
+#[test]
+fn output_streams_survive_a_server_death() {
+    // Clients stream output through the victim server; after failover the
+    // survivor must hold the replicated streams.
+    let layout = Layout::new(4, 2);
+    let plan = FaultPlan::new().kill_after_sends(3, 14);
+    let outcome = World::run_faulty(4, &plan, |comm| {
+        let rank = comm.rank();
+        if layout.is_server(rank) {
+            let o = serve_ext(comm, layout, replicated_config());
+            return o
+                .streams
+                .into_iter()
+                .map(|(r, s)| format!("{r}:{s}"))
+                .collect::<Vec<_>>();
+        }
+        let mut c = AdlbClient::new(comm, layout);
+        // Rank 1 is a client of server 3 (the victim): its stream must
+        // survive on the successor.
+        c.send_output(&format!("out-{rank};"));
+        std::thread::sleep(Duration::from_millis(30));
+        c.send_output(&format!("more-{rank};"));
+        c.finish();
+        Vec::new()
+    });
+    assert_eq!(outcome.killed, vec![3]);
+    let survivor_streams: Vec<String> = outcome.outputs.into_iter().flatten().flatten().collect();
+    assert!(
+        survivor_streams.iter().any(|s| s.contains("out-1;")),
+        "rank 1's early output lost: {survivor_streams:?}"
+    );
+}

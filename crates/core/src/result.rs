@@ -49,6 +49,10 @@ pub struct RunResult {
     /// Ranks killed by the configured fault plan, in rank order. Empty
     /// when no faults were injected (or none fired).
     pub killed_ranks: Vec<usize>,
+    /// Killed ranks whose streamed output is known to be incomplete: the
+    /// rank died with locally buffered output that never reached the
+    /// server tier, so its contribution to `stdout` is a prefix.
+    pub truncated_streams: Vec<usize>,
 }
 
 impl RunResult {
@@ -99,6 +103,8 @@ impl RunResult {
                 total.ranks_failed += s.ranks_failed;
                 total.data_ops += s.data_ops;
                 total.notifications += s.notifications;
+                total.failovers += s.failovers;
+                total.repl_ops += s.repl_ops;
             }
         }
         total

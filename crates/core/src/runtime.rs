@@ -20,7 +20,8 @@ pub struct Runtime {
     engines: usize,
     policy: InterpPolicy,
     steal: bool,
-    batching: bool,
+    batching: Option<bool>,
+    replication: Option<usize>,
     retry: adlb::RetryPolicy,
     faults: FaultPlan,
     natives: Vec<NativeLibrary>,
@@ -43,7 +44,8 @@ impl Runtime {
             engines: 1,
             policy: InterpPolicy::Retain,
             steal: true,
-            batching: true,
+            batching: None,
+            replication: None,
             retry: adlb::RetryPolicy::default(),
             faults: FaultPlan::new(),
             natives: Vec::new(),
@@ -78,9 +80,29 @@ impl Runtime {
 
     /// Enable/disable client-side wire batching — get prefetch and put
     /// pipelining (ablation switch E5). Off recovers the PR 1
-    /// one-task-per-round-trip protocol.
+    /// one-task-per-round-trip protocol. When not set explicitly, the
+    /// `SWIFTT_BATCHING` environment variable (`0`/`off`/`false` to
+    /// disable) chooses, defaulting to on — this is how the CI
+    /// fault-matrix sweeps configurations without code changes.
     pub fn batching(mut self, on: bool) -> Self {
-        self.batching = on;
+        self.batching = Some(on);
+        self
+    }
+
+    /// Copies of each ADLB server's recoverable state (data-store shard,
+    /// queues, leases), counting the primary. With `r >= 2` the run
+    /// survives the death of `r - 1` servers: a ring successor promotes
+    /// the replica and serves the dead server's shard and clients. `1`
+    /// disables replication (a dead server's shard is lost and the run
+    /// winds down with a diagnosis). Default: 2 when the machine has more
+    /// than one server, else 1. When not set explicitly, the
+    /// `SWIFTT_REPLICATION` environment variable chooses instead (clamped
+    /// to the server count, so a matrix sweep can export it globally).
+    ///
+    /// # Panics
+    /// Panics (at run time) if `r` is 0 or exceeds the server count.
+    pub fn replication(mut self, r: usize) -> Self {
+        self.replication = Some(r);
         self
     }
 
@@ -139,6 +161,40 @@ impl Runtime {
         self.ranks - self.servers - self.engines
     }
 
+    /// The effective replication factor: the explicit setting, else the
+    /// `SWIFTT_REPLICATION` environment variable (clamped to the server
+    /// count so a global matrix export never breaks 1-server machines),
+    /// else the default of 2 whenever more than one server can hold a
+    /// copy.
+    fn effective_replication(&self) -> usize {
+        let r = self
+            .replication
+            .or_else(|| {
+                std::env::var("SWIFTT_REPLICATION")
+                    .ok()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .map(|r| r.clamp(1, self.servers))
+            })
+            .unwrap_or(if self.servers > 1 { 2 } else { 1 });
+        assert!(r >= 1, "replication factor must be at least 1");
+        assert!(
+            r <= self.servers,
+            "replication {r} exceeds the server count {}",
+            self.servers
+        );
+        r
+    }
+
+    /// The effective batching switch: the explicit setting, else the
+    /// `SWIFTT_BATCHING` environment variable, else on.
+    fn effective_batching(&self) -> bool {
+        self.batching.unwrap_or_else(|| {
+            !std::env::var("SWIFTT_BATCHING")
+                .map(|v| matches!(v.as_str(), "0" | "off" | "false"))
+                .unwrap_or(false)
+        })
+    }
+
     fn turbine_config(&self) -> TurbineConfig {
         TurbineConfig {
             servers: self.servers,
@@ -147,9 +203,10 @@ impl Runtime {
             server: adlb::ServerConfig {
                 steal_enabled: self.steal,
                 retry: self.retry,
+                replication: self.effective_replication(),
                 ..adlb::ServerConfig::default()
             },
-            batching: self.batching,
+            batching: self.effective_batching(),
         }
     }
 
@@ -189,13 +246,37 @@ impl Runtime {
         let elapsed = start.elapsed();
         match world {
             Ok(outcome) => {
-                // Killed ranks leave no output; the run is a survivor view.
-                let outputs: Vec<_> = outcome.outputs.into_iter().flatten().collect();
-                let stdout = outputs
-                    .iter()
-                    .map(|o| o.stdout.as_str())
-                    .collect::<Vec<_>>()
-                    .join("");
+                let per_rank = outcome.outputs;
+                // Streams accumulated on the server tier recover what a
+                // killed rank shipped before dying; for survivors the
+                // locally captured stdout is authoritative (and, fault
+                // free, identical to the streamed copy).
+                let mut streamed: std::collections::HashMap<usize, String> =
+                    std::collections::HashMap::new();
+                let mut truncated: Vec<usize> = Vec::new();
+                for o in per_rank.iter().flatten() {
+                    for (r, s) in &o.server_streams {
+                        let e = streamed.entry(*r).or_default();
+                        if s.len() > e.len() {
+                            s.clone_into(e);
+                        }
+                    }
+                    truncated.extend(o.truncated_streams.iter().copied());
+                }
+                truncated.sort_unstable();
+                truncated.dedup();
+                let mut stdout = String::new();
+                for (rank, o) in per_rank.iter().enumerate() {
+                    match o {
+                        Some(ro) => stdout.push_str(&ro.stdout),
+                        None => {
+                            if let Some(s) = streamed.get(&rank) {
+                                stdout.push_str(s);
+                            }
+                        }
+                    }
+                }
+                let outputs: Vec<_> = per_rank.into_iter().flatten().collect();
                 Ok(RunResult {
                     stdout,
                     outputs,
@@ -203,6 +284,7 @@ impl Runtime {
                     messages: outcome.stats.messages,
                     bytes: outcome.stats.bytes,
                     killed_ranks: outcome.killed,
+                    truncated_streams: truncated,
                 })
             }
             Err(p) => {

@@ -5,6 +5,9 @@
 //! (preamble of proc definitions + a main body), each rank takes its role
 //! from the layout (Fig. 2) and runs to global termination.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use adlb::{AdlbClient, Layout, ServerConfig, ServerStats};
 use mpisim::{Comm, Rank};
 use tclish::Interp;
@@ -64,6 +67,10 @@ impl TurbineConfig {
             adlb::ClientConfig {
                 prefetch: 8,
                 put_buffer: 16,
+                // Stdout chunks ship to the server as soon as a loop
+                // iteration produces them: buffering would widen the
+                // window of output a rank death can lose.
+                output_buffer: 0,
             }
         } else {
             adlb::ClientConfig::unbatched()
@@ -135,6 +142,40 @@ pub struct RankOutput {
     pub interp_inits: u64,
     /// Server statistics (servers only).
     pub server_stats: Option<ServerStats>,
+    /// Per-client stdout streams this rank accumulated (servers only):
+    /// everything each engine/worker shipped via the incremental output
+    /// stream, which survives the producing rank's death.
+    pub server_streams: Vec<(Rank, String)>,
+    /// Client ranks whose stream is known-incomplete — the rank died
+    /// mid-run (servers only).
+    pub truncated_streams: Vec<Rank>,
+}
+
+/// Ships the interpreter's captured stdout to the ADLB server tier in
+/// increments: everything `puts` appended since the last ship goes out as
+/// one fire-and-forget `Output` message. Called before each blocking
+/// `get`, so a rank death can only lose the output of the task it was
+/// actively running — everything earlier already lives on (and is
+/// replicated by) its server.
+pub struct OutputStreamer {
+    buf: Rc<RefCell<String>>,
+    shipped: usize,
+}
+
+impl OutputStreamer {
+    /// Stream increments of `buf` (an [`Interp::capture_output`] buffer).
+    pub fn new(buf: Rc<RefCell<String>>) -> Self {
+        OutputStreamer { buf, shipped: 0 }
+    }
+
+    /// Ship whatever was appended since the last call.
+    pub fn ship(&mut self, client: &mut AdlbClient) {
+        let b = self.buf.borrow();
+        if b.len() > self.shipped {
+            client.send_output(&b[self.shipped..]);
+            self.shipped = b.len();
+        }
+    }
 }
 
 /// Run one rank of the machine to global termination.
@@ -163,7 +204,7 @@ pub fn run_rank_with(
     let layout = config.layout(size);
 
     if role == Role::Server {
-        let stats = adlb::serve(comm, layout, config.server.clone());
+        let outcome = adlb::serve_ext(comm, layout, config.server.clone());
         return RankOutput {
             role,
             stdout: String::new(),
@@ -172,7 +213,9 @@ pub fn run_rank_with(
             rules_created: 0,
             rules_fired: 0,
             interp_inits: 0,
-            server_stats: Some(stats),
+            server_stats: Some(outcome.stats),
+            server_streams: outcome.streams,
+            truncated_streams: outcome.truncated,
         };
     }
 
@@ -200,6 +243,7 @@ pub fn run_rank_with(
         (size - config.servers - config.engines).to_string(),
     );
 
+    let mut stream = OutputStreamer::new(buf.clone());
     match role {
         Role::Engine => {
             if rank == 0 {
@@ -207,10 +251,11 @@ pub fn run_rank_with(
                     .eval(&program.main)
                     .unwrap_or_else(|e| panic!("program main failed: {e}"));
             }
-            engine_loop(&mut interp, &ctx).unwrap_or_else(|e| panic!("engine {rank} failed: {e}"));
+            engine_loop(&mut interp, &ctx, &mut stream)
+                .unwrap_or_else(|e| panic!("engine {rank} failed: {e}"));
         }
         Role::Worker => {
-            worker::worker_loop(&mut interp, &ctx)
+            worker::worker_loop(&mut interp, &ctx, &mut stream)
                 .unwrap_or_else(|e| panic!("worker {rank} task failed: {e}"));
         }
         Role::Server => unreachable!(),
@@ -227,12 +272,19 @@ pub fn run_rank_with(
         rules_fired: c.engine.rules_fired,
         interp_inits: c.interp_inits,
         server_stats: None,
+        server_streams: Vec::new(),
+        truncated_streams: Vec::new(),
     }
 }
 
 /// The engine loop: drain locally ready actions, then block on control
-/// tasks and data-close notifications until global termination.
-pub fn engine_loop(interp: &mut Interp, ctx: &SharedCtx) -> Result<(), tclish::TclError> {
+/// tasks and data-close notifications until global termination. Output
+/// produced so far streams to the server tier before each blocking get.
+pub fn engine_loop(
+    interp: &mut Interp,
+    ctx: &SharedCtx,
+    stream: &mut OutputStreamer,
+) -> Result<(), tclish::TclError> {
     loop {
         // Drain everything ready to run on this engine.
         loop {
@@ -244,19 +296,29 @@ pub fn engine_loop(interp: &mut Interp, ctx: &SharedCtx) -> Result<(), tclish::T
                 None => break,
             }
         }
+        stream.ship(&mut ctx.borrow_mut().client);
         let task = ctx
             .borrow_mut()
             .client
             .get(&[adlb::WORK_TYPE_CONTROL, adlb::WORK_TYPE_NOTIFY]);
         match task {
             None => {
+                let c = ctx.borrow();
+                // An aborted run (a server died with no replica to
+                // promote) may look "complete" to the engine — tasks
+                // that died with the shard leave no unfired rule behind.
+                // The shutdown notice carries the diagnosis; fail the
+                // run with it instead of reporting partial output as
+                // success.
+                if let Some(reason) = c.client.run_aborted() {
+                    return Err(tclish::TclError::new(format!("run aborted: {reason}")));
+                }
                 // Global termination with rules still waiting means their
                 // input futures can never close: a dataflow deadlock in
                 // the user program (e.g. reading a never-assigned
                 // variable, or a task quarantined after repeated
                 // failures). Report it like Swift/T does, with the
                 // server's quarantine reports when there are any.
-                let c = ctx.borrow();
                 let waiting = c.engine.rules_waiting();
                 if waiting > 0 {
                     let mut msg = format!(

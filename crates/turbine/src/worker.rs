@@ -15,17 +15,25 @@
 use tclish::{Interp, TclError};
 
 use crate::commands::SharedCtx;
+use crate::run::OutputStreamer;
 use crate::types::InterpPolicy;
 
 /// Run the worker loop until global termination. Returns the number of
-/// tasks executed successfully.
+/// tasks executed successfully. Each finished task's output streams to
+/// the server tier before the next blocking get, so a later death of this
+/// rank cannot lose it.
 ///
 /// The `Result` is kept for API stability; task failures are contained
 /// (counted in `Ctx::tasks_failed` and reported to the server), so this
 /// never returns `Err`.
-pub fn worker_loop(interp: &mut Interp, ctx: &SharedCtx) -> Result<u64, TclError> {
+pub fn worker_loop(
+    interp: &mut Interp,
+    ctx: &SharedCtx,
+    stream: &mut OutputStreamer,
+) -> Result<u64, TclError> {
     let mut count = 0u64;
     loop {
+        stream.ship(&mut ctx.borrow_mut().client);
         let task = ctx.borrow_mut().client.get(&[adlb::WORK_TYPE_WORK]);
         let Some(task) = task else {
             return Ok(count);
@@ -101,7 +109,8 @@ mod tests {
             let buf = interp.capture_output();
             commands::register(&mut interp, ctx.clone());
             interp.eval(crate::library::TURBINE_LIB).unwrap();
-            let n = super::worker_loop(&mut interp, &ctx).unwrap();
+            let mut stream = crate::run::OutputStreamer::new(buf.clone());
+            let n = super::worker_loop(&mut interp, &ctx, &mut stream).unwrap();
             let inits = ctx.borrow().interp_inits;
             let stdout = buf.borrow().clone();
             Some((stdout, n, inits))
@@ -173,7 +182,9 @@ mod tests {
             let mut interp = Interp::new();
             let buf = interp.capture_output();
             commands::register(&mut interp, ctx.clone());
-            let n = super::worker_loop(&mut interp, &ctx).expect("contained loop never errs");
+            let mut stream = crate::run::OutputStreamer::new(buf.clone());
+            let n = super::worker_loop(&mut interp, &ctx, &mut stream)
+                .expect("contained loop never errs");
             let failed = ctx.borrow().tasks_failed;
             assert_eq!(buf.borrow().as_str(), "healthy\n");
             Some((failed, n, 1))

@@ -10,6 +10,8 @@
 //!   -e, --engines N      engines (default 1)
 //!       --reinitialize   reinitialize Python/R interpreters per task
 //!       --no-steal       disable ADLB work stealing
+//!       --replication N  copies of each server's state (default: 2 when
+//!                        servers > 1, else 1)
 //!       --faults SPEC    inject faults (kill:rank=R,sends=N; drop:...)
 //!       --max-retries K  requeue a failed task at most K times
 //!       --emit-tcl       print the compiled Turbine code and exit
@@ -31,6 +33,7 @@ struct Options {
     engines: usize,
     policy: InterpPolicy,
     steal: bool,
+    replication: Option<usize>,
     faults: FaultPlan,
     max_retries: Option<u32>,
     emit_tcl: bool,
@@ -54,6 +57,9 @@ options:
   -e, --engines N      engines (default 1)
       --reinitialize   reinitialize Python/R interpreters per task
       --no-steal       disable ADLB work stealing
+      --replication N  copies of each ADLB server's state; N >= 2 lets a
+                       run survive server deaths (default: 2 when
+                       servers > 1, else 1)
       --faults SPEC    inject faults; SPEC is ';'-separated clauses:
                          kill:rank=R,sends=N   kill R after its Nth send
                          kill:rank=R,recvs=N   kill R at its (N+1)th recv
@@ -72,6 +78,7 @@ fn parse_args() -> Result<Options, String> {
         engines: 1,
         policy: InterpPolicy::Retain,
         steal: true,
+        replication: None,
         faults: FaultPlan::new(),
         max_retries: None,
         emit_tcl: false,
@@ -93,6 +100,7 @@ fn parse_args() -> Result<Options, String> {
             "-e" | "--engines" => opts.engines = num("--engines")?,
             "--reinitialize" => opts.policy = InterpPolicy::Reinitialize,
             "--no-steal" => opts.steal = false,
+            "--replication" => opts.replication = Some(num("--replication")?),
             "--faults" => {
                 let spec = args.next().ok_or("--faults needs a spec")?;
                 opts.faults = FaultPlan::parse(&spec).map_err(|e| format!("--faults: {e}"))?;
@@ -177,12 +185,24 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
+    if let Some(r) = opts.replication {
+        if r < 1 || r > opts.servers {
+            eprintln!(
+                "swiftt: --replication must be between 1 and the server count ({})",
+                opts.servers
+            );
+            return ExitCode::from(2);
+        }
+    }
     let mut rt = Runtime::new(opts.ranks)
         .servers(opts.servers)
         .engines(opts.engines)
         .policy(opts.policy)
         .work_stealing(opts.steal)
         .faults(opts.faults.clone());
+    if let Some(r) = opts.replication {
+        rt = rt.replication(r);
+    }
     if let Some(k) = opts.max_retries {
         rt = rt.max_retries(k);
     }
@@ -204,12 +224,17 @@ fn main() -> ExitCode {
                     result.messages, result.bytes
                 );
                 eprintln!("wall time          : {:?}", result.elapsed);
+                if servers.repl_ops > 0 {
+                    eprintln!("replication ops    : {}", servers.repl_ops);
+                }
                 if !result.killed_ranks.is_empty()
                     || result.total_tasks_failed() > 0
                     || servers.protocol_errors > 0
+                    || servers.failovers > 0
                 {
                     eprintln!("killed ranks       : {:?}", result.killed_ranks);
                     eprintln!("ranks failed (srv) : {}", servers.ranks_failed);
+                    eprintln!("server failovers   : {}", servers.failovers);
                     eprintln!("tasks failed       : {}", result.total_tasks_failed());
                     eprintln!(
                         "requeued / retried : {} / {}",
@@ -217,6 +242,12 @@ fn main() -> ExitCode {
                     );
                     eprintln!("quarantined        : {}", servers.tasks_quarantined);
                     eprintln!("protocol errors    : {}", servers.protocol_errors);
+                    if !result.truncated_streams.is_empty() {
+                        eprintln!(
+                            "truncated streams  : {:?} (output from these ranks is a prefix)",
+                            result.truncated_streams
+                        );
+                    }
                 }
             }
             ExitCode::SUCCESS

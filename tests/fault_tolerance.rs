@@ -46,10 +46,11 @@ fn early_worker_death_loses_no_tasks() {
 
 #[test]
 fn mid_run_worker_death_terminates_without_duplicates() {
-    // Kill worker 3 midway through its task stream. Tasks it fully
-    // executed may lose their buffered stdout with the rank; the leased
-    // task it died holding is requeued. Either way the run terminates
-    // and no surviving rank prints a task twice.
+    // Kill worker 3 midway through its task stream. Its executed tasks'
+    // output was streamed to the server tier before each subsequent get
+    // (and their acks flushed before the receive the kill lands on), so
+    // nothing it did is lost OR rerun: the assembled stdout holds all 40
+    // tasks exactly once even though the rank died.
     let plan = FaultPlan::new().kill_after_recvs(3, 12);
     let r = Runtime::new(6)
         .faults(plan)
@@ -61,9 +62,15 @@ fn mid_run_worker_death_terminates_without_duplicates() {
         r.killed_ranks
     );
     let lines = unique_lines(&r.stdout);
-    assert!(lines.len() <= 40);
-    if r.killed_ranks.is_empty() {
-        assert_eq!(lines.len(), 40, "no death, no loss");
+    assert_eq!(
+        lines.len(),
+        40,
+        "streamed output recovers the dead rank's executed tasks"
+    );
+    if !r.killed_ranks.is_empty() {
+        // The server tier cannot know the victim's last words arrived;
+        // its stream is conservatively flagged as possibly-truncated.
+        assert_eq!(r.truncated_streams, vec![3]);
     }
 }
 
@@ -153,6 +160,87 @@ fn poison_task_quarantined_with_bounded_retries() {
     }
 }
 
+/// Rank layout for new(8).servers(2): engine 0, workers 1..=5, servers
+/// 6 (master) and 7. Run the same 120-task program fault-free and with
+/// one server killed mid-run at replication 2; the output task set must
+/// be identical (worker scheduling makes line *order* nondeterministic,
+/// so we compare sorted lines).
+fn assert_server_death_output_matches(victim: usize, kill_recvs: u64) {
+    let src = r#"foreach i in [0:119] { printf("task %d", i); }"#;
+    let clean = Runtime::new(8)
+        .servers(2)
+        .replication(2)
+        .run(src)
+        .expect("fault-free run");
+    let mut want: Vec<&str> = clean.stdout.lines().collect();
+    want.sort_unstable();
+
+    let plan = FaultPlan::new().kill_after_recvs(victim, kill_recvs);
+    let r = Runtime::new(8)
+        .servers(2)
+        .replication(2)
+        .faults(plan)
+        .run(src)
+        .unwrap_or_else(|e| {
+            panic!("killing server {victim} at recv {kill_recvs} must not fail the run: {e}")
+        });
+    assert_eq!(
+        r.killed_ranks,
+        vec![victim],
+        "the scheduled server victim must die"
+    );
+    assert_eq!(r.server_totals().failovers, 1, "a successor promoted");
+    let mut got = unique_lines(&r.stdout);
+    got.sort_unstable();
+    assert_eq!(
+        got, want,
+        "output after a server death must match the fault-free run"
+    );
+    assert!(
+        r.truncated_streams.is_empty(),
+        "no worker died, so no stream may be truncated: {:?}",
+        r.truncated_streams
+    );
+}
+
+#[test]
+fn master_server_death_at_replication_2_output_matches_fault_free() {
+    // Rank 6 is the master (first server on the ring): its successor
+    // takes over the shard, the adopted clients, AND the termination
+    // protocol.
+    for kill_recvs in [10, 40] {
+        assert_server_death_output_matches(6, kill_recvs);
+    }
+}
+
+#[test]
+fn second_server_death_at_replication_2_output_matches_fault_free() {
+    for kill_recvs in [10, 40] {
+        assert_server_death_output_matches(7, kill_recvs);
+    }
+}
+
+#[test]
+fn server_death_at_replication_1_fails_cleanly_not_hangs() {
+    // The same death schedule with replication disabled: the shard is
+    // lost, so the run cannot complete — but it must end in a clean,
+    // attributable error (the shard-loss diagnosis), never a hang.
+    let plan = FaultPlan::new().kill_after_recvs(7, 10);
+    let err = Runtime::new(8)
+        .servers(2)
+        .replication(1)
+        .faults(plan)
+        .run(r#"foreach i in [0:119] { printf("task %d", i); }"#)
+        .expect_err("an unreplicated shard loss cannot complete the program");
+    match err {
+        SwiftTError::Runtime(m) => assert!(
+            m.contains("unrecoverable"),
+            "error must carry the shard-loss diagnosis: {m}"
+        ),
+        other => panic!("expected a runtime error, got {other:?}"),
+    }
+}
+
 #[test]
 fn cli_faults_flag_reports_counters() {
     let out = Command::new(env!("CARGO_BIN_EXE_swiftt"))
@@ -175,6 +263,44 @@ fn cli_faults_flag_reports_counters() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("killed ranks       : [2]"), "{stderr}");
     assert!(stderr.contains("ranks failed (srv) : 1"), "{stderr}");
+}
+
+#[test]
+fn cli_replication_flag_survives_server_death() {
+    let out = Command::new(env!("CARGO_BIN_EXE_swiftt"))
+        .args([
+            "--expr",
+            r#"foreach i in [0:99] { printf("t%d", i); }"#,
+            "-n",
+            "8",
+            "-s",
+            "2",
+            "--replication",
+            "2",
+            "--faults",
+            "kill:rank=7,recvs=10",
+            "--report",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 100, "all tasks ran despite the dead server");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("killed ranks       : [7]"), "{stderr}");
+    assert!(stderr.contains("server failovers   : 1"), "{stderr}");
+    assert!(stderr.contains("replication ops    : "), "{stderr}");
+}
+
+#[test]
+fn cli_rejects_replication_above_server_count() {
+    let out = Command::new(env!("CARGO_BIN_EXE_swiftt"))
+        .args(["--expr", "trace(1);", "-s", "1", "--replication", "2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--replication"), "{stderr}");
 }
 
 #[test]

@@ -4,8 +4,8 @@
 //! the subset of the proptest 1.x API the workspace uses: the `proptest!`
 //! macro (with `#![proptest_config]`), `Strategy` with `prop_map` /
 //! `prop_recursive` / `boxed`, `Just`, `prop_oneof!`, `any::<T>()`,
-//! numeric range strategies, regex-subset string strategies, and
-//! `proptest::collection::vec`.
+//! numeric range strategies, regex-subset string strategies,
+//! `proptest::collection::vec`, and `proptest::option::of`.
 //!
 //! Differences from the real crate: generation is a deterministic
 //! pseudo-random stream seeded from the test's module path and name (so
@@ -16,6 +16,7 @@
 
 pub mod arbitrary;
 pub mod collection;
+pub mod option;
 pub mod strategy;
 pub mod string;
 pub mod test_runner;

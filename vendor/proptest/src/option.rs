@@ -1,0 +1,38 @@
+//! `Option` strategies (`of`).
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `None` about a quarter of the time, otherwise `Some` of the
+/// inner strategy's value (the real crate's default weighting is also
+/// biased toward `Some`).
+pub fn of<S>(inner: S) -> OptionStrategy<S>
+where
+    S: Strategy,
+{
+    OptionStrategy { inner }
+}
+
+/// Strategy produced by [`of`].
+#[derive(Clone, Copy, Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S> Strategy for OptionStrategy<S>
+where
+    S: Strategy,
+    S::Value: fmt::Debug,
+{
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
