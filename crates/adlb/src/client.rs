@@ -222,8 +222,17 @@ impl AdlbClient {
                 .recv_timeout(Src::Any, TagSel::Of(TAG_RESP), RETRY_PROBE)
             {
                 Some(m) => {
-                    let (resp, rseq) =
-                        Response::decode_sealed(&m.data).expect("bad server response");
+                    // A malformed response must not take the client rank
+                    // down: log, drop, and keep waiting — the retry loop
+                    // re-sends the request if nothing valid ever lands.
+                    let Ok((resp, rseq)) = Response::decode_sealed(&m.data) else {
+                        eprintln!(
+                            "adlb client {}: undecodable response from rank {}; dropped",
+                            self.comm.rank(),
+                            m.source
+                        );
+                        continue;
+                    };
                     if rseq != seq {
                         // A re-sent copy of a response this client already
                         // consumed (failover duplicate): drop it.
@@ -314,10 +323,13 @@ impl AdlbClient {
             return;
         }
         let mut batch = std::mem::take(&mut self.put_buf);
-        let req = if batch.len() == 1 {
-            Request::Put(batch.pop().unwrap())
-        } else {
-            Request::PutBatch(batch)
+        let req = match batch.pop() {
+            Some(t) if batch.is_empty() => Request::Put(t),
+            Some(t) => {
+                batch.push(t);
+                Request::PutBatch(batch)
+            }
+            None => return, // guarded above; never panic on a race
         };
         // Sealed exchange directly: request() would recurse into this
         // flush.
@@ -382,11 +394,13 @@ impl AdlbClient {
             return;
         }
         let mut results = std::mem::take(&mut self.pending_acks);
-        let req = if results.len() == 1 {
-            let (ok, error) = results.pop().unwrap();
-            Request::TaskDone { ok, error }
-        } else {
-            Request::TaskDoneBatch { results }
+        let req = match results.pop() {
+            Some((ok, error)) if results.is_empty() => Request::TaskDone { ok, error },
+            Some(r) => {
+                results.push(r);
+                Request::TaskDoneBatch { results }
+            }
+            None => return, // guarded above; never panic on a race
         };
         self.send_ff(req.encode());
     }

@@ -100,6 +100,33 @@ impl Layout {
         out
     }
 
+    /// The first `k` *live* ring successors of `server` (excluding
+    /// `server` itself and every rank in `dead`). This is the replica
+    /// placement over the shrunken ring: after a failover each primary
+    /// re-replicates to these ranks to restore `R` live copies.
+    pub fn live_successors(
+        &self,
+        server: Rank,
+        k: usize,
+        dead: &std::collections::HashSet<Rank>,
+    ) -> Vec<Rank> {
+        let mut out = Vec::with_capacity(k.min(self.servers.saturating_sub(1)));
+        let mut s = server;
+        for _ in 0..self.servers.saturating_sub(1) {
+            s = self.next_server(s);
+            if s == server {
+                break;
+            }
+            if !dead.contains(&s) {
+                out.push(s);
+                if out.len() == k {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
     /// The first server at or after `server` on the ring that is not in
     /// `dead`. This is the failover route: requests for a dead server's
     /// shard go to its first live successor (which holds the replica at
@@ -173,6 +200,24 @@ mod tests {
         let l1 = Layout::new(3, 1);
         assert_eq!(l1.next_server(2), 2);
         assert!(l1.successors(2, 1).is_empty());
+    }
+
+    #[test]
+    fn live_successors_skip_dead_and_shrink_with_the_ring() {
+        use std::collections::HashSet;
+        let l = Layout::new(12, 4); // servers 8..=11
+        let none: HashSet<Rank> = HashSet::new();
+        assert_eq!(l.live_successors(8, 1, &none), vec![9]);
+        assert_eq!(l.live_successors(11, 2, &none), vec![8, 9]);
+        // A dead successor is skipped: the replica moves one hop further.
+        let dead: HashSet<Rank> = [9].into_iter().collect();
+        assert_eq!(l.live_successors(8, 1, &dead), vec![10]);
+        assert_eq!(l.live_successors(8, 2, &dead), vec![10, 11]);
+        // The ring can shrink below k: fewer live holders than requested.
+        let most: HashSet<Rank> = [9, 10, 11].into_iter().collect();
+        assert!(l.live_successors(8, 2, &most).is_empty());
+        let l1 = Layout::new(3, 1);
+        assert!(l1.live_successors(2, 1, &none).is_empty());
     }
 
     #[test]

@@ -62,6 +62,14 @@ impl Membership {
     }
 
     /// Record traffic from `peer` (any message is a liveness proof).
+    ///
+    /// A `Suspect` whose traffic resumes returns to `Alive` here, without
+    /// consulting the oracle and without any failover side effect: only
+    /// an oracle-confirmed death (in [`Membership::tick`] or
+    /// [`Membership::mark_dead`]) is permanent. A peer flapping between
+    /// silence and bursts of traffic therefore oscillates
+    /// Alive ⇄ Suspect but is never declared dead while the transport
+    /// still reads it alive.
     pub fn heard(&mut self, peer: Rank, now: Instant) {
         if let Some(s) = self.state.get_mut(&peer) {
             if *s != MemberState::Dead {
@@ -116,10 +124,7 @@ impl Membership {
 
     /// Current verdict for `peer` (peers not tracked read as alive).
     pub fn state_of(&self, peer: Rank) -> MemberState {
-        self.state
-            .get(&peer)
-            .copied()
-            .unwrap_or(MemberState::Alive)
+        self.state.get(&peer).copied().unwrap_or(MemberState::Alive)
     }
 
     /// The confirmed-dead set.
@@ -188,6 +193,49 @@ mod tests {
             assert!(m.tick(t0 + WINDOW / 2 * i, |_| false).is_empty());
         }
         assert_eq!(m.state_of(8), MemberState::Alive);
+    }
+
+    #[test]
+    fn suspect_whose_heartbeat_resumes_recovers_without_failover() {
+        let t0 = Instant::now();
+        let mut m = Membership::new([9], WINDOW, t0);
+        let t1 = t0 + WINDOW;
+        assert!(m.tick(t1, |_| true).is_empty());
+        assert_eq!(m.state_of(9), MemberState::Suspect);
+        // The late heartbeat lands before the confirming tick: back to
+        // Alive purely on traffic — no oracle consult, no death report.
+        m.heard(9, t1);
+        assert_eq!(m.state_of(9), MemberState::Alive);
+        // The recovery also reset the silence window: a tick right after
+        // must not re-suspect, even with a pessimistic oracle.
+        assert!(m.tick(t1 + WINDOW / 2, |_| false).is_empty());
+        assert_eq!(m.state_of(9), MemberState::Alive);
+        assert_eq!(m.live_peers(), vec![9]);
+    }
+
+    #[test]
+    fn flapping_peer_is_never_confirmed_dead_by_a_truthful_oracle() {
+        let t0 = Instant::now();
+        let mut m = Membership::new([9], WINDOW, t0);
+        // Alternate long silences (full suspicion window) with resumed
+        // traffic for many cycles; the peer is alive throughout, so no
+        // tick may ever upgrade Suspect to Dead.
+        let mut now = t0;
+        for cycle in 0..50 {
+            now += WINDOW;
+            assert!(
+                m.tick(now, |_| true).is_empty(),
+                "cycle {cycle}: flapping peer declared dead"
+            );
+            assert_ne!(m.state_of(9), MemberState::Dead);
+            // Traffic resumes; sometimes only after a second suspect tick.
+            if cycle % 3 == 0 {
+                assert!(m.tick(now, |_| true).is_empty());
+            }
+            m.heard(9, now);
+            assert_eq!(m.state_of(9), MemberState::Alive);
+        }
+        assert_eq!(m.live_peers(), vec![9]);
     }
 
     #[test]

@@ -234,9 +234,7 @@ pub enum ServerMsg {
         tasks: Vec<Task>,
     },
     /// Termination-detection poll from the master.
-    Check {
-        round: u64,
-    },
+    Check { round: u64 },
     CheckResp {
         round: u64,
         quiescent: bool,
@@ -246,30 +244,20 @@ pub enum ServerMsg {
     },
     /// Global shutdown, carrying the (capped) quarantine reports gathered
     /// by the master so every server can hand them to its clients.
-    Shutdown {
-        reports: Vec<String>,
-    },
+    Shutdown { reports: Vec<String> },
     /// Liveness beacon between servers (membership protocol). Any message
     /// counts as a heartbeat; this one exists for otherwise-idle servers.
     Heartbeat,
     /// Write-through replication: state-changing ops a primary streams to
     /// the ring successors holding its replica ledger.
-    Repl {
-        ops: Vec<ReplOp>,
-    },
+    Repl { ops: Vec<ReplOp> },
     /// Full replica state, sent when a server (re)gains a replica holder —
     /// at startup, after a membership change reshapes the ring, or after a
     /// promotion merges a dead server's ledger.
-    Snapshot {
-        ledger: Ledger,
-    },
+    Snapshot { ledger: Box<Ledger> },
     /// Receiver has durably applied transfer `fseq` from `origin`'s ledger
     /// toward home `dest`; the sender may retire the write-ahead entry.
-    XferAck {
-        origin: Rank,
-        dest: Rank,
-        fseq: u64,
-    },
+    XferAck { origin: Rank, dest: Rank, fseq: u64 },
     /// Sent as a server's very last message after global termination: every
     /// shutdown `NoMore` this server owed its clients precedes the `Bye`
     /// in its send stream, and sends complete in program order — so a
@@ -278,6 +266,23 @@ pub enum ServerMsg {
     /// gets its replica promoted so its stranded clients still get their
     /// shutdown notices.
     Bye,
+    /// One bounded chunk of a streamed replica snapshot (re-replication).
+    /// `data` covers bytes `[cursor, cursor + data.len())` of a `total`-byte
+    /// serialized [`Ledger`]; `sync_id` is monotonic per sender so a
+    /// restarted sync supersedes any chunks of the previous one still in
+    /// flight. The receiver acks each chunk with [`ServerMsg::SyncAck`]
+    /// carrying its contiguous high-water, which is also the resume point:
+    /// the sender may re-send from any acked cursor.
+    ReplSync {
+        sync_id: u64,
+        cursor: u64,
+        total: u64,
+        data: Bytes,
+    },
+    /// Receiver holds the first `cursor` contiguous bytes of sync
+    /// `sync_id`; the sender streams the next chunk from there (or retires
+    /// the sync when `cursor == total`).
+    SyncAck { sync_id: u64, cursor: u64 },
 }
 
 pub(crate) fn put_u32_list(w: &mut WireWriter, v: &[u32]) {
@@ -720,6 +725,23 @@ impl ServerMsg {
             ServerMsg::Bye => {
                 w.put_u8(10);
             }
+            ServerMsg::ReplSync {
+                sync_id,
+                cursor,
+                total,
+                data,
+            } => {
+                w.put_u8(11);
+                w.put_u64(*sync_id);
+                w.put_u64(*cursor);
+                w.put_u64(*total);
+                w.put_bytes(data);
+            }
+            ServerMsg::SyncAck { sync_id, cursor } => {
+                w.put_u8(12);
+                w.put_u64(*sync_id);
+                w.put_u64(*cursor);
+            }
         }
         w.finish()
     }
@@ -780,7 +802,7 @@ impl ServerMsg {
                 ServerMsg::Repl { ops }
             }
             8 => ServerMsg::Snapshot {
-                ledger: Ledger::decode_from(&mut r)?,
+                ledger: Box::new(Ledger::decode_from(&mut r)?),
             },
             9 => ServerMsg::XferAck {
                 origin: r.get_u64()? as Rank,
@@ -788,6 +810,16 @@ impl ServerMsg {
                 fseq: r.get_u64()?,
             },
             10 => ServerMsg::Bye,
+            11 => ServerMsg::ReplSync {
+                sync_id: r.get_u64()?,
+                cursor: r.get_u64()?,
+                total: r.get_u64()?,
+                data: r.get_bytes_shared()?,
+            },
+            12 => ServerMsg::SyncAck {
+                sync_id: r.get_u64()?,
+                cursor: r.get_u64()?,
+            },
             _ => {
                 return Err(WireError {
                     context: "unknown server message kind",
@@ -955,6 +987,22 @@ mod tests {
                 fseq: 11,
             },
             ServerMsg::Bye,
+            ServerMsg::ReplSync {
+                sync_id: 7,
+                cursor: 4096,
+                total: 9000,
+                data: Bytes::from_static(b"chunk-of-ledger"),
+            },
+            ServerMsg::ReplSync {
+                sync_id: 1,
+                cursor: 0,
+                total: 0,
+                data: Bytes::new(),
+            },
+            ServerMsg::SyncAck {
+                sync_id: 7,
+                cursor: 4111,
+            },
         ];
         for c in cases {
             assert_eq!(ServerMsg::decode(&c.encode()).unwrap(), c);

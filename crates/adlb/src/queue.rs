@@ -105,31 +105,46 @@ impl WorkQueue {
             })
             .max_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.cmp(&a.1)));
 
-        // Targeted wins ties: it can only run here.
-        let from_targeted = match (best_targeted, best_untargeted) {
-            (Some(t), Some(u)) => t.0 >= u.0,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
+        // Targeted wins ties: it can only run here. `Ok` carries the
+        // winning targeted work type, `Err` the untargeted one.
+        let pick = match (best_targeted, best_untargeted) {
+            (Some(t), Some(u)) => {
+                if t.0 >= u.0 {
+                    Ok(t.2)
+                } else {
+                    Err(u.2)
+                }
+            }
+            (Some(t), None) => Ok(t.2),
+            (None, Some(u)) => Err(u.2),
             (None, None) => return None,
         };
+        let popped = match pick {
+            Ok(wt) => {
+                let e = self.targeted.get_mut(&(rank, wt)).and_then(BinaryHeap::pop);
+                if self
+                    .targeted
+                    .get(&(rank, wt))
+                    .is_some_and(BinaryHeap::is_empty)
+                {
+                    self.targeted.remove(&(rank, wt));
+                }
+                e
+            }
+            Err(wt) => {
+                let e = self.untargeted.get_mut(&wt).and_then(BinaryHeap::pop);
+                if self.untargeted.get(&wt).is_some_and(BinaryHeap::is_empty) {
+                    self.untargeted.remove(&wt);
+                }
+                e
+            }
+        };
+        // The winning heap was just peeked non-empty, so this always pops;
+        // written defensively (no unwrap) so a future race degrades to
+        // "no task" instead of a server panic.
+        let e = popped?;
         self.len -= 1;
-        if from_targeted {
-            let (_, _, wt) = best_targeted.unwrap();
-            let heap = self.targeted.get_mut(&(rank, wt)).unwrap();
-            let e = heap.pop().unwrap();
-            if heap.is_empty() {
-                self.targeted.remove(&(rank, wt));
-            }
-            Some(e.task)
-        } else {
-            let (_, _, wt) = best_untargeted.unwrap();
-            let heap = self.untargeted.get_mut(&wt).unwrap();
-            let e = heap.pop().unwrap();
-            if heap.is_empty() {
-                self.untargeted.remove(&wt);
-            }
-            Some(e.task)
-        }
+        Some(e.task)
     }
 
     /// Every queued task, cloned, in no particular order (the replica
@@ -192,7 +207,9 @@ impl WorkQueue {
                 })
                 .max_by_key(|wt| self.untargeted.get(wt).map(BinaryHeap::len).unwrap_or(0));
             let Some(&wt) = wt else { break };
-            let heap = self.untargeted.get_mut(&wt).unwrap();
+            let Some(heap) = self.untargeted.get_mut(&wt) else {
+                break; // selected key vanished: nothing left to take
+            };
             if let Some(e) = heap.pop() {
                 out.push(e.task);
                 self.len -= 1;

@@ -21,9 +21,9 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use bytes::Bytes;
 use mpisim::{Rank, WireError, WireReader, WireWriter};
 
-use crate::datastore::{DataStore, Datum, DatumValue};
 #[cfg(test)]
 use crate::datastore::TYPE_TAG_CONTAINER;
+use crate::datastore::{DataStore, Datum, DatumValue};
 use crate::msg::{decode_task_list, encode_task_list, Task};
 
 /// One state-changing operation against a server's [`Ledger`], streamed
@@ -157,6 +157,15 @@ pub struct Ledger {
     pub fwd_out: u64,
     /// Tasks received from peers (termination-detection flow counter).
     pub fwd_in: u64,
+    /// How many dead peers' ledgers the owning server has merged into this
+    /// state (its failover count). This is the replica freshness version:
+    /// a copy is promotable only if its `merges` covers every promotion
+    /// the holder has observed the owner perform, because the bulk merged
+    /// during a promotion never flows through the incremental op stream —
+    /// only a full (re)sync carries it. Comparing versions makes
+    /// staleness a property of the data rather than of message arrival
+    /// order.
+    pub merges: u64,
 }
 
 impl Ledger {
@@ -341,6 +350,7 @@ impl Ledger {
         }
         w.put_u64(self.fwd_out);
         w.put_u64(self.fwd_in);
+        w.put_u64(self.merges);
     }
 
     /// Deserialize a full ledger.
@@ -412,6 +422,7 @@ impl Ledger {
         }
         ledger.fwd_out = r.get_u64()?;
         ledger.fwd_in = r.get_u64()?;
+        ledger.merges = r.get_u64()?;
         Ok(ledger)
     }
 }
@@ -736,6 +747,7 @@ mod tests {
         l.xfer_applied.insert((8, 9), 4);
         l.fwd_out = 3;
         l.fwd_in = 2;
+        l.merges = 1;
         l
     }
 

@@ -19,7 +19,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use mpisim::{Comm, Rank, Src, TagSel};
+use mpisim::{Comm, Rank, Src, TagSel, WireReader, WireWriter};
 
 use crate::datastore::DataStore;
 use crate::layout::Layout;
@@ -81,6 +81,17 @@ pub struct ServerConfig {
     /// Peer silence beyond this marks it suspect; suspects are confirmed
     /// against the transport's liveness oracle before failover starts.
     pub suspect_after: Duration,
+    /// Post-failover re-replication: when a death reshapes the ring,
+    /// stream full replica state to new (and, after a promotion, stale)
+    /// holders in bounded chunks so `replication` live copies are
+    /// restored mid-run. Off falls back to one-shot snapshots to
+    /// first-seen holders only — R stays degraded after a failover and
+    /// a second death of the promoted shard's holders loses it.
+    pub re_replicate: bool,
+    /// Payload bytes per [`crate::msg::ServerMsg::ReplSync`] chunk.
+    /// Smaller chunks interleave more with normal service at the cost of
+    /// more round trips.
+    pub sync_chunk: usize,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +104,8 @@ impl Default for ServerConfig {
             replication: 1,
             heartbeat_interval: Duration::from_millis(1),
             suspect_after: Duration::from_millis(10),
+            re_replicate: true,
+            sync_chunk: 16 * 1024,
         }
     }
 }
@@ -134,6 +147,15 @@ pub struct ServerStats {
     /// Replication ops shipped to replica holders (write amplification:
     /// one op counted once per holder it was sent to).
     pub repl_ops: u64,
+    /// Completed full-ledger sync streams (startup seeding plus
+    /// post-failover re-replication).
+    pub repl_syncs: u64,
+    /// Serialized ledger bytes acknowledged by sync receivers.
+    pub repl_sync_bytes: u64,
+    /// Microseconds from a confirmed server death until this server's
+    /// last outstanding sync stream completed (its share of the
+    /// replication factor restored), summed over failovers.
+    pub r_restore_micros: u64,
 }
 
 /// Everything a server hands back at shutdown: counters, the stdout
@@ -174,6 +196,31 @@ struct Parked {
 struct PendingXfer {
     x: Xfer,
     sent_to: Option<Rank>,
+}
+
+/// A full-ledger snapshot being streamed to one replica holder in
+/// bounded chunks. `cursor` is the receiver-acknowledged high-water —
+/// the resume point after any lost or superseded chunk.
+struct OutSync {
+    sync_id: u64,
+    data: Bytes,
+    cursor: usize,
+    /// When the last chunk left; a stream stalled past the suspect
+    /// window re-sends from the acked cursor (duplicates are harmless —
+    /// the receiver ignores non-contiguous chunks and re-acks).
+    last_sent: Instant,
+}
+
+/// A full-ledger snapshot arriving from one primary. Incremental ops
+/// from the same primary that land mid-stream postdate its base snapshot
+/// (per-pair FIFO delivery), so they are buffered and replayed on top of
+/// the decoded base instead of being applied to the soon-replaced old
+/// replica.
+struct InSync {
+    sync_id: u64,
+    total: u64,
+    buf: Vec<u8>,
+    ops: Vec<ReplOp>,
 }
 
 struct Server {
@@ -221,6 +268,37 @@ struct Server {
     ledgers: HashMap<Rank, Ledger>,
     /// Current replica holders for *this* server's ledger.
     repl_targets: Vec<Rank>,
+    /// Chunked full-ledger streams to (re)seeded replica holders.
+    outbound_syncs: HashMap<Rank, OutSync>,
+    /// Chunked full-ledger streams arriving from primaries.
+    inbound_syncs: HashMap<Rank, InSync>,
+    /// Minimum [`Ledger::merges`] a copy of each peer's ledger must carry
+    /// to be promotable: the number of promotions this server has
+    /// observed that peer perform. When a peer merges a dead server's
+    /// shard, every copy of its ledger snapshotted before the merge is
+    /// missing that bulk import (write-through ops only cover mutations,
+    /// not the merge itself) — such a copy must never be promoted, or the
+    /// missing state would be lost silently and the run would hang on it.
+    /// Version comparison rather than a boolean mark makes this immune to
+    /// arrival order: a fresh resync that lands before this server even
+    /// observes the triggering death still carries the higher version.
+    required_merges: HashMap<Rank, u64>,
+    /// How many dead peers' ledgers this server has merged into its own
+    /// live state; stamped into every outgoing snapshot as
+    /// [`Ledger::merges`].
+    merges: u64,
+    /// Dead servers whose shard another survivor merged: `e → p` means
+    /// peer `p` promoted (or was expected to promote) dead server `e`'s
+    /// shard, so `e`'s fate now travels with `p`'s ledger. When `p` dies
+    /// the chain resolves with it: it rides along on a fresh copy of
+    /// `p`'s ledger, or is lost with a stale/absent one.
+    subsumed: HashMap<Rank, Rank>,
+    /// Monotonic id for this server's outbound syncs; a restarted sync
+    /// supersedes chunks of the previous one still in flight.
+    next_sync_id: u64,
+    /// Set when a failover starts sync streams, taken into
+    /// [`ServerStats::r_restore_micros`] when the last one completes.
+    r_restore_started: Option<Instant>,
     /// Write-ahead transfer entries not yet acked by their receiver.
     pending_xfers: Vec<PendingXfer>,
     /// Last used outbound transfer seq per destination home (origin=me).
@@ -318,6 +396,13 @@ pub fn serve_ext(comm: Comm, layout: Layout, config: ServerConfig) -> ServerOutc
         membership,
         ledgers: HashMap::new(),
         repl_targets: Vec::new(),
+        outbound_syncs: HashMap::new(),
+        inbound_syncs: HashMap::new(),
+        required_merges: HashMap::new(),
+        merges: 0,
+        subsumed: HashMap::new(),
+        next_sync_id: 0,
+        r_restore_started: None,
         pending_xfers: Vec::new(),
         next_fseq: HashMap::new(),
         xfer_applied: HashMap::new(),
@@ -346,7 +431,7 @@ pub fn serve_ext(comm: Comm, layout: Layout, config: ServerConfig) -> ServerOutc
         stats: ServerStats::default(),
         config,
     };
-    s.refresh_repl_targets();
+    s.refresh_repl_targets(false);
     s.run()
 }
 
@@ -471,9 +556,10 @@ impl Server {
     }
 
     fn quiescent(&self) -> bool {
-        self.my_clients.iter().all(|c| {
-            self.finished.contains(c) || self.parked.iter().any(|p| p.rank == *c)
-        }) && self.queue.is_empty()
+        self.my_clients
+            .iter()
+            .all(|c| self.finished.contains(c) || self.parked.iter().any(|p| p.rank == *c))
+            && self.queue.is_empty()
             && !self.outstanding_steal
             && self.in_flight.values().all(VecDeque::is_empty)
             && self.pending_xfers.is_empty()
@@ -577,8 +663,11 @@ impl Server {
                 self.accept_task(t);
             }
         }
-        self.tx_sends
-            .push((sender, TAG_SRV, ServerMsg::XferAck { origin, dest, fseq }.encode()));
+        self.tx_sends.push((
+            sender,
+            TAG_SRV,
+            ServerMsg::XferAck { origin, dest, fseq }.encode(),
+        ));
         fresh
     }
 
@@ -715,6 +804,16 @@ impl Server {
         let Some(mut batch) = self.take_from_queue(p.rank, &p.work_types, cap) else {
             return false;
         };
+        if batch.is_empty() {
+            // A prefetch race can in principle hand back an empty batch;
+            // deliver nothing (the Get stays parked) and count it — an
+            // empty delivery must never panic the server loop.
+            self.protocol_error(format_args!(
+                "empty delivery batch for a Get from rank {}",
+                p.rank
+            ));
+            return false;
+        }
         self.op(ReplOp::Remove {
             tasks: batch.clone(),
         });
@@ -723,10 +822,21 @@ impl Server {
             self.stats.tasks_prefetched += batch.len() as u64 - 1;
         }
         self.open_leases(p.rank, &batch);
-        let resp = if batch.len() == 1 {
-            Response::DeliverTask(batch.pop().unwrap())
-        } else {
-            Response::DeliverBatch(batch)
+        let resp = match batch.pop() {
+            Some(t) if batch.is_empty() => Response::DeliverTask(t),
+            Some(t) => {
+                batch.push(t);
+                Response::DeliverBatch(batch)
+            }
+            // Unreachable after the guard above, but degrade to a counted
+            // protocol error rather than a panic path.
+            None => {
+                self.protocol_error(format_args!(
+                    "delivery batch for rank {} emptied mid-handling",
+                    p.rank
+                ));
+                return false;
+            }
         };
         self.send_response(p.rank, p.seq, resp, true);
         true
@@ -861,7 +971,15 @@ impl Server {
             // Revoke the rank's whole deque, not just the expired front:
             // acks are matched FIFO, so releasing later leases while the
             // front is requeued would misattribute every following ack.
-            let leases = self.in_flight.remove(&rank).expect("expired lease");
+            //
+            // The deque can already be gone: the dead-client sweep runs in
+            // the same idle tick and removes `in_flight` entries for ranks
+            // it declared dead (requeueing their tasks itself), racing the
+            // snapshot taken above. Nothing left to revoke is fine — never
+            // a panic.
+            let Some(leases) = self.in_flight.remove(&rank) else {
+                continue;
+            };
             eprintln!(
                 "adlb server {}: {} lease(s) on rank {rank} expired; requeueing",
                 self.comm.rank(),
@@ -1137,9 +1255,7 @@ impl Server {
     fn serve_lost_home(&mut self, source: Rank, req: &Request, seq: u64) {
         self.stats.data_ops += 1;
         let resp = match req {
-            Request::DataRetrieve { .. } | Request::DataLookup { .. } => {
-                Response::MaybeBytes(None)
-            }
+            Request::DataRetrieve { .. } | Request::DataLookup { .. } => Response::MaybeBytes(None),
             Request::DataSubscribe { .. } | Request::DataExists { .. } => Response::Bool(false),
             Request::DataEnumerate { .. } => Response::Pairs(Vec::new()),
             _ => Response::Ok,
@@ -1304,13 +1420,24 @@ impl Server {
                 }
             }
             ServerMsg::Repl { ops } => {
-                let ledger = self.ledgers.entry(source).or_default();
-                for op in &ops {
-                    ledger.apply(source, op);
-                }
+                self.apply_repl_ops(source, ops);
             }
             ServerMsg::Snapshot { ledger } => {
-                self.ledgers.insert(source, ledger);
+                // A one-shot snapshot supersedes any chunked stream from
+                // the same primary.
+                self.inbound_syncs.remove(&source);
+                self.ledgers.insert(source, *ledger);
+            }
+            ServerMsg::ReplSync {
+                sync_id,
+                cursor,
+                total,
+                data,
+            } => {
+                self.absorb_sync_chunk(source, sync_id, cursor, total, &data, true);
+            }
+            ServerMsg::SyncAck { sync_id, cursor } => {
+                self.handle_sync_ack(source, sync_id, cursor);
             }
             ServerMsg::Heartbeat => {}
             ServerMsg::Bye => {
@@ -1390,39 +1517,223 @@ impl Server {
     }
 
     /// Recompute who holds this server's replica: the first `R - 1` live
-    /// ring successors. A holder seen for the first time gets a full
-    /// snapshot before any further incremental ops.
-    fn refresh_repl_targets(&mut self) {
+    /// ring successors over the (possibly shrunken) ring. A holder seen
+    /// for the first time gets the full ledger; `resync_all` — set after
+    /// this server promoted a dead peer's shard into its own state —
+    /// re-streams it to *every* holder, since their replicas predate the
+    /// merge. With re-replication on, the ledger streams in bounded
+    /// [`ServerMsg::ReplSync`] chunks interleaved with normal service;
+    /// the off-knob keeps the legacy one-shot snapshot to first-seen
+    /// holders only (R stays degraded after a failover).
+    fn refresh_repl_targets(&mut self, resync_all: bool) {
         if self.config.replication < 2 || self.aborting || self.shutdown {
             self.repl_targets.clear();
+            self.outbound_syncs.clear();
             return;
         }
         let me = self.comm.rank();
         let want = self.config.replication - 1;
-        let mut targets = Vec::new();
-        let mut s = me;
-        for _ in 0..self.layout.servers.saturating_sub(1) {
-            s = self.layout.next_server(s);
-            if s == me {
-                break;
-            }
-            if !self.membership.is_dead(s) {
-                targets.push(s);
-                if targets.len() == want {
-                    break;
-                }
-            }
-        }
+        let targets = self
+            .layout
+            .live_successors(me, want, self.membership.dead());
         for &t in &targets {
-            if !self.repl_targets.contains(&t) {
+            let first_seen = !self.repl_targets.contains(&t);
+            if self.config.re_replicate {
+                if first_seen || resync_all {
+                    self.start_sync(t);
+                }
+            } else if first_seen {
                 let snap = ServerMsg::Snapshot {
-                    ledger: self.snapshot_ledger(),
+                    ledger: Box::new(self.snapshot_ledger()),
                 }
                 .encode();
                 self.comm.send(t, TAG_SRV, snap);
             }
         }
+        // Streams to ranks that rotated out of the holder set are moot.
+        self.outbound_syncs.retain(|t, _| targets.contains(t));
         self.repl_targets = targets;
+    }
+
+    // -- chunked re-replication ------------------------------------------
+
+    /// Begin (or restart) streaming this server's full ledger to `target`
+    /// in bounded chunks. The first chunk leaves immediately — ahead of
+    /// any op a later handler commits — so per-pair FIFO guarantees the
+    /// receiver opens its buffering window before any post-snapshot op
+    /// arrives; everything sent earlier lands on the old replica the base
+    /// snapshot is about to replace (and is already included in it).
+    fn start_sync(&mut self, target: Rank) {
+        let mut w = WireWriter::new();
+        self.snapshot_ledger().encode_into(&mut w);
+        let data = w.finish();
+        self.next_sync_id += 1;
+        self.outbound_syncs.insert(
+            target,
+            OutSync {
+                sync_id: self.next_sync_id,
+                data,
+                cursor: 0,
+                last_sent: Instant::now(),
+            },
+        );
+        self.send_sync_chunk(target);
+    }
+
+    /// Send the next bounded chunk of the outbound stream to `target`.
+    fn send_sync_chunk(&mut self, target: Rank) {
+        let Some(o) = self.outbound_syncs.get_mut(&target) else {
+            return;
+        };
+        o.last_sent = Instant::now();
+        let end = (o.cursor + self.config.sync_chunk.max(1)).min(o.data.len());
+        let msg = ServerMsg::ReplSync {
+            sync_id: o.sync_id,
+            cursor: o.cursor as u64,
+            total: o.data.len() as u64,
+            data: o.data.slice(o.cursor..end),
+        }
+        .encode();
+        self.comm.send(target, TAG_SRV, msg);
+    }
+
+    /// Re-drive outbound streams whose ack went missing (e.g. dropped by
+    /// fault injection): past the suspect window, re-send the current
+    /// chunk from the acked resume cursor.
+    fn nudge_syncs(&mut self, now: Instant) {
+        let stalled: Vec<Rank> = self
+            .outbound_syncs
+            .iter()
+            .filter(|(_, o)| now.duration_since(o.last_sent) > self.config.suspect_after)
+            .map(|(r, _)| *r)
+            .collect();
+        for t in stalled {
+            self.send_sync_chunk(t);
+        }
+    }
+
+    /// A `SyncAck` advanced the receiver's contiguous high-water: stream
+    /// the next chunk from there, or retire the sync when the whole
+    /// ledger has landed. Retiring the last outstanding stream after a
+    /// failover records the time-to-R-restored.
+    fn handle_sync_ack(&mut self, source: Rank, sync_id: u64, cursor: u64) {
+        let done = match self.outbound_syncs.get_mut(&source) {
+            Some(o) if o.sync_id == sync_id => {
+                o.cursor = o.cursor.max(cursor as usize);
+                o.cursor >= o.data.len()
+            }
+            // A stale ack for a superseded (or already retired) sync.
+            _ => return,
+        };
+        if !done {
+            self.send_sync_chunk(source);
+            return;
+        }
+        if let Some(o) = self.outbound_syncs.remove(&source) {
+            self.stats.repl_syncs += 1;
+            self.stats.repl_sync_bytes += o.data.len() as u64;
+        }
+        if self.outbound_syncs.is_empty() {
+            if let Some(t0) = self.r_restore_started.take() {
+                let us = t0.elapsed().as_micros() as u64;
+                self.stats.r_restore_micros += us;
+                eprintln!(
+                    "adlb server {}: replication factor restored ({us} µs after the death)",
+                    self.comm.rank()
+                );
+            }
+        }
+    }
+
+    /// Absorb one inbound sync chunk from `source`; with `ack` (live
+    /// traffic — not a dead peer's drained mailbox) the contiguous
+    /// high-water is acked back as the sender's resume cursor. The final
+    /// chunk installs the decoded ledger.
+    fn absorb_sync_chunk(
+        &mut self,
+        source: Rank,
+        sync_id: u64,
+        cursor: u64,
+        total: u64,
+        data: &Bytes,
+        ack: bool,
+    ) {
+        let ins = self.inbound_syncs.entry(source).or_insert_with(|| InSync {
+            sync_id,
+            total,
+            buf: Vec::new(),
+            ops: Vec::new(),
+        });
+        if ins.sync_id != sync_id {
+            // A restarted sync supersedes the old one wholesale: its base
+            // snapshot already includes everything the abandoned stream
+            // and its buffered ops carried.
+            *ins = InSync {
+                sync_id,
+                total,
+                buf: Vec::new(),
+                ops: Vec::new(),
+            };
+        }
+        if cursor as usize == ins.buf.len() {
+            ins.buf.extend_from_slice(data);
+        }
+        // Duplicated or out-of-order chunks fall through to the ack: the
+        // contiguous high-water tells the sender where to resume.
+        let have = ins.buf.len() as u64;
+        let complete = have >= ins.total;
+        if ack {
+            let msg = ServerMsg::SyncAck {
+                sync_id,
+                cursor: have,
+            }
+            .encode();
+            self.comm.send(source, TAG_SRV, msg);
+        }
+        if complete {
+            self.finish_inbound_sync(source);
+        }
+    }
+
+    /// The last chunk landed: decode the base ledger, replay the ops
+    /// buffered mid-stream on top (they postdate the base — FIFO), and
+    /// install the result as `source`'s replica.
+    fn finish_inbound_sync(&mut self, source: Rank) {
+        let Some(ins) = self.inbound_syncs.remove(&source) else {
+            return;
+        };
+        let mut r = WireReader::new(&ins.buf);
+        match Ledger::decode_from(&mut r) {
+            Ok(mut ledger) => {
+                for op in &ins.ops {
+                    ledger.apply(source, op);
+                }
+                self.ledgers.insert(source, ledger);
+            }
+            Err(e) => {
+                // A corrupt base is worse than none: promoting the stale
+                // replica it was replacing would silently lose the delta.
+                // Drop it so a later death aborts loudly instead.
+                self.ledgers.remove(&source);
+                self.protocol_error(format_args!(
+                    "undecodable replica sync from rank {source}: {e:?}"
+                ));
+            }
+        }
+    }
+
+    /// Apply an incremental op batch from `source` — or buffer it when a
+    /// sync stream from `source` is mid-flight (the ops postdate its base
+    /// snapshot and replay on top once it lands).
+    fn apply_repl_ops(&mut self, source: Rank, ops: Vec<ReplOp>) {
+        if let Some(ins) = self.inbound_syncs.get_mut(&source) {
+            ins.ops.extend(ops);
+        } else {
+            let ledger = self.ledgers.entry(source).or_default();
+            for op in &ops {
+                ledger.apply(source, op);
+            }
+        }
     }
 
     /// This server's live state in replicable form.
@@ -1452,6 +1763,7 @@ impl Server {
             xfer_applied: self.xfer_applied.clone(),
             fwd_out: self.fwd_out,
             fwd_in: self.fwd_in,
+            merges: self.merges,
         }
     }
 
@@ -1479,14 +1791,25 @@ impl Server {
             }
             match ServerMsg::decode_shared(&m.data) {
                 Ok(ServerMsg::Repl { ops }) => {
-                    let ledger = self.ledgers.entry(d).or_default();
-                    for op in &ops {
-                        ledger.apply(d, op);
-                    }
+                    self.apply_repl_ops(d, ops);
                 }
                 Ok(ServerMsg::Snapshot { ledger }) => {
-                    self.ledgers.insert(d, ledger);
+                    self.inbound_syncs.remove(&d);
+                    self.ledgers.insert(d, *ledger);
                 }
+                Ok(ServerMsg::ReplSync {
+                    sync_id,
+                    cursor,
+                    total,
+                    data,
+                }) => {
+                    // A chunk the peer sent before dying can complete its
+                    // stream and make the fresh ledger promotable; nobody
+                    // is left to ack.
+                    self.absorb_sync_chunk(d, sync_id, cursor, total, &data, false);
+                }
+                // Our own stream to the dead peer is moot.
+                Ok(ServerMsg::SyncAck { .. }) => {}
                 Ok(ServerMsg::Heartbeat) => {}
                 Ok(ServerMsg::Bye) => {
                     // The peer died after completing its shutdown: its
@@ -1500,10 +1823,18 @@ impl Server {
             }
         }
         // 2. A steal outstanding against the dead victim will never be
-        // answered.
+        // answered; our sync stream to it is moot. An *incomplete* stream
+        // FROM it means whatever ledger we hold predates the state it was
+        // re-sending — promoting that would silently lose the delta, so
+        // drop both and let the promotion decision below see the truth.
         if self.steal_victim == Some(d) {
             self.outstanding_steal = false;
             self.steal_victim = None;
+        }
+        self.outbound_syncs.remove(&d);
+        let sync_incomplete = self.inbound_syncs.remove(&d).is_some();
+        if sync_incomplete {
+            self.ledgers.remove(&d);
         }
         // 3. Abort any termination round in flight: its member set is
         // stale, and a response from the dead peer will never come.
@@ -1513,20 +1844,78 @@ impl Server {
         // 4. Promote or wind down. Either way the first live successor
         // adopts the dead peer's clients: their re-routed requests land
         // here, and the wind-down must account for them before exiting.
-        let successor = self.layout.route(d, self.membership.dead()) == self.comm.rank();
+        let promoter = self.layout.route(d, self.membership.dead());
+        let successor = promoter == self.comm.rank();
+        // Shards earlier subsumed into the dead peer's ledger resolve
+        // with it now — they ride along on a promotion of a fresh copy,
+        // are lost with a stale or absent one, or travel on to the next
+        // promoter in the chain.
+        let chain: Vec<Rank> = self
+            .subsumed
+            .iter()
+            .filter(|&(_, p)| *p == d)
+            .map(|(e, _)| *e)
+            .collect();
         if successor {
-            for c in self.layout.clients_of(d) {
-                self.my_clients.insert(c);
+            for &e in std::iter::once(&d).chain(chain.iter()) {
+                for c in self.layout.clients_of(e) {
+                    self.my_clients.insert(c);
+                }
+                self.subsumed.remove(&e);
             }
         }
+        let required = self.required_merges.remove(&d).unwrap_or(0);
+        let mut promoted = false;
         if self.config.replication >= 2 {
             if successor {
                 match self.ledgers.remove(&d) {
-                    Some(ledger) => self.promote(d, ledger),
+                    // A copy whose merge count predates a promotion the
+                    // dead peer performed is missing that merge:
+                    // promoting it would silently lose the subsumed shard
+                    // and the run would hang on the lost tasks. Abort
+                    // with the diagnosis instead — the flip side of
+                    // re-replication, which ships a fresh copy (carrying
+                    // the higher version) long before a well-gapped
+                    // second death.
+                    Some(ledger) if ledger.merges < required && !self.shutdown => {
+                        self.enter_abort(
+                            d,
+                            "the only replica here predates an earlier failover and was never refreshed",
+                        );
+                        self.mark_chain_lost(&chain);
+                    }
+                    Some(ledger) => {
+                        self.promote(d, ledger);
+                        promoted = true;
+                    }
                     // After global termination nothing was lost — the run
                     // completed; retried requests get terminal answers.
                     None if self.shutdown => {}
-                    None => self.enter_abort(d, "its replica never reached this successor"),
+                    None if sync_incomplete => {
+                        self.enter_abort(
+                            d,
+                            "it died before finishing its re-replication to this successor",
+                        );
+                        self.mark_chain_lost(&chain);
+                    }
+                    None => {
+                        self.enter_abort(d, "its replica never reached this successor");
+                        self.mark_chain_lost(&chain);
+                    }
+                }
+            } else if !self.shutdown {
+                // Another survivor now serves the dead peer's shard,
+                // merging it into its own ledger. Any copy of THAT
+                // peer's ledger snapshotted before the merge no longer
+                // reflects its state: the merge bulk never flows through
+                // write-through ops. Raise the merge count a promotable
+                // copy must carry (its post-promotion resync ships one;
+                // off re-replication, nothing ever does) — and remember
+                // that the dead shard (plus anything already riding with
+                // it) now travels inside the promoter's ledger.
+                *self.required_merges.entry(promoter).or_insert(0) += 1;
+                for &e in std::iter::once(&d).chain(chain.iter()) {
+                    self.subsumed.insert(e, promoter);
                 }
             }
         } else if !self.shutdown {
@@ -1544,8 +1933,15 @@ impl Server {
             }
         }
         // 5. Reshape the ring: the dead peer may have been one of our
-        // replica holders, and our promotion must reach the new holders.
-        self.refresh_repl_targets();
+        // replica holders (a replacement gets our full ledger), and a
+        // promotion must re-stream the merged state to every holder —
+        // their replicas predate the merge. Any stream this starts is the
+        // R-restoration clock: when the last one completes, this server's
+        // shard is fully replicated again.
+        self.refresh_repl_targets(promoted);
+        if !self.outbound_syncs.is_empty() && self.r_restore_started.is_none() {
+            self.r_restore_started = Some(Instant::now());
+        }
         // 6. Handle what the dead peer had sent beyond replication.
         let mut shutdown = false;
         for msg in deferred {
@@ -1566,6 +1962,9 @@ impl Server {
     fn promote(&mut self, d: Rank, ledger: Ledger) {
         self.stats.failovers += 1;
         self.epoch += 1;
+        // Bump the freshness version: copies of this server's ledger
+        // snapshotted before this merge are no longer promotable.
+        self.merges += 1;
         eprintln!(
             "adlb server {}: promoting replica of server {d} ({} datums, {} queued, {} leased)",
             self.comm.rank(),
@@ -1574,8 +1973,8 @@ impl Server {
             ledger.leases.values().map(VecDeque::len).sum::<usize>(),
         );
         self.store.merge(ledger.store);
-        // Queue entries go in silently: the snapshot sent right after the
-        // merge carries them to the new replica holders.
+        // Queue entries go in silently: the re-replication stream started
+        // right after the merge carries them to every replica holder.
         for t in ledger.queue {
             self.queue.push(t);
         }
@@ -1633,6 +2032,19 @@ impl Server {
     /// `Get` with `NoMore` plus the diagnosis (a clean, attributable
     /// failure instead of a hang), give lost-shard data ops benign
     /// defaults, and exit once every client is accounted for.
+    /// The chain of shards subsumed into an unrecoverable peer's ledger
+    /// is lost with it: record each as a lost home (data ops on it get
+    /// benign defaults instead of parking forever) with its clients'
+    /// streams marked truncated.
+    fn mark_chain_lost(&mut self, chain: &[Rank]) {
+        for &e in chain {
+            self.lost_homes.insert(e);
+            for c in self.layout.clients_of(e) {
+                self.truncated.insert(c);
+            }
+        }
+    }
+
     fn enter_abort(&mut self, d: Rank, why: &str) {
         self.lost_homes.insert(d);
         for c in self.layout.clients_of(d) {
@@ -1641,14 +2053,12 @@ impl Server {
         if !self.aborting {
             self.aborting = true;
             self.repl_targets.clear();
+            self.outbound_syncs.clear();
             let report = format!(
                 "server rank {d} died and its shard is unrecoverable ({why}): \
                  queued tasks, leases and data futures on it are lost"
             );
-            eprintln!(
-                "adlb server {}: {report}; winding down",
-                self.comm.rank()
-            );
+            eprintln!("adlb server {}: {report}; winding down", self.comm.rank());
             self.abort_reason = Some(report.clone());
             self.quarantine_reports.push(report);
         }
@@ -1688,6 +2098,7 @@ impl Server {
         }
         self.detect_dead_clients();
         self.check_lease_timeouts();
+        self.nudge_syncs(now);
         if self.aborting {
             // Done when every client of ours is finished or dead; they
             // all reach `finished` through NoMore, Finished, or death.
@@ -1698,10 +2109,12 @@ impl Server {
         }
         // Termination check next: a fresh steal attempt would otherwise
         // mark this server non-quiescent on every tick.
-        if self.comm.rank() == self.master() && !self.check_in_flight && self.quiescent() {
-            if self.start_check_round() {
-                return true;
-            }
+        if self.comm.rank() == self.master()
+            && !self.check_in_flight
+            && self.quiescent()
+            && self.start_check_round()
+        {
+            return true;
         }
         if self.steal_backoff > 0 {
             self.steal_backoff -= 1;
@@ -1839,6 +2252,7 @@ impl Server {
         }
         self.shutdown = true;
         self.repl_targets.clear();
+        self.outbound_syncs.clear();
         self.linger();
         let mut streams: Vec<(Rank, String)> = self.outputs.drain().collect();
         streams.sort();
@@ -1901,13 +2315,26 @@ impl Server {
                             self.byes.insert(m.source);
                         }
                         Ok(ServerMsg::Repl { ops }) => {
-                            let ledger = self.ledgers.entry(m.source).or_default();
-                            for op in &ops {
-                                ledger.apply(m.source, op);
-                            }
+                            self.apply_repl_ops(m.source, ops);
                         }
                         Ok(ServerMsg::Snapshot { ledger }) => {
-                            self.ledgers.insert(m.source, ledger);
+                            self.inbound_syncs.remove(&m.source);
+                            self.ledgers.insert(m.source, *ledger);
+                        }
+                        Ok(ServerMsg::ReplSync {
+                            sync_id,
+                            cursor,
+                            total,
+                            data,
+                        }) => {
+                            // A peer may still be restoring R when
+                            // termination lands; keep acking so its stream
+                            // retires cleanly (and the ledger stays fresh
+                            // in case the peer dies mid-linger).
+                            self.absorb_sync_chunk(m.source, sync_id, cursor, total, &data, true);
+                        }
+                        Ok(ServerMsg::SyncAck { sync_id, cursor }) => {
+                            self.handle_sync_ack(m.source, sync_id, cursor);
                         }
                         // Anything else is pre-shutdown traffic whose
                         // effects no longer matter: termination required

@@ -43,7 +43,12 @@ fn run_server_death(
                 } else {
                     None
                 };
-                client.put(WORK_TYPE_WORK, (tid % 3) as i32, target, tid.to_le_bytes().to_vec());
+                client.put(
+                    WORK_TYPE_WORK,
+                    (tid % 3) as i32,
+                    target,
+                    tid.to_le_bytes().to_vec(),
+                );
             }
             client.finish();
             return None;
@@ -82,11 +87,17 @@ fn killing_the_second_server_loses_nothing_at_replication_2() {
         // `Bye` — or finish before its 60th send so the kill never fires —
         // in which case nothing was stranded and no promotion is needed.
         if !fired {
-            assert_eq!(failovers, 0, "kill_sends={kill_sends}: no kill, no promotion");
+            assert_eq!(
+                failovers, 0,
+                "kill_sends={kill_sends}: no kill, no promotion"
+            );
         } else if kill_sends < 60 {
             assert_eq!(failovers, 1, "kill_sends={kill_sends}: survivor promoted");
         } else {
-            assert!(failovers <= 1, "kill_sends={kill_sends}: at most one promotion");
+            assert!(
+                failovers <= 1,
+                "kill_sends={kill_sends}: at most one promotion"
+            );
         }
     }
 }
@@ -105,11 +116,17 @@ fn killing_the_master_server_loses_nothing_at_replication_2() {
             );
         }
         if !fired {
-            assert_eq!(failovers, 0, "kill_sends={kill_sends}: no kill, no promotion");
+            assert_eq!(
+                failovers, 0,
+                "kill_sends={kill_sends}: no kill, no promotion"
+            );
         } else if kill_sends < 60 {
             assert_eq!(failovers, 1, "kill_sends={kill_sends}: survivor promoted");
         } else {
-            assert!(failovers <= 1, "kill_sends={kill_sends}: at most one promotion");
+            assert!(
+                failovers <= 1,
+                "kill_sends={kill_sends}: at most one promotion"
+            );
         }
     }
 }
@@ -226,4 +243,308 @@ fn output_streams_survive_a_server_death() {
         survivor_streams.iter().any(|s| s.contains("out-1;")),
         "rank 1's early output lost: {survivor_streams:?}"
     );
+}
+
+mod re_replication {
+    //! Post-failover re-replication: after a survivor promotes a dead
+    //! server's shard, the recomputed ring successors receive streamed
+    //! replica state in bounded chunks, restoring the replication factor
+    //! mid-run — so a *second* server death (after the sync completes) is
+    //! also survivable at `replication = 2`.
+
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    use adlb::{serve_ext, AdlbClient, Layout, ServerConfig, ServerStats, WORK_TYPE_WORK};
+    use mpisim::{FaultPlan, World};
+
+    /// 3 servers (ranks 6..=8), 1 submitter, 5 workers. Kill `kills` as
+    /// (victim rank, kill_after_sends). Returns (tid → execution count,
+    /// summed survivor stats, every client's quarantine reports, killed).
+    #[allow(clippy::type_complexity)]
+    fn run_kills(
+        kills: &[(usize, u64)],
+        total: u64,
+        think: Duration,
+        config: ServerConfig,
+    ) -> (HashMap<u64, u64>, ServerStats, Vec<String>, Vec<usize>) {
+        let layout = Layout::new(9, 3);
+        let mut plan = FaultPlan::new();
+        for &(victim, sends) in kills {
+            plan = plan.kill_after_sends(victim, sends);
+        }
+        let executed: Mutex<HashMap<u64, u64>> = Mutex::new(HashMap::new());
+        let outcome = World::run_faulty(9, &plan, |comm| {
+            let rank = comm.rank();
+            if layout.is_server(rank) {
+                let o = serve_ext(comm, layout, config.clone());
+                return (Some(o.stats), Vec::new());
+            }
+            let mut client = AdlbClient::new(comm, layout);
+            if rank == 0 {
+                for tid in 0..total {
+                    let target = if tid % 7 == 0 {
+                        Some(1 + (tid as usize) % 5)
+                    } else {
+                        None
+                    };
+                    client.put(
+                        WORK_TYPE_WORK,
+                        (tid % 3) as i32,
+                        target,
+                        tid.to_le_bytes().to_vec(),
+                    );
+                }
+                client.finish();
+                return (None, client.quarantine_reports().to_vec());
+            }
+            while let Some(t) = client.get(&[WORK_TYPE_WORK]) {
+                let tid = u64::from_le_bytes(t.payload[..8].try_into().unwrap());
+                *executed.lock().unwrap().entry(tid).or_insert(0) += 1;
+                std::thread::sleep(think);
+            }
+            (None, client.quarantine_reports().to_vec())
+        });
+        let mut stats = ServerStats::default();
+        let mut reports = Vec::new();
+        for o in outcome.outputs.into_iter().flatten() {
+            if let Some(s) = o.0 {
+                stats.failovers += s.failovers;
+                stats.repl_syncs += s.repl_syncs;
+                stats.repl_sync_bytes += s.repl_sync_bytes;
+                stats.r_restore_micros += s.r_restore_micros;
+                stats.tasks_requeued += s.tasks_requeued;
+            }
+            reports.extend(o.1);
+        }
+        (
+            executed.into_inner().unwrap(),
+            stats,
+            reports,
+            outcome.killed,
+        )
+    }
+
+    #[test]
+    fn second_server_death_survives_once_r_is_restored() {
+        // Kill rank 7 almost immediately; rank 8 much later, past the
+        // point where 8 promoted 7's shard and the post-promotion sync to
+        // the recomputed successors completed. With R restored, the run
+        // must survive BOTH deaths: every task exactly once and a
+        // measured time-to-R-restored. (The first promotion's failover
+        // counter dies with rank 8, so the surviving tier reports the
+        // second promotion only.)
+        let (executed, stats, reports, killed) = run_kills(
+            &[(7, 4), (8, 200)],
+            300,
+            Duration::from_micros(800),
+            ServerConfig {
+                replication: 2,
+                ..ServerConfig::default()
+            },
+        );
+        assert_eq!(killed, vec![7, 8], "both kill points must fire");
+        assert!(
+            reports.is_empty(),
+            "no shard may be lost with re-replication on: {reports:?}"
+        );
+        for tid in 0..300 {
+            let n = executed.get(&tid).copied().unwrap_or(0);
+            assert_eq!(n, 1, "task {tid} executed {n} times");
+        }
+        assert!(
+            stats.failovers >= 1,
+            "the survivor promoted the twice-failed-over shard"
+        );
+        assert!(stats.repl_syncs > 0, "chunked syncs completed");
+        assert!(stats.repl_sync_bytes > 0);
+        assert!(
+            stats.r_restore_micros > 0,
+            "time-to-R-restored was measured"
+        );
+    }
+
+    #[test]
+    fn tiny_chunks_stream_the_whole_replica() {
+        // sync_chunk = 64 bytes forces every post-promotion sync through
+        // many ReplSync/SyncAck round trips interleaved with live traffic;
+        // fat payloads make the ledgers span several chunks. Correctness
+        // must not depend on the chunk size.
+        let payload = vec![0xabu8; 256];
+        let layout = Layout::new(9, 3);
+        let plan = FaultPlan::new().kill_after_sends(7, 10);
+        let executed: Mutex<HashMap<u64, u64>> = Mutex::new(HashMap::new());
+        let config = ServerConfig {
+            replication: 2,
+            sync_chunk: 64,
+            ..ServerConfig::default()
+        };
+        let outcome = World::run_faulty(9, &plan, |comm| {
+            let rank = comm.rank();
+            if layout.is_server(rank) {
+                return Some(serve_ext(comm, layout, config.clone()).stats);
+            }
+            let mut client = AdlbClient::new(comm, layout);
+            if rank == 0 {
+                for tid in 0..120u64 {
+                    let mut body = tid.to_le_bytes().to_vec();
+                    body.extend_from_slice(&payload);
+                    client.put(WORK_TYPE_WORK, 0, None, body);
+                }
+                client.finish();
+                return None;
+            }
+            while let Some(t) = client.get(&[WORK_TYPE_WORK]) {
+                let tid = u64::from_le_bytes(t.payload[..8].try_into().unwrap());
+                *executed.lock().unwrap().entry(tid).or_insert(0) += 1;
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            None
+        });
+        assert_eq!(outcome.killed, vec![7]);
+        for tid in 0..120 {
+            let n = executed.lock().unwrap().get(&tid).copied().unwrap_or(0);
+            assert_eq!(n, 1, "task {tid} executed {n} times");
+        }
+        let mut syncs = 0;
+        let mut bytes = 0;
+        let mut restore = 0;
+        for s in outcome.outputs.into_iter().flatten().flatten() {
+            syncs += s.repl_syncs;
+            bytes += s.repl_sync_bytes;
+            restore += s.r_restore_micros;
+        }
+        assert!(syncs > 0, "syncs completed");
+        assert!(
+            bytes > 3 * 64,
+            "a fat ledger must cross several 64-byte chunks (got {bytes})"
+        );
+        assert!(restore > 0, "death-triggered sync was timed");
+    }
+
+    #[test]
+    fn without_re_replication_a_second_death_aborts_cleanly() {
+        // The ablation: same double-kill schedule, re-replication off. R
+        // stays degraded after the first failover, so the second death
+        // may lose a shard — the run must then terminate with a
+        // diagnosis, not hang, and must never duplicate work on
+        // survivors.
+        let (executed, stats, reports, killed) = run_kills(
+            &[(7, 4), (8, 200)],
+            300,
+            Duration::from_micros(800),
+            ServerConfig {
+                replication: 2,
+                re_replicate: false,
+                ..ServerConfig::default()
+            },
+        );
+        assert_eq!(killed, vec![7, 8], "both kill points must fire");
+        assert_eq!(stats.repl_syncs, 0, "no chunked syncs when disabled");
+        for (tid, n) in &executed {
+            assert!(*n <= 1, "task {tid} executed {n} times");
+        }
+        // Either the legacy write-through path happened to keep a full
+        // copy alive (completion) or the shard was declared lost — both
+        // are clean endings; silence (a hang) is the only failure.
+        if !reports.is_empty() {
+            assert!(
+                reports.iter().any(|r| r.contains("unrecoverable")),
+                "abort must carry the shard-loss diagnosis: {reports:?}"
+            );
+        } else {
+            for tid in 0..300 {
+                let n = executed.get(&tid).copied().unwrap_or(0);
+                assert_eq!(n, 1, "completed run lost task {tid}");
+            }
+        }
+    }
+}
+
+mod lease_races {
+    //! Regression for the lease-expiry / dead-client race: a client that
+    //! dies holding a lease just as the lease-timeout sweep revokes it
+    //! used to trip `expect("expired lease")` — the dead-client sweep had
+    //! already removed the rank's lease table. The server must survive
+    //! the interleaving in either order.
+
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    use adlb::{serve, AdlbClient, Layout, RetryPolicy, ServerConfig, WORK_TYPE_WORK};
+    use mpisim::{FaultPlan, World};
+
+    #[test]
+    fn lease_expiry_racing_dead_client_sweep_does_not_panic() {
+        // Rank 1 dies right after receiving its first task, holding the
+        // lease. A 1 ms lease timeout expires it around the same moment
+        // the liveness sweep notices the death (~10 ms) — sweep order is
+        // timing-dependent, so run several kill points. A panic on any
+        // server rank fails the World::run_faulty unwind; beyond that,
+        // every task must still run exactly once on the survivor.
+        for kill_recvs in [1u64, 2, 3] {
+            let layout = Layout::new(4, 1);
+            let plan = FaultPlan::new().kill_after_recvs(1, kill_recvs);
+            let executed: Mutex<HashMap<u64, Vec<usize>>> = Mutex::new(HashMap::new());
+            let config = ServerConfig {
+                retry: RetryPolicy {
+                    lease_timeout: Some(Duration::from_millis(1)),
+                    max_retries: 8,
+                    ..RetryPolicy::default()
+                },
+                ..ServerConfig::default()
+            };
+            let outcome = World::run_faulty(4, &plan, |comm| {
+                let rank = comm.rank();
+                if layout.is_server(rank) {
+                    return Some(serve(comm, layout, config.clone()));
+                }
+                let mut client = AdlbClient::new(comm, layout);
+                if rank == 0 {
+                    for tid in 0..12u64 {
+                        client.put(WORK_TYPE_WORK, 0, None, tid.to_le_bytes().to_vec());
+                    }
+                    client.finish();
+                    return None;
+                }
+                // The survivor starts late so the victim's Get is served
+                // first and the victim dies with the lease outstanding.
+                if rank == 2 {
+                    std::thread::sleep(Duration::from_millis(30));
+                }
+                while let Some(t) = client.get(&[WORK_TYPE_WORK]) {
+                    let tid = u64::from_le_bytes(t.payload[..8].try_into().unwrap());
+                    executed.lock().unwrap().entry(tid).or_default().push(rank);
+                }
+                None
+            });
+            assert_eq!(outcome.killed, vec![1], "kill_recvs={kill_recvs}");
+            let executed = executed.into_inner().unwrap();
+            for tid in 0..12u64 {
+                let execs = executed.get(&tid).cloned().unwrap_or_default();
+                // Never lost — and strict exactly-once on the survivor
+                // (the victim may have run a task and acked it before
+                // dying, or run it unacked so it legitimately reruns).
+                assert!(
+                    !execs.is_empty(),
+                    "kill_recvs={kill_recvs}: task {tid} was lost"
+                );
+                let by_survivor = execs.iter().filter(|&&r| r == 2).count();
+                assert!(
+                    by_survivor <= 1,
+                    "kill_recvs={kill_recvs}: task {tid} ran {execs:?}"
+                );
+            }
+            let stats = outcome
+                .outputs
+                .into_iter()
+                .flatten()
+                .flatten()
+                .next()
+                .expect("server stats");
+            assert_eq!(stats.ranks_failed, 1);
+        }
+    }
 }

@@ -68,6 +68,7 @@ fn adlb_throughput(workers: usize, payload: usize, tasks: usize, batching: bool)
         ClientConfig {
             prefetch: 8,
             put_buffer: 16,
+            ..ClientConfig::default()
         }
     } else {
         ClientConfig::unbatched()

@@ -143,7 +143,10 @@ fn main() {
 
     println!();
     println!("series A: put/get pipeline, 2 servers, replication 1 vs 2 (wall)");
-    header("workers x payload", &["R", "makespan ms", "tasks/s", "repl ops"]);
+    header(
+        "workers x payload",
+        &["R", "makespan ms", "tasks/s", "repl ops"],
+    );
     let worker_sweep: &[usize] = if smoke() { &[4] } else { &[2, 4, 8] };
     let payload_sweep: &[usize] = if smoke() { &[64] } else { &[64, 1024] };
     for &payload in payload_sweep {
@@ -203,10 +206,7 @@ fn main() {
             ("kill_sends", Json::U64(kill_sends)),
             ("failovers", Json::U64(failovers)),
             ("wall_secs", Json::F64(d.as_secs_f64())),
-            (
-                "recovery_overhead_secs",
-                Json::F64(overhead.as_secs_f64()),
-            ),
+            ("recovery_overhead_secs", Json::F64(overhead.as_secs_f64())),
         ]);
     }
 

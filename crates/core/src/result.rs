@@ -105,6 +105,9 @@ impl RunResult {
                 total.notifications += s.notifications;
                 total.failovers += s.failovers;
                 total.repl_ops += s.repl_ops;
+                total.repl_syncs += s.repl_syncs;
+                total.repl_sync_bytes += s.repl_sync_bytes;
+                total.r_restore_micros += s.r_restore_micros;
             }
         }
         total

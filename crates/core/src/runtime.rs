@@ -22,6 +22,7 @@ pub struct Runtime {
     steal: bool,
     batching: Option<bool>,
     replication: Option<usize>,
+    re_replication: Option<bool>,
     retry: adlb::RetryPolicy,
     faults: FaultPlan,
     natives: Vec<NativeLibrary>,
@@ -46,6 +47,7 @@ impl Runtime {
             steal: true,
             batching: None,
             replication: None,
+            re_replication: None,
             retry: adlb::RetryPolicy::default(),
             faults: FaultPlan::new(),
             natives: Vec::new(),
@@ -103,6 +105,20 @@ impl Runtime {
     /// Panics (at run time) if `r` is 0 or exceeds the server count.
     pub fn replication(mut self, r: usize) -> Self {
         self.replication = Some(r);
+        self
+    }
+
+    /// Enable/disable post-failover re-replication (ablation switch).
+    /// On (the default), a survivor that promotes a dead server's shard
+    /// streams the missing replica state to the recomputed ring
+    /// successors in bounded chunks, restoring the replication factor
+    /// mid-run — so a later server death (after the sync completes) is
+    /// also survivable. Off recovers the PR 3 behavior: the ring shrinks
+    /// and R stays degraded until the run ends. When not set explicitly,
+    /// the `SWIFTT_REREPLICATION` environment variable (`0`/`off`/`false`
+    /// to disable) chooses, defaulting to on.
+    pub fn re_replication(mut self, on: bool) -> Self {
+        self.re_replication = Some(on);
         self
     }
 
@@ -195,6 +211,16 @@ impl Runtime {
         })
     }
 
+    /// The effective re-replication switch: the explicit setting, else
+    /// the `SWIFTT_REREPLICATION` environment variable, else on.
+    fn effective_re_replication(&self) -> bool {
+        self.re_replication.unwrap_or_else(|| {
+            !std::env::var("SWIFTT_REREPLICATION")
+                .map(|v| matches!(v.as_str(), "0" | "off" | "false"))
+                .unwrap_or(false)
+        })
+    }
+
     fn turbine_config(&self) -> TurbineConfig {
         TurbineConfig {
             servers: self.servers,
@@ -204,6 +230,7 @@ impl Runtime {
                 steal_enabled: self.steal,
                 retry: self.retry,
                 replication: self.effective_replication(),
+                re_replicate: self.effective_re_replication(),
                 ..adlb::ServerConfig::default()
             },
             batching: self.effective_batching(),

@@ -200,6 +200,11 @@ impl Comm {
 
     /// Broadcast `data` from `root` to every rank; returns the payload on
     /// all ranks (including the root).
+    ///
+    /// # Panics
+    /// Panics when called on the root without `data` (API contract, like
+    /// MPI's requirement that the root supply a buffer).
+    #[allow(clippy::expect_used)] // documented caller contract
     pub fn bcast(&self, root: Rank, data: Option<Bytes>) -> Bytes {
         if self.size() == 1 {
             return data.expect("bcast root must supply data");
@@ -219,6 +224,7 @@ impl Comm {
 
     /// Gather each rank's payload at `root`; the root receives payloads
     /// indexed by rank, other ranks receive `None`.
+    #[allow(clippy::unwrap_used)] // every slot filled: one recv per non-root rank
     pub fn gather(&self, root: Rank, data: Bytes) -> Option<Vec<Bytes>> {
         if self.rank == root {
             let mut out: Vec<Option<Bytes>> = (0..self.size()).map(|_| None).collect();
@@ -235,6 +241,10 @@ impl Comm {
     }
 
     /// Scatter per-rank payloads from `root`; every rank gets its slice.
+    ///
+    /// # Panics
+    /// Panics when called on the root without `data` (API contract).
+    #[allow(clippy::expect_used)] // documented caller contract
     pub fn scatter(&self, root: Rank, data: Option<Vec<Bytes>>) -> Bytes {
         if self.rank == root {
             let data = data.expect("scatter root must supply data");
@@ -258,6 +268,7 @@ impl Comm {
     }
 
     /// Sum-reduce a `u64` contribution at rank 0; rank 0 gets the total.
+    #[allow(clippy::unwrap_used)] // contributions are exactly 8 bytes by construction
     pub fn reduce_sum_u64(&self, value: u64) -> Option<u64> {
         if self.rank == 0 {
             let mut total = value;
@@ -274,6 +285,7 @@ impl Comm {
     }
 
     /// Sum-allreduce a `u64` contribution; every rank gets the total.
+    #[allow(clippy::unwrap_used)] // the total from rank 0 is exactly 8 bytes
     pub fn allreduce_sum_u64(&self, value: u64) -> u64 {
         match self.reduce_sum_u64(value) {
             Some(total) => {

@@ -157,22 +157,30 @@ impl<'a> WireReader<'a> {
         Ok(self.take(1, "u8")?[0])
     }
 
+    // The fixed-width decoders convert exactly-sized slices
+    // (`take(N, ..)` returns N bytes or errors): the `try_into` can never
+    // fail, so the unwrap is not a reachable panic path.
+
     /// Decode a little-endian `u32`.
+    #[allow(clippy::unwrap_used)] // take(4) is exactly 4 bytes
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
         Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
     }
 
     /// Decode a little-endian `u64`.
+    #[allow(clippy::unwrap_used)] // take(8) is exactly 8 bytes
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
         Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
     }
 
     /// Decode a little-endian `i64`.
+    #[allow(clippy::unwrap_used)] // take(8) is exactly 8 bytes
     pub fn get_i64(&mut self) -> Result<i64, WireError> {
         Ok(i64::from_le_bytes(self.take(8, "i64")?.try_into().unwrap()))
     }
 
     /// Decode a little-endian `f64`.
+    #[allow(clippy::unwrap_used)] // take(8) is exactly 8 bytes
     pub fn get_f64(&mut self) -> Result<f64, WireError> {
         Ok(f64::from_le_bytes(self.take(8, "f64")?.try_into().unwrap()))
     }

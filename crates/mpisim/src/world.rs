@@ -75,6 +75,11 @@ impl World {
     }
 
     /// Like [`World::run`] but also returns traffic counters.
+    ///
+    /// # Panics
+    /// Panics if a rank produced no result — impossible without a
+    /// [`FaultPlan`], and this fault-free entry point runs without one.
+    #[allow(clippy::expect_used)] // fault-free runs kill no ranks
     pub fn run_with_stats<T, F>(size: usize, body: F) -> (Vec<T>, WorldStats)
     where
         T: Send,

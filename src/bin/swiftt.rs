@@ -12,6 +12,9 @@
 //!       --no-steal       disable ADLB work stealing
 //!       --replication N  copies of each server's state (default: 2 when
 //!                        servers > 1, else 1)
+//!       --no-re-replication
+//!                        keep R degraded after a failover instead of
+//!                        re-replicating to new ring successors
 //!       --faults SPEC    inject faults (kill:rank=R,sends=N; drop:...)
 //!       --max-retries K  requeue a failed task at most K times
 //!       --emit-tcl       print the compiled Turbine code and exit
@@ -34,6 +37,7 @@ struct Options {
     policy: InterpPolicy,
     steal: bool,
     replication: Option<usize>,
+    re_replication: bool,
     faults: FaultPlan,
     max_retries: Option<u32>,
     emit_tcl: bool,
@@ -60,6 +64,10 @@ options:
       --replication N  copies of each ADLB server's state; N >= 2 lets a
                        run survive server deaths (default: 2 when
                        servers > 1, else 1)
+      --no-re-replication
+                       after a failover, keep running with a degraded
+                       replication factor instead of streaming replica
+                       state to the recomputed ring successors
       --faults SPEC    inject faults; SPEC is ';'-separated clauses:
                          kill:rank=R,sends=N   kill R after its Nth send
                          kill:rank=R,recvs=N   kill R at its (N+1)th recv
@@ -79,6 +87,7 @@ fn parse_args() -> Result<Options, String> {
         policy: InterpPolicy::Retain,
         steal: true,
         replication: None,
+        re_replication: true,
         faults: FaultPlan::new(),
         max_retries: None,
         emit_tcl: false,
@@ -101,6 +110,7 @@ fn parse_args() -> Result<Options, String> {
             "--reinitialize" => opts.policy = InterpPolicy::Reinitialize,
             "--no-steal" => opts.steal = false,
             "--replication" => opts.replication = Some(num("--replication")?),
+            "--no-re-replication" => opts.re_replication = false,
             "--faults" => {
                 let spec = args.next().ok_or("--faults needs a spec")?;
                 opts.faults = FaultPlan::parse(&spec).map_err(|e| format!("--faults: {e}"))?;
@@ -200,6 +210,9 @@ fn main() -> ExitCode {
         .policy(opts.policy)
         .work_stealing(opts.steal)
         .faults(opts.faults.clone());
+    if !opts.re_replication {
+        rt = rt.re_replication(false);
+    }
     if let Some(r) = opts.replication {
         rt = rt.replication(r);
     }
@@ -226,6 +239,18 @@ fn main() -> ExitCode {
                 eprintln!("wall time          : {:?}", result.elapsed);
                 if servers.repl_ops > 0 {
                     eprintln!("replication ops    : {}", servers.repl_ops);
+                }
+                if servers.repl_syncs > 0 {
+                    eprintln!(
+                        "re-replicated bytes: {} ({} syncs)",
+                        servers.repl_sync_bytes, servers.repl_syncs
+                    );
+                }
+                if servers.r_restore_micros > 0 {
+                    eprintln!(
+                        "time-to-R-restored : {:?}",
+                        std::time::Duration::from_micros(servers.r_restore_micros)
+                    );
                 }
                 if !result.killed_ranks.is_empty()
                     || result.total_tasks_failed() > 0

@@ -241,6 +241,90 @@ fn server_death_at_replication_1_fails_cleanly_not_hangs() {
     }
 }
 
+/// Rank layout for new(12).servers(4): engine 0, workers 1..=7, servers
+/// 8..=11 (master 8). Kill two servers sequentially with a gap wide
+/// enough that re-replication restores R between the deaths: after rank
+/// 9 dies, its successor 10 merges the shard and streams fresh replica
+/// state to the recomputed successors; by the time rank 11 dies the ring
+/// is back at R=2, so the second failover is just as survivable as the
+/// first. Victims 9 and 11 promote onto 10 and (wrapping) 8, so both
+/// failover counters live on survivors and stay visible in the totals.
+#[test]
+fn two_sequential_server_deaths_with_re_replication_complete_the_program() {
+    let src = r#"foreach i in [0:299] { printf("task %d", i); }"#;
+    let clean = Runtime::new(12)
+        .servers(4)
+        .replication(2)
+        .run(src)
+        .expect("fault-free run");
+    let mut want: Vec<&str> = clean.stdout.lines().collect();
+    want.sort_unstable();
+
+    let plan = FaultPlan::new()
+        .kill_after_recvs(9, 10)
+        .kill_after_recvs(11, 50);
+    let r = Runtime::new(12)
+        .servers(4)
+        .replication(2)
+        .re_replication(true)
+        .faults(plan)
+        .run(src)
+        .expect("both deaths land after R was restored, so the run must complete");
+    assert_eq!(
+        r.killed_ranks,
+        vec![9, 11],
+        "both scheduled server victims must die"
+    );
+    let totals = r.server_totals();
+    assert_eq!(totals.failovers, 2, "each victim's successor promoted");
+    assert!(totals.repl_syncs > 0, "re-replication streams completed");
+    assert!(totals.repl_sync_bytes > 0, "sync streams carried state");
+    assert!(
+        totals.r_restore_micros > 0,
+        "time-to-R-restored was measured"
+    );
+    let mut got = unique_lines(&r.stdout);
+    got.sort_unstable();
+    assert_eq!(
+        got, want,
+        "output after two sequential server deaths must match the fault-free run"
+    );
+    assert!(
+        r.truncated_streams.is_empty(),
+        "no worker died, so no stream may be truncated: {:?}",
+        r.truncated_streams
+    );
+}
+
+/// The same double-death schedule with re-replication disabled: R is
+/// never restored after the first death, so the second death strands a
+/// shard whose only fresh copy died with its holder. The run must end in
+/// a clean, attributable error — never a hang — unless it won the race
+/// and finished before the second death mattered.
+#[test]
+fn two_sequential_server_deaths_without_re_replication_end_cleanly() {
+    let plan = FaultPlan::new()
+        .kill_after_recvs(9, 10)
+        .kill_after_recvs(11, 50);
+    let r = Runtime::new(12)
+        .servers(4)
+        .replication(2)
+        .re_replication(false)
+        .faults(plan)
+        .run(r#"foreach i in [0:299] { printf("task %d", i); }"#);
+    match r {
+        Ok(r) => {
+            // Completed before the loss bit: output must still be clean.
+            unique_lines(&r.stdout);
+        }
+        Err(SwiftTError::Runtime(m)) => assert!(
+            m.contains("unrecoverable"),
+            "error must carry the shard-loss diagnosis: {m}"
+        ),
+        Err(other) => panic!("expected a runtime error, got {other:?}"),
+    }
+}
+
 #[test]
 fn cli_faults_flag_reports_counters() {
     let out = Command::new(env!("CARGO_BIN_EXE_swiftt"))
@@ -285,11 +369,76 @@ fn cli_replication_flag_survives_server_death() {
         .unwrap();
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert_eq!(stdout.lines().count(), 100, "all tasks ran despite the dead server");
+    assert_eq!(
+        stdout.lines().count(),
+        100,
+        "all tasks ran despite the dead server"
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("killed ranks       : [7]"), "{stderr}");
     assert!(stderr.contains("server failovers   : 1"), "{stderr}");
     assert!(stderr.contains("replication ops    : "), "{stderr}");
+}
+
+#[test]
+fn cli_report_shows_re_replication_metrics() {
+    let out = Command::new(env!("CARGO_BIN_EXE_swiftt"))
+        .args([
+            "--expr",
+            r#"foreach i in [0:149] { printf("t%d", i); }"#,
+            "-n",
+            "12",
+            "-s",
+            "4",
+            "--replication",
+            "2",
+            "--faults",
+            "kill:rank=9,recvs=10",
+            "--report",
+        ])
+        // Pin the default on: the CI fault matrix sweeps this env knob,
+        // and this test is about the metrics re-replication produces.
+        .env("SWIFTT_REREPLICATION", "1")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 150, "all tasks ran on survivors");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("killed ranks       : [9]"), "{stderr}");
+    assert!(stderr.contains("re-replicated bytes: "), "{stderr}");
+    assert!(stderr.contains("time-to-R-restored : "), "{stderr}");
+}
+
+#[test]
+fn cli_no_re_replication_flag_disables_syncs() {
+    // One server death at replication 2 still completes (the replica
+    // promotes), but with re-replication off no sync streams run, so the
+    // report must not show sync metrics.
+    let out = Command::new(env!("CARGO_BIN_EXE_swiftt"))
+        .args([
+            "--expr",
+            r#"foreach i in [0:99] { printf("t%d", i); }"#,
+            "-n",
+            "12",
+            "-s",
+            "4",
+            "--replication",
+            "2",
+            "--no-re-replication",
+            "--faults",
+            "kill:rank=9,recvs=10",
+            "--report",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 100, "all tasks ran on survivors");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("server failovers   : 1"), "{stderr}");
+    assert!(!stderr.contains("re-replicated bytes"), "{stderr}");
+    assert!(!stderr.contains("time-to-R-restored"), "{stderr}");
 }
 
 #[test]
