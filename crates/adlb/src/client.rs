@@ -4,7 +4,7 @@ use std::collections::{HashSet, VecDeque};
 use std::time::Duration;
 
 use bytes::Bytes;
-use mpisim::{Comm, Rank, Src, TagSel};
+use mpisim::{trace, Comm, Rank, Src, TagSel};
 
 use crate::datastore::DataError;
 use crate::layout::Layout;
@@ -281,7 +281,10 @@ impl AdlbClient {
     }
 
     fn data_request(&mut self, id: u64, req: &Request) -> Response {
-        self.request(self.layout.data_owner(id), req)
+        let t0 = trace::now_us();
+        let resp = self.request(self.layout.data_owner(id), req);
+        trace::record_since(trace::KIND_DATA_OP, id, t0);
+        resp
     }
 
     // -- work -------------------------------------------------------------
@@ -293,7 +296,9 @@ impl AdlbClient {
     pub fn put(&mut self, work_type: u32, priority: i32, target: Option<Rank>, payload: Vec<u8>) {
         let task = Task::new(work_type, priority, target, Bytes::from(payload));
         if self.config.put_buffer == 0 {
+            let t0 = trace::now_us();
             let resp = self.request(self.my_server, &Request::Put(task));
+            trace::record_since(trace::KIND_TASK_PUT, 1, t0);
             Self::expect_put_ok(self.comm.rank(), resp);
         } else {
             self.put_buf.push(task);
@@ -309,7 +314,10 @@ impl AdlbClient {
         if tasks.is_empty() {
             return;
         }
+        let n = tasks.len() as u64;
+        let t0 = trace::now_us();
         let resp = self.request(self.my_server, &Request::PutBatch(tasks));
+        trace::record_since(trace::KIND_TASK_PUT, n, t0);
         Self::expect_put_ok(self.comm.rank(), resp);
     }
 
@@ -333,8 +341,14 @@ impl AdlbClient {
         };
         // Sealed exchange directly: request() would recurse into this
         // flush.
+        let n = match &req {
+            Request::PutBatch(b) => b.len() as u64,
+            _ => 1,
+        };
+        let t0 = trace::now_us();
         let sealed = self.seal(&req.encode());
         let resp = self.exchange(self.my_server, sealed, self.next_seq);
+        trace::record_since(trace::KIND_TASK_PUT, n, t0);
         Self::expect_put_ok(self.comm.rank(), resp);
     }
 

@@ -10,6 +10,9 @@ use crate::msg::Task;
 struct Entry {
     priority: i32,
     seq: u64,
+    /// Accept time on this server's clock (µs), for queue-wait tracing.
+    /// 0 when tracing is disabled; never ordered on.
+    accepted_us: u64,
     task: Task,
 }
 
@@ -65,11 +68,12 @@ impl WorkQueue {
         self.untargeted.values().map(BinaryHeap::len).sum()
     }
 
-    /// Enqueue a task.
+    /// Enqueue a task, stamping its accept time for queue-wait tracing.
     pub fn push(&mut self, task: Task) {
         let e = Entry {
             priority: task.priority,
             seq: self.seq,
+            accepted_us: mpisim::trace::now_us(),
             task,
         };
         self.seq += 1;
@@ -86,7 +90,14 @@ impl WorkQueue {
 
     /// Best task a requester may run: targeted-to-it first (across its
     /// requested types, by priority), then untargeted.
+    #[allow(dead_code)] // tests and model-checking; prod uses pop_for_timed
     pub fn pop_for(&mut self, rank: Rank, work_types: &[u32]) -> Option<Task> {
+        self.pop_for_timed(rank, work_types).map(|(t, _)| t)
+    }
+
+    /// [`WorkQueue::pop_for`] plus the popped task's accept timestamp
+    /// (µs on this server's clock; 0 when it was pushed untraced).
+    pub fn pop_for_timed(&mut self, rank: Rank, work_types: &[u32]) -> Option<(Task, u64)> {
         // Pick the best (priority, -seq) among matching targeted heaps.
         let best_targeted = work_types
             .iter()
@@ -144,7 +155,7 @@ impl WorkQueue {
         // "no task" instead of a server panic.
         let e = popped?;
         self.len -= 1;
-        Some(e.task)
+        Some((e.task, e.accepted_us))
     }
 
     /// Every queued task, cloned, in no particular order (the replica

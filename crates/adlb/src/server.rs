@@ -19,7 +19,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use mpisim::{Comm, Rank, Src, TagSel, WireReader, WireWriter};
+use mpisim::{trace, Comm, Rank, Src, TagSel, WireReader, WireWriter};
 
 use crate::datastore::DataStore;
 use crate::layout::Layout;
@@ -154,8 +154,64 @@ pub struct ServerStats {
     pub repl_sync_bytes: u64,
     /// Microseconds from a confirmed server death until this server's
     /// last outstanding sync stream completed (its share of the
-    /// replication factor restored), summed over failovers.
+    /// replication factor restored), summed over this server's own
+    /// failovers. Across servers this is a wall-clock window, not a
+    /// volume: [`ServerStats::merge`] takes the max, never a sum.
     pub r_restore_micros: u64,
+}
+
+impl ServerStats {
+    /// Fold `other` into `self`. Counters add; `r_restore_micros` is a
+    /// duration, so the merged value is the max (the slowest server
+    /// bounds the run's exposure window — summing it across servers
+    /// would turn a duration into a meaningless total).
+    ///
+    /// The exhaustive destructuring is the point: adding a field to
+    /// `ServerStats` without deciding how it aggregates is a compile
+    /// error here, where the old hand-maintained list in
+    /// `core::result::server_totals` silently dropped new fields.
+    pub fn merge(&mut self, other: &ServerStats) {
+        let ServerStats {
+            tasks_accepted,
+            tasks_delivered,
+            steals_attempted,
+            steals_successful,
+            tasks_stolen,
+            tasks_donated,
+            data_ops,
+            notifications,
+            tasks_requeued,
+            tasks_retried,
+            tasks_quarantined,
+            protocol_errors,
+            ranks_failed,
+            tasks_prefetched,
+            failovers,
+            repl_ops,
+            repl_syncs,
+            repl_sync_bytes,
+            r_restore_micros,
+        } = *other;
+        self.tasks_accepted += tasks_accepted;
+        self.tasks_delivered += tasks_delivered;
+        self.steals_attempted += steals_attempted;
+        self.steals_successful += steals_successful;
+        self.tasks_stolen += tasks_stolen;
+        self.tasks_donated += tasks_donated;
+        self.data_ops += data_ops;
+        self.notifications += notifications;
+        self.tasks_requeued += tasks_requeued;
+        self.tasks_retried += tasks_retried;
+        self.tasks_quarantined += tasks_quarantined;
+        self.protocol_errors += protocol_errors;
+        self.ranks_failed += ranks_failed;
+        self.tasks_prefetched += tasks_prefetched;
+        self.failovers += failovers;
+        self.repl_ops += repl_ops;
+        self.repl_syncs += repl_syncs;
+        self.repl_sync_bytes += repl_sync_bytes;
+        self.r_restore_micros = self.r_restore_micros.max(r_restore_micros);
+    }
 }
 
 /// Everything a server hands back at shutdown: counters, the stdout
@@ -176,6 +232,10 @@ pub struct ServerOutcome {
 struct Lease {
     task: Task,
     since: Instant,
+    /// When the server first accepted the task (µs on this server's
+    /// trace clock; 0 untraced). In-memory only — the replica ledger
+    /// stores leases as raw tasks, so nothing wire-visible changes.
+    accepted_us: u64,
 }
 
 /// A parked `Get`, waiting for matching work.
@@ -209,6 +269,9 @@ struct OutSync {
     /// window re-sends from the acked cursor (duplicates are harmless —
     /// the receiver ignores non-contiguous chunks and re-acks).
     last_sent: Instant,
+    /// When the stream started (µs on the trace clock), for the
+    /// `repl_sync` span recorded when the final ack retires it.
+    started_us: u64,
 }
 
 /// A full-ledger snapshot arriving from one primary. Incremental ops
@@ -299,6 +362,9 @@ struct Server {
     /// Set when a failover starts sync streams, taken into
     /// [`ServerStats::r_restore_micros`] when the last one completes.
     r_restore_started: Option<Instant>,
+    /// Trace-clock twin of `r_restore_started`, for the
+    /// `failover_recovery` span.
+    r_restore_started_us: u64,
     /// Write-ahead transfer entries not yet acked by their receiver.
     pending_xfers: Vec<PendingXfer>,
     /// Last used outbound transfer seq per destination home (origin=me).
@@ -343,6 +409,8 @@ struct Server {
     // -- work stealing ---------------------------------------------------
     outstanding_steal: bool,
     steal_victim: Option<Rank>,
+    /// When the outstanding steal request left (trace clock, µs).
+    steal_started_us: u64,
     steal_victim_cursor: usize,
     /// Consecutive empty steal responses in the current sweep.
     empty_steal_streak: usize,
@@ -403,6 +471,7 @@ pub fn serve_ext(comm: Comm, layout: Layout, config: ServerConfig) -> ServerOutc
         subsumed: HashMap::new(),
         next_sync_id: 0,
         r_restore_started: None,
+        r_restore_started_us: 0,
         pending_xfers: Vec::new(),
         next_fseq: HashMap::new(),
         xfer_applied: HashMap::new(),
@@ -417,6 +486,7 @@ pub fn serve_ext(comm: Comm, layout: Layout, config: ServerConfig) -> ServerOutc
         tx_sends: Vec::new(),
         outstanding_steal: false,
         steal_victim: None,
+        steal_started_us: 0,
         steal_victim_cursor: 0,
         empty_steal_streak: 0,
         steal_backoff: 0,
@@ -754,7 +824,17 @@ impl Server {
             Some(i) => {
                 let p = self.parked.remove(i);
                 self.stats.tasks_delivered += 1;
-                self.open_leases(p.rank, std::slice::from_ref(&task));
+                // Delivered straight to a parked client: the queue wait
+                // is zero by construction; record it as such so queue-
+                // wait percentiles cover every delivered task.
+                let now_us = trace::now_us();
+                trace::record(
+                    trace::KIND_TASK_QUEUE,
+                    self.stats.tasks_delivered,
+                    now_us,
+                    now_us,
+                );
+                self.open_leases(p.rank, std::slice::from_ref(&task), &[now_us]);
                 self.send_response(p.rank, p.seq, Response::DeliverTask(task), true);
             }
             None => {
@@ -768,28 +848,37 @@ impl Server {
 
     /// Open a lease per task, in delivery order, and replicate them.
     /// Clients acknowledge in the same order, so releases always pop the
-    /// front of the deque.
-    fn open_leases(&mut self, rank: Rank, tasks: &[Task]) {
+    /// front of the deque. `accepted_us[i]` is task `i`'s accept stamp on
+    /// the trace clock; missing entries default to *now*.
+    fn open_leases(&mut self, rank: Rank, tasks: &[Task], accepted_us: &[u64]) {
         self.op(ReplOp::LeaseOpen {
             client: rank,
             tasks: tasks.to_vec(),
         });
         let now = Instant::now();
+        let now_us = trace::now_us();
         let leases = self.in_flight.entry(rank).or_default();
-        for t in tasks {
+        for (i, t) in tasks.iter().enumerate() {
             leases.push_back(Lease {
                 task: t.clone(),
                 since: now,
+                accepted_us: accepted_us.get(i).copied().unwrap_or(now_us),
             });
         }
     }
 
-    /// Pop up to `cap` matching tasks for `rank` from the queue.
-    fn take_from_queue(&mut self, rank: Rank, work_types: &[u32], cap: usize) -> Option<Vec<Task>> {
-        let first = self.queue.pop_for(rank, work_types)?;
+    /// Pop up to `cap` matching tasks for `rank` from the queue, each
+    /// paired with its accept stamp (trace clock, µs).
+    fn take_from_queue(
+        &mut self,
+        rank: Rank,
+        work_types: &[u32],
+        cap: usize,
+    ) -> Option<Vec<(Task, u64)>> {
+        let first = self.queue.pop_for_timed(rank, work_types)?;
         let mut batch = vec![first];
         while batch.len() < cap {
-            match self.queue.pop_for(rank, work_types) {
+            match self.queue.pop_for_timed(rank, work_types) {
                 Some(t) => batch.push(t),
                 None => break,
             }
@@ -801,10 +890,10 @@ impl Server {
     /// response under the request's seq.
     fn deliver_from_queue(&mut self, p: &Parked) -> bool {
         let cap = p.max_tasks.max(1) as usize;
-        let Some(mut batch) = self.take_from_queue(p.rank, &p.work_types, cap) else {
+        let Some(timed) = self.take_from_queue(p.rank, &p.work_types, cap) else {
             return false;
         };
-        if batch.is_empty() {
+        if timed.is_empty() {
             // A prefetch race can in principle hand back an empty batch;
             // deliver nothing (the Get stays parked) and count it — an
             // empty delivery must never panic the server loop.
@@ -814,6 +903,17 @@ impl Server {
             ));
             return false;
         }
+        let accepted: Vec<u64> = timed.iter().map(|(_, us)| *us).collect();
+        let mut batch: Vec<Task> = timed.into_iter().map(|(t, _)| t).collect();
+        if trace::enabled() {
+            for (i, &us) in accepted.iter().enumerate() {
+                trace::record_since(
+                    trace::KIND_TASK_QUEUE,
+                    self.stats.tasks_delivered + i as u64 + 1,
+                    us,
+                );
+            }
+        }
         self.op(ReplOp::Remove {
             tasks: batch.clone(),
         });
@@ -821,7 +921,7 @@ impl Server {
         if batch.len() > 1 {
             self.stats.tasks_prefetched += batch.len() as u64 - 1;
         }
-        self.open_leases(p.rank, &batch);
+        self.open_leases(p.rank, &batch, &accepted);
         let resp = match batch.pop() {
             Some(t) if batch.is_empty() => Response::DeliverTask(t),
             Some(t) => {
@@ -1287,6 +1387,8 @@ impl Server {
             {
                 Some(lease) => {
                     dropped += 1;
+                    // Accept → ack: the server-side view of task latency.
+                    trace::record_since(trace::KIND_TASK_LATENCY, source as u64, lease.accepted_us);
                     if !ok {
                         self.retry_or_quarantine(lease.task, false, &error);
                     }
@@ -1385,6 +1487,8 @@ impl Server {
                 if mine && self.outstanding_steal {
                     self.outstanding_steal = false;
                     self.steal_victim = None;
+                    // Steal round-trip, empty or not; id = victim rank.
+                    trace::record_since(trace::KIND_STEAL, origin as u64, self.steal_started_us);
                     if fseq == 0 {
                         // Try the next victim on the next idle tick; after
                         // a fully empty sweep, back off.
@@ -1575,6 +1679,7 @@ impl Server {
                 data,
                 cursor: 0,
                 last_sent: Instant::now(),
+                started_us: trace::now_us(),
             },
         );
         self.send_sync_chunk(target);
@@ -1632,11 +1737,17 @@ impl Server {
         if let Some(o) = self.outbound_syncs.remove(&source) {
             self.stats.repl_syncs += 1;
             self.stats.repl_sync_bytes += o.data.len() as u64;
+            trace::record_since(trace::KIND_REPL_SYNC, source as u64, o.started_us);
         }
         if self.outbound_syncs.is_empty() {
             if let Some(t0) = self.r_restore_started.take() {
                 let us = t0.elapsed().as_micros() as u64;
                 self.stats.r_restore_micros += us;
+                trace::record_since(
+                    trace::KIND_FAILOVER_RECOVERY,
+                    self.stats.failovers,
+                    self.r_restore_started_us,
+                );
                 eprintln!(
                     "adlb server {}: replication factor restored ({us} µs after the death)",
                     self.comm.rank()
@@ -1941,6 +2052,7 @@ impl Server {
         self.refresh_repl_targets(promoted);
         if !self.outbound_syncs.is_empty() && self.r_restore_started.is_none() {
             self.r_restore_started = Some(Instant::now());
+            self.r_restore_started_us = trace::now_us();
         }
         // 6. Handle what the dead peer had sent beyond replication.
         let mut shutdown = false;
@@ -1961,6 +2073,7 @@ impl Server {
     /// clients.
     fn promote(&mut self, d: Rank, ledger: Ledger) {
         self.stats.failovers += 1;
+        trace::record_instant(trace::KIND_FAILOVER, d as u64);
         self.epoch += 1;
         // Bump the freshness version: copies of this server's ledger
         // snapshotted before this merge are no longer promotable.
@@ -1979,10 +2092,15 @@ impl Server {
             self.queue.push(t);
         }
         let now = Instant::now();
+        let now_us = trace::now_us();
         for (c, deque) in ledger.leases {
             let mine = self.in_flight.entry(c).or_default();
             for task in deque {
-                mine.push_back(Lease { task, since: now });
+                mine.push_back(Lease {
+                    task,
+                    since: now,
+                    accepted_us: now_us,
+                });
             }
         }
         for (c, n) in ledger.credits {
@@ -2150,6 +2268,7 @@ impl Server {
         let victim = others[self.steal_victim_cursor % others.len()];
         self.outstanding_steal = true;
         self.steal_victim = Some(victim);
+        self.steal_started_us = trace::now_us();
         self.stats.steals_attempted += 1;
         self.tx_sends.push((
             victim,
@@ -2380,5 +2499,87 @@ fn xfer_wire(origin: Rank, dest: Rank, fseq: u64, steal: bool, tasks: &[Task]) -
             tasks: tasks.to_vec(),
         }
         .encode()
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    /// A stats value with every field distinct and nonzero, so a merge
+    /// that drops or mis-routes any field changes an assertion below.
+    fn distinct() -> ServerStats {
+        // A struct literal (not `..Default::default()`) on purpose:
+        // adding a `ServerStats` field without extending this test is a
+        // compile error, which is the regression guard the issue asked
+        // for — the old hand-maintained list silently dropped fields.
+        ServerStats {
+            tasks_accepted: 1,
+            tasks_delivered: 2,
+            steals_attempted: 3,
+            steals_successful: 4,
+            tasks_stolen: 5,
+            tasks_donated: 6,
+            data_ops: 7,
+            notifications: 8,
+            tasks_requeued: 9,
+            tasks_retried: 10,
+            tasks_quarantined: 11,
+            protocol_errors: 12,
+            ranks_failed: 13,
+            tasks_prefetched: 14,
+            failovers: 15,
+            repl_ops: 16,
+            repl_syncs: 17,
+            repl_sync_bytes: 18,
+            r_restore_micros: 19,
+        }
+    }
+
+    #[test]
+    fn merge_covers_every_field() {
+        let mut total = ServerStats::default();
+        total.merge(&distinct());
+        assert_eq!(total, distinct());
+        total.merge(&distinct());
+        // Counters doubled; the recovery window is a duration and takes
+        // the max, not the sum.
+        let d = distinct();
+        assert_eq!(total.tasks_accepted, 2 * d.tasks_accepted);
+        assert_eq!(total.tasks_delivered, 2 * d.tasks_delivered);
+        assert_eq!(total.steals_attempted, 2 * d.steals_attempted);
+        assert_eq!(total.steals_successful, 2 * d.steals_successful);
+        assert_eq!(total.tasks_stolen, 2 * d.tasks_stolen);
+        assert_eq!(total.tasks_donated, 2 * d.tasks_donated);
+        assert_eq!(total.data_ops, 2 * d.data_ops);
+        assert_eq!(total.notifications, 2 * d.notifications);
+        assert_eq!(total.tasks_requeued, 2 * d.tasks_requeued);
+        assert_eq!(total.tasks_retried, 2 * d.tasks_retried);
+        assert_eq!(total.tasks_quarantined, 2 * d.tasks_quarantined);
+        assert_eq!(total.protocol_errors, 2 * d.protocol_errors);
+        assert_eq!(total.ranks_failed, 2 * d.ranks_failed);
+        assert_eq!(total.tasks_prefetched, 2 * d.tasks_prefetched);
+        assert_eq!(total.failovers, 2 * d.failovers);
+        assert_eq!(total.repl_ops, 2 * d.repl_ops);
+        assert_eq!(total.repl_syncs, 2 * d.repl_syncs);
+        assert_eq!(total.repl_sync_bytes, 2 * d.repl_sync_bytes);
+        assert_eq!(total.r_restore_micros, d.r_restore_micros);
+    }
+
+    #[test]
+    fn merge_takes_max_recovery_window() {
+        let mut a = ServerStats {
+            r_restore_micros: 500,
+            ..Default::default()
+        };
+        let b = ServerStats {
+            r_restore_micros: 200,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.r_restore_micros, 500, "a slower server must dominate");
+        let mut c = ServerStats::default();
+        c.merge(&a);
+        assert_eq!(c.r_restore_micros, 500);
     }
 }

@@ -209,6 +209,97 @@ fn main() {
         ]);
     }
 
+    // Series F: lifecycle-tracing overhead on the control-plane ceiling.
+    // The recorder must be cheap enough that a traced run keeps (nearly)
+    // the untraced task rate; CI gates on this via SWIFTT_TRACE_GATE.
+    println!();
+    println!("series F: task-lifecycle tracing overhead (zero-work tasks, wall)");
+    header(
+        "tracing",
+        &["makespan ms", "tasks/s", "lat p50 µs", "lat p99 µs"],
+    );
+    let f_workers = 4usize;
+    let f_reps = if smoke() { 1 } else { 3 };
+    let rt_off = Runtime::new(f_workers + 2);
+    let rt_on = Runtime::new(f_workers + 2).tracing(true);
+    let d_off = time_median(f_reps, || {
+        rt_off.run(&noop).expect("run failed");
+    });
+    let mut traced_result = None;
+    let d_on = time_median(f_reps, || {
+        traced_result = Some(rt_on.run(&noop).expect("run failed"));
+    });
+    let traced = traced_result.expect("traced run ran");
+    let lat = traced.latency.and_then(|l| l.task_latency);
+    let (p50, p99) = lat.map_or((0, 0), |s| (s.p50_us, s.p99_us));
+    row(
+        "off",
+        &[
+            ms(d_off),
+            rate(noop_tasks as u64, d_off),
+            "-".into(),
+            "-".into(),
+        ],
+    );
+    row(
+        "on",
+        &[
+            ms(d_on),
+            rate(noop_tasks as u64, d_on),
+            p50.to_string(),
+            p99.to_string(),
+        ],
+    );
+    for (tracing, d) in [(false, d_off), (true, d_on)] {
+        let mut fields = vec![
+            ("series", Json::Str("tracing_overhead".into())),
+            ("workers", Json::U64(f_workers as u64)),
+            ("tasks", Json::U64(noop_tasks as u64)),
+            ("tracing", Json::Bool(tracing)),
+            ("wall_secs", Json::F64(d.as_secs_f64())),
+            (
+                "tasks_per_sec",
+                Json::F64(noop_tasks as f64 / d.as_secs_f64()),
+            ),
+        ];
+        if tracing {
+            if let Some(s) = lat {
+                fields.push(("task_latency_p50_us", Json::U64(s.p50_us)));
+                fields.push(("task_latency_p95_us", Json::U64(s.p95_us)));
+                fields.push(("task_latency_p99_us", Json::U64(s.p99_us)));
+            }
+        }
+        report.row(&fields);
+    }
+    // The trace doubles as a CI artifact: a Chrome-loadable timeline of
+    // the ceiling workload, written next to the BENCH_*.json files.
+    let trace_dir = std::env::var_os("SWIFTT_BENCH_DIR").map(std::path::PathBuf::from);
+    if let Some(dir) = trace_dir {
+        let path = dir.join("trace.json");
+        traced.write_trace(&path).expect("write trace.json");
+        println!("wrote {}", path.display());
+    }
+    assert_eq!(
+        mpisim::trace::count_kind(&traced.traces, mpisim::trace::KIND_TASK_EVAL),
+        traced.total_tasks(),
+        "trace eval spans must reconcile with executed-task counter"
+    );
+    if std::env::var("SWIFTT_TRACE_GATE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        let ratio = d_off.as_secs_f64() / d_on.as_secs_f64();
+        assert!(
+            ratio >= 0.9,
+            "traced throughput fell below 90% of untraced ({:.1}%)",
+            ratio * 100.0
+        );
+        println!(
+            "trace gate: traced run at {:.1}% of untraced throughput",
+            ratio * 100.0
+        );
+    }
+
     payload_series(&mut report);
 
     if smoke() {

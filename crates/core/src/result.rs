@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use mpisim::{trace, LatencyStats, RankTrace};
 use turbine::{RankOutput, Role};
 
 /// Why a run could not produce a result.
@@ -53,6 +54,45 @@ pub struct RunResult {
     /// rank died with locally buffered output that never reached the
     /// server tier, so its contribution to `stdout` is a prefix.
     pub truncated_streams: Vec<usize>,
+    /// The role each rank played, indexed by rank (killed ranks
+    /// included — unlike `outputs`, which only covers survivors).
+    pub roles: Vec<Role>,
+    /// Per-rank lifecycle traces (empty unless the run had
+    /// [`tracing`](crate::Runtime::tracing) enabled). Killed ranks'
+    /// partial traces are included.
+    pub traces: Vec<RankTrace>,
+    /// Latency percentiles distilled from `traces`; `None` when tracing
+    /// was off.
+    pub latency: Option<LatencyReport>,
+}
+
+/// Latency percentiles over one traced run. Each member is `None` when
+/// the run recorded no spans of that kind (e.g. no failovers happened).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyReport {
+    /// Task latency: server accepted the task → done/failed ack released
+    /// its lease. Covers queue wait, delivery, and evaluation.
+    pub task_latency: Option<LatencyStats>,
+    /// Queue wait: server accepted the task → handed it to a worker.
+    pub queue_wait: Option<LatencyStats>,
+    /// Worker leaf-task evaluation time (successful tasks).
+    pub eval_time: Option<LatencyStats>,
+    /// Failover recovery window: server death confirmed → replication
+    /// factor restored by re-replication.
+    pub failover_recovery: Option<LatencyStats>,
+}
+
+impl LatencyReport {
+    /// Distill percentiles from merged per-rank traces.
+    pub fn from_traces(traces: &[RankTrace]) -> LatencyReport {
+        let stats = |kind| LatencyStats::from_durations(trace::durations_of(traces, kind));
+        LatencyReport {
+            task_latency: stats(trace::KIND_TASK_LATENCY),
+            queue_wait: stats(trace::KIND_TASK_QUEUE),
+            eval_time: stats(trace::KIND_TASK_EVAL),
+            failover_recovery: stats(trace::KIND_FAILOVER_RECOVERY),
+        }
+    }
 }
 
 impl RunResult {
@@ -85,31 +125,30 @@ impl RunResult {
             .count()
     }
 
-    /// Aggregate server statistics (element-wise sum over servers).
+    /// Aggregate server statistics via [`adlb::ServerStats::merge`]:
+    /// counters sum element-wise, while `r_restore_micros` — a wall-clock
+    /// window, not a volume — takes the max across servers. (A previous
+    /// hand-maintained field list here summed the window and silently
+    /// dropped newly added fields.)
     pub fn server_totals(&self) -> adlb::ServerStats {
         let mut total = adlb::ServerStats::default();
-        for o in &self.outputs {
-            if let Some(s) = o.server_stats {
-                total.tasks_accepted += s.tasks_accepted;
-                total.tasks_delivered += s.tasks_delivered;
-                total.steals_attempted += s.steals_attempted;
-                total.steals_successful += s.steals_successful;
-                total.tasks_stolen += s.tasks_stolen;
-                total.tasks_donated += s.tasks_donated;
-                total.tasks_requeued += s.tasks_requeued;
-                total.tasks_retried += s.tasks_retried;
-                total.tasks_quarantined += s.tasks_quarantined;
-                total.protocol_errors += s.protocol_errors;
-                total.ranks_failed += s.ranks_failed;
-                total.data_ops += s.data_ops;
-                total.notifications += s.notifications;
-                total.failovers += s.failovers;
-                total.repl_ops += s.repl_ops;
-                total.repl_syncs += s.repl_syncs;
-                total.repl_sync_bytes += s.repl_sync_bytes;
-                total.r_restore_micros += s.r_restore_micros;
-            }
+        for s in self.outputs.iter().filter_map(|o| o.server_stats.as_ref()) {
+            total.merge(s);
         }
         total
+    }
+
+    /// Write this run's merged trace as Chrome trace-event JSON (load
+    /// with `chrome://tracing` or <https://ui.perfetto.dev>). Rank
+    /// timelines are labeled with their role. Writes an empty trace when
+    /// tracing was disabled.
+    pub fn write_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let roles: Vec<String> = self
+            .roles
+            .iter()
+            .enumerate()
+            .map(|(rank, role)| format!("rank {rank} ({role:?})").to_lowercase())
+            .collect();
+        trace::write_chrome_trace(path, &self.traces, &roles)
     }
 }

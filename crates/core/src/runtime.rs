@@ -7,7 +7,7 @@ use tclish::PackageInit;
 use turbine::{InterpPolicy, TurbineConfig, TurbineProgram};
 
 use crate::native::NativeLibrary;
-use crate::result::{RunResult, SwiftTError};
+use crate::result::{LatencyReport, RunResult, SwiftTError};
 
 /// A configured simulated machine that can run Swift programs.
 ///
@@ -25,6 +25,7 @@ pub struct Runtime {
     re_replication: Option<bool>,
     retry: adlb::RetryPolicy,
     faults: FaultPlan,
+    tracing: bool,
     natives: Vec<NativeLibrary>,
     tcl_packages: Vec<(String, String, String)>,
     args: Vec<(String, String)>,
@@ -50,6 +51,7 @@ impl Runtime {
             re_replication: None,
             retry: adlb::RetryPolicy::default(),
             faults: FaultPlan::new(),
+            tracing: false,
             natives: Vec::new(),
             tcl_packages: Vec::new(),
             args: Vec::new(),
@@ -128,6 +130,18 @@ impl Runtime {
     /// [`RunResult::killed_ranks`].
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Enable task-lifecycle tracing. Every rank records lifecycle spans
+    /// (put, queue wait, delivery, eval, rule firings, steals,
+    /// replication syncs, failover recovery) on its own monotonic clock;
+    /// the merged timeline lands in [`RunResult::traces`] with latency
+    /// percentiles distilled into [`RunResult::latency`], and
+    /// [`RunResult::write_trace`] exports Chrome trace-event JSON. Off
+    /// (the default), recording is a no-op and costs nothing measurable.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
         self
     }
 
@@ -255,7 +269,7 @@ impl Runtime {
         let tcl_packages = self.tcl_packages.clone();
         let start = Instant::now();
         let world = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            World::run_faulty(self.ranks, &self.faults, |comm| {
+            World::run_faulty_traced(self.ranks, &self.faults, self.tracing, |comm| {
                 turbine::run_rank_with(comm, &config, &program, |interp| {
                     for lib in &natives {
                         lib.install(interp);
@@ -304,6 +318,14 @@ impl Runtime {
                     }
                 }
                 let outputs: Vec<_> = per_rank.into_iter().flatten().collect();
+                let roles = (0..self.ranks)
+                    .map(|r| config.role(self.ranks, r))
+                    .collect();
+                let latency = if self.tracing {
+                    Some(LatencyReport::from_traces(&outcome.traces))
+                } else {
+                    None
+                };
                 Ok(RunResult {
                     stdout,
                     outputs,
@@ -312,6 +334,9 @@ impl Runtime {
                     bytes: outcome.stats.bytes,
                     killed_ranks: outcome.killed,
                     truncated_streams: truncated,
+                    roles,
+                    traces: outcome.traces,
+                    latency,
                 })
             }
             Err(p) => {

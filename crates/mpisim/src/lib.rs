@@ -37,11 +37,13 @@
 mod comm;
 mod fault;
 mod mailbox;
+pub mod trace;
 mod wire;
 mod world;
 
 pub use comm::{Comm, Message, Src, TagSel};
 pub use fault::{FaultAction, FaultPlan, RankKilled};
+pub use trace::{LatencyStats, RankTrace, TraceEvent};
 pub use wire::{WireError, WireReader, WireWriter};
 pub use world::{FaultyOutcome, World, WorldStats};
 

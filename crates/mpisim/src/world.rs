@@ -6,6 +6,7 @@ use std::sync::Arc;
 use crate::comm::Comm;
 use crate::fault::{FaultPlan, FaultState, RankKilled};
 use crate::mailbox::Mailbox;
+use crate::trace::{self, RankTrace, Recorder};
 use crate::Rank;
 
 /// Aggregate traffic counters for a finished world, used by the benchmark
@@ -55,6 +56,11 @@ pub struct FaultyOutcome<T> {
     pub stats: WorldStats,
     /// Ranks that were killed, in rank order.
     pub killed: Vec<Rank>,
+    /// Per-rank lifecycle traces, indexed by rank. Empty unless the run
+    /// was launched with [`World::run_faulty_traced`] and tracing on.
+    /// Killed ranks' partial traces are included: the world holds the
+    /// recorders, so events survive the rank's unwind.
+    pub traces: Vec<RankTrace>,
 }
 
 /// Entry point for launching a simulated MPI job.
@@ -108,19 +114,51 @@ impl World {
         T: Send,
         F: Fn(Comm) -> T + Sync,
     {
+        Self::run_faulty_traced(size, plan, false, body)
+    }
+
+    /// Like [`World::run_faulty`], with optional lifecycle tracing. When
+    /// `tracing` is true, each rank thread gets a [`Recorder`] with its own
+    /// clock epoch (captured on that thread — the per-rank monotonic clock)
+    /// plus the offset from the world launch instant; the world keeps a
+    /// handle to every recorder, so killed ranks' partial traces survive
+    /// their unwind and land in [`FaultyOutcome::traces`] too.
+    pub fn run_faulty_traced<T, F>(
+        size: usize,
+        plan: &FaultPlan,
+        tracing: bool,
+        body: F,
+    ) -> FaultyOutcome<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
         assert!(size > 0, "world size must be at least 1");
         silence_injected_kills();
         let shared = Arc::new(Shared::new(size, plan));
         let body = &body;
+        let world_epoch = std::time::Instant::now();
+        let recorders: Vec<std::sync::Mutex<Option<Arc<Recorder>>>> =
+            (0..size).map(|_| std::sync::Mutex::new(None)).collect();
+        let recorders = &recorders;
 
         let (outputs, killed) = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..size)
                 .map(|rank| {
                     let shared = Arc::clone(&shared);
                     scope.spawn(move || {
+                        if tracing {
+                            let offset = world_epoch.elapsed().as_micros() as u64;
+                            let rec = Arc::new(Recorder::new(offset));
+                            if let Ok(mut slot) = recorders[rank].lock() {
+                                *slot = Some(Arc::clone(&rec));
+                            }
+                            trace::install(rec);
+                        }
                         let comm = Comm::new(rank as Rank, shared.clone());
                         let out =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(comm)));
+                        trace::uninstall();
                         // An injected kill is an orderly fail-stop: the
                         // rest of the world keeps running. Anything else
                         // is a real failure that must tear the world down.
@@ -181,10 +219,30 @@ impl World {
             messages: shared.msg_count.load(Ordering::Relaxed),
             bytes: shared.byte_count.load(Ordering::Relaxed),
         };
+        let traces = if tracing {
+            recorders
+                .iter()
+                .enumerate()
+                .map(|(rank, slot)| {
+                    slot.lock()
+                        .ok()
+                        .and_then(|mut s| s.take())
+                        .map(|rec| rec.drain(rank))
+                        .unwrap_or(RankTrace {
+                            rank,
+                            offset_us: 0,
+                            events: Vec::new(),
+                        })
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         FaultyOutcome {
             outputs,
             stats,
             killed,
+            traces,
         }
     }
 }
@@ -342,5 +400,34 @@ mod tests {
         let outcome = World::run_faulty(4, &FaultPlan::new(), |comm| comm.rank());
         assert!(outcome.killed.is_empty());
         assert_eq!(outcome.outputs, vec![Some(0), Some(1), Some(2), Some(3)]);
+        assert!(outcome.traces.is_empty());
+    }
+
+    #[test]
+    fn traced_run_keeps_killed_rank_events() {
+        use crate::trace::{self, KIND_TASK_EVAL};
+        // Rank 1 records a span, then dies inside its first send. The
+        // world holds the recorder, so the pre-kill span must survive.
+        let plan = FaultPlan::new().kill_after_sends(1, 1);
+        let outcome = World::run_faulty_traced(2, &plan, true, |comm| {
+            if comm.rank() == 1 {
+                let t0 = trace::now_us();
+                trace::record_since(KIND_TASK_EVAL, 7, t0);
+                comm.send(0, 9, vec![0u8; 1]);
+                comm.send(0, 9, vec![0u8; 1]); // never reached
+            } else {
+                comm.recv(Src::Of(1), TagSel::Of(9));
+            }
+            comm.rank()
+        });
+        assert_eq!(outcome.killed, vec![1]);
+        assert_eq!(outcome.traces.len(), 2);
+        let dead = &outcome.traces[1];
+        assert_eq!(dead.rank, 1);
+        assert_eq!(dead.events.len(), 1);
+        assert_eq!(dead.events[0].kind, KIND_TASK_EVAL);
+        assert_eq!(dead.events[0].id, 7);
+        // Aligned timestamps are monotone on the shared timeline.
+        assert!(dead.events[0].end_us >= dead.events[0].start_us);
     }
 }

@@ -444,7 +444,12 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
                 c.python = Some(Python::new());
                 c.interp_inits += 1;
             }
-            let py = c.python.as_mut().unwrap();
+            // Just initialized above when absent; written without unwrap
+            // so a future refactor degrades to a task error, not a rank
+            // panic.
+            let Some(py) = c.python.as_mut() else {
+                return Err(ex("python interpreter unavailable"));
+            };
             let result = py
                 .run(&argv[1], &argv[2])
                 .map_err(|e| ex(format!("python: {e}")))?;
@@ -465,7 +470,10 @@ pub fn register(interp: &mut Interp, ctx: SharedCtx) {
                 c.r = Some(R::new());
                 c.interp_inits += 1;
             }
-            let r = c.r.as_mut().unwrap();
+            // Same containment as the python command above.
+            let Some(r) = c.r.as_mut() else {
+                return Err(ex("R interpreter unavailable"));
+            };
             let result = r
                 .run(&argv[1], &argv[2])
                 .map_err(|e| ex(format!("R: {e}")))?;

@@ -8,7 +8,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use mpisim::Rank;
+use mpisim::{trace, Rank};
 
 /// Dispatch class of a rule's action.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +31,9 @@ pub struct Rule {
     pub kind: ActionKind,
     pub priority: i32,
     pub target: Option<Rank>,
+    /// Creation time (trace clock, µs; 0 untraced) — the `rule_fire`
+    /// span covers the dataflow wait from creation to firing.
+    pub created_us: u64,
 }
 
 /// Per-engine dataflow state.
@@ -97,6 +100,9 @@ impl EngineState {
         self.rules_created += 1;
         if unclosed.is_empty() {
             self.rules_fired += 1;
+            // An already-satisfied rule fires with zero dataflow wait;
+            // recording it keeps rule_fire spans == rules_fired.
+            trace::record_instant(trace::KIND_RULE_FIRE, self.rules_created);
             return self.dispatch(action, kind, priority, target);
         }
         let rule_id = self.next_rule_id;
@@ -112,6 +118,7 @@ impl EngineState {
                 kind,
                 priority,
                 target,
+                created_us: trace::now_us(),
             },
         );
         Dispatch::Deferred
@@ -145,18 +152,23 @@ impl EngineState {
         };
         let mut out = Vec::new();
         for rid in rule_ids {
-            let done = {
-                let rule = self.rules.get_mut(&rid).expect("rule vanished");
-                rule.pending.remove(&id);
-                rule.pending.is_empty()
+            // Take the rule out and re-insert if it still waits: one
+            // lookup, and a waiting-list entry whose rule is gone (an
+            // internal inconsistency that previously panicked the
+            // engine) degrades to skipping the stale entry.
+            let Some(mut rule) = self.rules.remove(&rid) else {
+                continue;
             };
-            if done {
-                let rule = self.rules.remove(&rid).unwrap();
+            rule.pending.remove(&id);
+            if rule.pending.is_empty() {
                 self.rules_fired += 1;
+                trace::record_since(trace::KIND_RULE_FIRE, rid, rule.created_us);
                 let d = self.dispatch(rule.action, rule.kind, rule.priority, rule.target);
                 if !matches!(d, Dispatch::QueuedLocal) {
                     out.push(d);
                 }
+            } else {
+                self.rules.insert(rid, rule);
             }
         }
         out

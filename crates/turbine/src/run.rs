@@ -334,11 +334,23 @@ pub fn engine_loop(
                 return Ok(());
             }
             Some(t) if t.work_type == adlb::WORK_TYPE_NOTIFY => {
-                let id = u64::from_le_bytes(
-                    t.payload[..8]
-                        .try_into()
-                        .expect("notify payload must be 8 bytes"),
-                );
+                // A malformed notification must not take the engine rank
+                // down: skip it and keep serving (the td it named, if
+                // any, will be re-learned through the closed-cache on
+                // the next subscribe).
+                let Some(id) = t
+                    .payload
+                    .get(..8)
+                    .and_then(|b| b.try_into().ok())
+                    .map(u64::from_le_bytes)
+                else {
+                    eprintln!(
+                        "turbine engine {}: malformed notify payload ({} bytes); dropped",
+                        ctx.borrow_mut().client.rank(),
+                        t.payload.len()
+                    );
+                    continue;
+                };
                 let dispatches = ctx.borrow_mut().engine.fire(id);
                 let mut c = ctx.borrow_mut();
                 for d in dispatches {

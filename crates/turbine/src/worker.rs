@@ -40,6 +40,7 @@ pub fn worker_loop(
         };
         // Zero-copy hot path: the payload is a view into the arrival
         // buffer; validate UTF-8 in place instead of cloning it.
+        let eval_start = mpisim::trace::now_us();
         let outcome = match std::str::from_utf8(&task.payload) {
             Ok(code) => interp.eval(code).map(|_| ()),
             Err(_) => Err(TclError::new("worker received non-UTF-8 task payload")),
@@ -49,6 +50,9 @@ pub fn worker_loop(
             Ok(()) => {
                 count += 1;
                 c.tasks_executed += 1;
+                // One eval span per successful task: the trace-vs-counter
+                // reconciliation oracle depends on this equality.
+                mpisim::trace::record_since(mpisim::trace::KIND_TASK_EVAL, count, eval_start);
                 if c.policy == InterpPolicy::Reinitialize {
                     // §III.C: clear interpreter state between tasks. The
                     // next task that needs Python/R pays a fresh

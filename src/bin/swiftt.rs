@@ -19,6 +19,7 @@
 //!       --max-retries K  requeue a failed task at most K times
 //!       --emit-tcl       print the compiled Turbine code and exit
 //!       --report         print the run report after program output
+//!       --trace FILE     write a Chrome trace-event JSON timeline
 //!   -h, --help           this text
 //! ```
 //!
@@ -42,6 +43,7 @@ struct Options {
     max_retries: Option<u32>,
     emit_tcl: bool,
     report: bool,
+    trace: Option<String>,
     args: Vec<(String, String)>,
     source: Option<SourceSpec>,
 }
@@ -77,6 +79,10 @@ options:
       --arg K=V        program argument, readable as argv(\"K\")
       --emit-tcl       print the compiled Turbine code and exit
       --report         print the run report after program output
+                       (with task-latency and queue-wait percentiles)
+      --trace FILE     record task-lifecycle spans on every rank and
+                       write the merged timeline as Chrome trace-event
+                       JSON (chrome://tracing, ui.perfetto.dev)
   -h, --help           this text";
 
 fn parse_args() -> Result<Options, String> {
@@ -92,6 +98,7 @@ fn parse_args() -> Result<Options, String> {
         max_retries: None,
         emit_tcl: false,
         report: false,
+        trace: None,
         args: Vec::new(),
         source: None,
     };
@@ -125,6 +132,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--emit-tcl" => opts.emit_tcl = true,
             "--report" => opts.report = true,
+            "--trace" => opts.trace = Some(args.next().ok_or("--trace needs a file path")?),
             "--arg" => {
                 let kv = args.next().ok_or("--arg needs K=V")?;
                 let (k, v) = kv
@@ -209,6 +217,8 @@ fn main() -> ExitCode {
         .engines(opts.engines)
         .policy(opts.policy)
         .work_stealing(opts.steal)
+        // --report wants latency percentiles, which come from the trace.
+        .tracing(opts.trace.is_some() || opts.report)
         .faults(opts.faults.clone());
     if !opts.re_replication {
         rt = rt.re_replication(false);
@@ -225,6 +235,13 @@ fn main() -> ExitCode {
     match rt.run(&source) {
         Ok(result) => {
             print!("{}", result.stdout);
+            if let Some(path) = &opts.trace {
+                if let Err(e) = result.write_trace(std::path::Path::new(path)) {
+                    eprintln!("swiftt: cannot write trace {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("swiftt: trace written to {path}");
+            }
             if opts.report {
                 let servers = result.server_totals();
                 eprintln!("--- swiftt report ---------------------------");
@@ -237,6 +254,20 @@ fn main() -> ExitCode {
                     result.messages, result.bytes
                 );
                 eprintln!("wall time          : {:?}", result.elapsed);
+                if let Some(lat) = &result.latency {
+                    let line = |name: &str, s: &Option<swiftt::core::LatencyStats>| {
+                        if let Some(s) = s {
+                            eprintln!(
+                                "{name}: p50 {}µs  p95 {}µs  p99 {}µs  max {}µs  (n={})",
+                                s.p50_us, s.p95_us, s.p99_us, s.max_us, s.count
+                            );
+                        }
+                    };
+                    line("task latency       ", &lat.task_latency);
+                    line("queue wait         ", &lat.queue_wait);
+                    line("eval time          ", &lat.eval_time);
+                    line("failover recovery  ", &lat.failover_recovery);
+                }
                 if servers.repl_ops > 0 {
                     eprintln!("replication ops    : {}", servers.repl_ops);
                 }
