@@ -1,0 +1,824 @@
+//! Durable pfs-backed checkpoint/WAL tier.
+//!
+//! Replication (PR 3–4) keeps a shard alive as long as *one* holder
+//! survives a failure window. This module adds the layer below: every
+//! server appends its replication op stream to a per-shard write-ahead
+//! log on the simulated parallel filesystem, periodically compacted into
+//! full checkpoint segments. Two recovery paths use it:
+//!
+//! * **Total replica loss.** When membership confirms a shard lost every
+//!   holder, the would-be abort becomes a restore: the surviving
+//!   successor reads the shard's latest segment, replays the WAL tail,
+//!   and promotes the result exactly as it would a RAM replica.
+//! * **Whole-world restart.** Kill every rank, relaunch with `--resume`:
+//!   each server restores its own shard (following subsumption redirects
+//!   left by earlier failovers) and clients re-execute from scratch,
+//!   with the per-client seq dedup replaying durable responses
+//!   byte-for-byte so effects stay exactly-once.
+//!
+//! **Group commit is the correctness core.** While ops sit unflushed in
+//! the WAL buffer, *every* outbound send of the server (client responses
+//! and server-to-server traffic alike) is held. Nothing observable
+//! leaves the server before the ops it reflects are durable, so a
+//! restore can never lose state that any other rank has acted on — the
+//! same crash-consistency argument the write-through replication path
+//! makes, extended to the durable tier. Batching `interval` ops per WAL
+//! record (one metadata op + one data op per flush) is what keeps the
+//! pfs metadata server from being stormed — the paper's §IV small-file
+//! wall, measurable with `SWIFTT_CHECKPOINT=1` (per-task logging).
+//!
+//! On-disk layout under `/ckpt/<home>/`:
+//!
+//! * `seg-<k>` — magic, last covered LSN, full [`Ledger`], response
+//!   history (per client, every sealed response by seq — whole-world
+//!   resume replays these to restarted clients).
+//! * `wal-<k>` — length-framed records appended since segment `k`; each
+//!   record is `[lsn, n, op...]`.
+//! * `latest` — pointer to the newest segment epoch, or a *redirect
+//!   tombstone* naming the server that subsumed this shard in a
+//!   failover (its checkpoint now covers this home's state).
+//!
+//! Replay sorts the tail by LSN and drops duplicates, so a WAL whose
+//! tail was re-appended or reordered by a crashed writer restores to the
+//! same state — the idempotence property the stress proptest pins down.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use mpisim::{Rank, Tag, WireReader, WireWriter};
+use pfs::{Pfs, PfsClient};
+
+use crate::layout::Layout;
+use crate::replica::{Ledger, ReplOp};
+
+/// Default ops per WAL record (the group-commit batch size).
+pub const DEFAULT_INTERVAL: usize = 64;
+/// Default WAL records between checkpoint segments.
+pub const DEFAULT_SEGMENT_EVERY: usize = 32;
+
+const SEG_MAGIC: u32 = 0x434b_5031; // "CKP1"
+
+/// Checkpointing knobs carried in [`crate::ServerConfig`].
+#[derive(Clone)]
+pub struct CheckpointConfig {
+    /// The durable tier. All servers of one run share one filesystem.
+    pub fs: Arc<Pfs>,
+    /// Ops per WAL record: `1` logs (and pays the metadata server) per
+    /// task-effect commit, larger values group-commit.
+    pub interval: usize,
+    /// WAL records between full checkpoint segments.
+    pub segment_every: usize,
+    /// Restore each server's shard from the filesystem before serving.
+    pub resume: bool,
+}
+
+impl CheckpointConfig {
+    /// Checkpointing to `fs` with default cadence, not resuming.
+    pub fn new(fs: Arc<Pfs>) -> Self {
+        CheckpointConfig {
+            fs,
+            interval: DEFAULT_INTERVAL,
+            segment_every: DEFAULT_SEGMENT_EVERY,
+            resume: false,
+        }
+    }
+
+    /// Set the group-commit interval (clamped to at least 1).
+    pub fn interval(mut self, ops: usize) -> Self {
+        self.interval = ops.max(1);
+        self
+    }
+
+    /// Set the segment compaction cadence (clamped to at least 1).
+    pub fn segment_every(mut self, records: usize) -> Self {
+        self.segment_every = records.max(1);
+        self
+    }
+
+    /// Restore from the last durable checkpoint instead of starting empty.
+    pub fn resume(mut self, yes: bool) -> Self {
+        self.resume = yes;
+        self
+    }
+}
+
+impl fmt::Debug for CheckpointConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointConfig")
+            .field("interval", &self.interval)
+            .field("segment_every", &self.segment_every)
+            .field("resume", &self.resume)
+            .finish_non_exhaustive()
+    }
+}
+
+fn seg_path(home: Rank, k: u64) -> String {
+    format!("/ckpt/{home}/seg-{k}")
+}
+
+fn wal_path(home: Rank, k: u64) -> String {
+    format!("/ckpt/{home}/wal-{k}")
+}
+
+fn latest_path(home: Rank) -> String {
+    format!("/ckpt/{home}/latest")
+}
+
+/// Per-client sealed responses by seq, kept for whole-world resume.
+pub type RespHistory = HashMap<Rank, HashMap<u64, Bytes>>;
+
+fn absorb_history(history: &mut RespHistory, ops: &[ReplOp]) {
+    for op in ops {
+        if let ReplOp::SeqResp {
+            client,
+            seq,
+            resp: Some(bytes),
+        } = op
+        {
+            history
+                .entry(*client)
+                .or_default()
+                .insert(*seq, bytes.clone());
+        }
+    }
+}
+
+/// Encode one WAL record: a length-framed `[lsn, n, op...]` batch.
+pub fn encode_wal_record(lsn: u64, ops: &[ReplOp]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u64(lsn);
+    w.put_u32(ops.len() as u32);
+    for op in ops {
+        op.encode_into(&mut w);
+    }
+    let body = w.finish();
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode a WAL file into `(lsn, ops)` records. Errors on a torn frame
+/// or an undecodable op — corruption, not a recoverable condition.
+pub fn decode_wal(buf: &[u8]) -> Result<Vec<(u64, Vec<ReplOp>)>, String> {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while at < buf.len() {
+        let len_bytes = buf
+            .get(at..at + 4)
+            .ok_or("wal: torn frame header")?
+            .try_into()
+            .map_err(|_| "wal: torn frame header")?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        at += 4;
+        let body = buf.get(at..at + len).ok_or("wal: torn frame body")?;
+        at += len;
+        let mut r = WireReader::new(body);
+        let lsn = r.get_u64().map_err(|e| format!("wal: {e:?}"))?;
+        let n = r.get_u32().map_err(|e| format!("wal: {e:?}"))?;
+        let mut ops = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            ops.push(ReplOp::decode_from(&mut r).map_err(|e| format!("wal: {e:?}"))?);
+        }
+        records.push((lsn, ops));
+    }
+    Ok(records)
+}
+
+/// Replay WAL records with LSN greater than `from_lsn` onto `ledger`,
+/// in LSN order, ignoring duplicates. Duplicated or reordered tail
+/// records — a crashed writer's re-appends — replay to the same state.
+/// Returns the highest LSN applied (or `from_lsn` if none were).
+pub fn replay_wal_records(
+    ledger: &mut Ledger,
+    owner: Rank,
+    from_lsn: u64,
+    mut records: Vec<(u64, Vec<ReplOp>)>,
+) -> u64 {
+    records.sort_by_key(|(lsn, _)| *lsn);
+    let mut last = from_lsn;
+    for (lsn, ops) in records {
+        if lsn <= last {
+            continue; // duplicate or already covered by the segment
+        }
+        for op in &ops {
+            ledger.apply(owner, op);
+        }
+        last = lsn;
+    }
+    last
+}
+
+fn encode_segment(last_lsn: u64, ledger: &Ledger, history: &RespHistory) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u32(SEG_MAGIC);
+    w.put_u64(last_lsn);
+    ledger.encode_into(&mut w);
+    let mut clients: Vec<&Rank> = history.keys().collect();
+    clients.sort();
+    w.put_u32(clients.len() as u32);
+    for c in clients {
+        w.put_u32(*c as u32);
+        let by_seq = &history[c];
+        let mut seqs: Vec<&u64> = by_seq.keys().collect();
+        seqs.sort();
+        w.put_u32(seqs.len() as u32);
+        for s in seqs {
+            w.put_u64(*s);
+            w.put_bytes(&by_seq[s]);
+        }
+    }
+    w.finish().to_vec()
+}
+
+fn decode_segment(buf: &[u8]) -> Result<(u64, Ledger, RespHistory), String> {
+    let mut r = WireReader::new(buf);
+    let err = |e: mpisim::WireError| format!("segment: {e:?}");
+    if r.get_u32().map_err(err)? != SEG_MAGIC {
+        return Err("segment: bad magic".into());
+    }
+    let last_lsn = r.get_u64().map_err(err)?;
+    let ledger = Ledger::decode_from(&mut r).map_err(err)?;
+    let nclients = r.get_u32().map_err(err)?;
+    let mut history = RespHistory::new();
+    for _ in 0..nclients {
+        let client = r.get_u32().map_err(err)? as Rank;
+        let n = r.get_u32().map_err(err)?;
+        let by_seq = history.entry(client).or_default();
+        for _ in 0..n {
+            let seq = r.get_u64().map_err(err)?;
+            let bytes = r.get_bytes_shared().map_err(err)?;
+            by_seq.insert(seq, bytes);
+        }
+    }
+    Ok((last_lsn, ledger, history))
+}
+
+const LATEST_SEGMENT: u8 = 0;
+const LATEST_REDIRECT: u8 = 1;
+
+fn encode_latest_segment(seg_no: u64) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u8(LATEST_SEGMENT);
+    w.put_u64(seg_no);
+    w.finish().to_vec()
+}
+
+fn encode_latest_redirect(to: Rank) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u8(LATEST_REDIRECT);
+    w.put_u32(to as u32);
+    w.finish().to_vec()
+}
+
+/// What a shard restore found on the filesystem.
+pub(crate) struct Restored {
+    /// Segment base with the WAL tail replayed on top.
+    pub ledger: Ledger,
+    /// Durable sealed responses, for replaying to restarted clients.
+    pub history: RespHistory,
+    /// Highest durable LSN (0 when nothing was ever flushed).
+    pub last_lsn: u64,
+    /// Segment epoch the restore read (resumers continue after it).
+    pub seg_no: u64,
+    /// Redirect chain followed from the requested home to the covering
+    /// checkpoint (empty when the home's own checkpoint was read).
+    pub via: Vec<Rank>,
+}
+
+/// Read home `home`'s durable state: follow redirect tombstones to the
+/// covering checkpoint, load its latest segment, replay the WAL tail.
+/// An entirely absent checkpoint directory restores to an empty ledger —
+/// under group commit that means nothing observable ever happened, so
+/// empty *is* the correct durable state.
+pub(crate) fn restore_home(client: &mut PfsClient, home: Rank) -> Result<Restored, String> {
+    let mut at = home;
+    let mut via = Vec::new();
+    let mut seen = HashSet::new();
+    let seg_no = loop {
+        if !seen.insert(at) {
+            return Err(format!("/ckpt/{home}: redirect cycle through rank {at}"));
+        }
+        if !client.exists(&latest_path(at)) {
+            break 0; // never compacted: segment 0 is the empty base
+        }
+        let raw = client.read(&latest_path(at)).map_err(|e| format!("{e}"))?;
+        let mut r = WireReader::new(&raw);
+        match r.get_u8() {
+            Ok(LATEST_SEGMENT) => {
+                break r.get_u64().map_err(|e| format!("latest: {e:?}"))?;
+            }
+            Ok(LATEST_REDIRECT) => {
+                let to = r.get_u32().map_err(|e| format!("latest: {e:?}"))? as Rank;
+                via.push(to);
+                at = to;
+            }
+            _ => return Err(format!("/ckpt/{at}/latest: corrupt pointer")),
+        }
+    };
+
+    let (mut last_lsn, mut ledger, mut history) = if client.exists(&seg_path(at, seg_no)) {
+        let raw = client
+            .read(&seg_path(at, seg_no))
+            .map_err(|e| format!("{e}"))?;
+        decode_segment(&raw)?
+    } else {
+        (0, Ledger::default(), RespHistory::new())
+    };
+
+    if client.exists(&wal_path(at, seg_no)) {
+        let raw = client
+            .read(&wal_path(at, seg_no))
+            .map_err(|e| format!("{e}"))?;
+        let records = decode_wal(&raw)?;
+        for (_, ops) in &records {
+            absorb_history(&mut history, ops);
+        }
+        last_lsn = replay_wal_records(&mut ledger, at, last_lsn, records);
+    }
+
+    Ok(Restored {
+        ledger,
+        history,
+        last_lsn,
+        seg_no,
+        via,
+    })
+}
+
+/// Project the slice of a (possibly merged) checkpoint that belongs to
+/// `home` under `layout`. After a failover, the subsuming server's
+/// checkpoint covers several homes; on whole-world resume every server
+/// restores the covering checkpoint and keeps only its own slice, so
+/// the partition is disjoint and nothing restores twice:
+///
+/// * data ids go to `layout.data_owner(id)`,
+/// * client-keyed state goes to `layout.server_of(client)`,
+/// * targeted queue tasks go to the target's home,
+/// * untargeted tasks and global flow state (pending transfers, fwd
+///   counters, quarantine) stay with the checkpoint's owner `ckpt_owner`
+///   — the global forward/in balance is preserved, which is all the
+///   termination detector needs.
+pub(crate) fn split_for_home(
+    full: &Ledger,
+    layout: &Layout,
+    home: Rank,
+    ckpt_owner: Rank,
+) -> Ledger {
+    let owner_slice = home == ckpt_owner;
+    let mut out = Ledger::default();
+    for (id, datum) in full.store.iter() {
+        if layout.data_owner(*id) == home {
+            out.store.insert_datum(*id, datum.clone());
+        }
+    }
+    for task in &full.queue {
+        let keep = match task.target {
+            Some(t) => layout.server_of(t) == home,
+            None => owner_slice,
+        };
+        if keep {
+            out.queue.push(task.clone());
+        }
+    }
+    let mine = |c: &Rank| layout.server_of(*c) == home;
+    out.leases = full
+        .leases
+        .iter()
+        .filter(|(c, _)| mine(c))
+        .map(|(c, v)| (*c, v.clone()))
+        .collect();
+    out.credits = full
+        .credits
+        .iter()
+        .filter(|(c, _)| mine(c))
+        .map(|(c, v)| (*c, *v))
+        .collect();
+    out.seqs = full
+        .seqs
+        .iter()
+        .filter(|(c, _)| mine(c))
+        .map(|(c, v)| (*c, *v))
+        .collect();
+    out.resps = full
+        .resps
+        .iter()
+        .filter(|(c, _)| mine(c))
+        .map(|(c, v)| (*c, v.clone()))
+        .collect();
+    // Transfer numbering goes to EVERY restored home: after a failover
+    // the owner's counters upper-bound the subsumed origins' too (see
+    // `Server::promote`), and a resumed home reusing old fseq numbers
+    // would get its fresh transfers dropped by receivers' durable
+    // `xfer_applied` high-waters.
+    out.next_fseq = full.next_fseq.clone();
+    // Applied-transfer high-waters protect the *destination* home from
+    // double-applying a redriven transfer; each entry follows its dest.
+    out.xfer_applied = full
+        .xfer_applied
+        .iter()
+        .filter(|((dest, _), _)| *dest == home)
+        .map(|(k, v)| (*k, *v))
+        .collect();
+    if owner_slice {
+        out.quarantine = full.quarantine.clone();
+        out.pending_xfers = full.pending_xfers.clone();
+        out.fwd_out = full.fwd_out;
+        out.fwd_in = full.fwd_in;
+    }
+    // outputs/finished are deliberately dropped: on resume every client
+    // is alive again and re-produces its stream from scratch; merges
+    // restarts at 0 because the resumed world has seen no failovers.
+    out
+}
+
+/// Keep only the history of clients homed at `home`.
+pub(crate) fn split_history_for_home(
+    full: &RespHistory,
+    layout: &Layout,
+    home: Rank,
+) -> RespHistory {
+    full.iter()
+        .filter(|(c, _)| layout.server_of(**c) == home)
+        .map(|(c, m)| (*c, m.clone()))
+        .collect()
+}
+
+/// The write-behind durability sink one server owns while checkpointing.
+pub(crate) struct CheckpointSink {
+    client: PfsClient,
+    home: Rank,
+    interval: usize,
+    segment_every: usize,
+    /// Ops committed to live state but not yet durable.
+    buf: Vec<ReplOp>,
+    /// Outbound sends held until `buf` is durable (group commit).
+    held: Vec<(Rank, Tag, Bytes)>,
+    /// Next LSN to assign (first record is LSN 1).
+    next_lsn: u64,
+    seg_no: u64,
+    records_since_seg: u64,
+    history: RespHistory,
+    /// WAL records written.
+    pub records: u64,
+    /// Ops made durable.
+    pub ops_logged: u64,
+    /// Checkpoint segments written.
+    pub segments: u64,
+    /// Bytes written to the durable tier (WAL + segments).
+    pub bytes_written: u64,
+}
+
+impl CheckpointSink {
+    pub(crate) fn new(cfg: &CheckpointConfig, home: Rank) -> Self {
+        CheckpointSink {
+            client: cfg.fs.client(),
+            home,
+            interval: cfg.interval.max(1),
+            segment_every: cfg.segment_every.max(1),
+            buf: Vec::new(),
+            held: Vec::new(),
+            next_lsn: 1,
+            seg_no: 0,
+            records_since_seg: 0,
+            history: RespHistory::new(),
+            records: 0,
+            ops_logged: 0,
+            segments: 0,
+            bytes_written: 0,
+        }
+    }
+
+    /// Continue after a restore: later records follow the restored LSN
+    /// and the next segment supersedes the restored epoch.
+    pub(crate) fn fast_forward(&mut self, last_lsn: u64, seg_no: u64) {
+        self.next_lsn = last_lsn + 1;
+        self.seg_no = seg_no;
+    }
+
+    /// Adopt durable response history (restore/promotion paths).
+    pub(crate) fn adopt_history(&mut self, history: RespHistory) {
+        for (client, by_seq) in history {
+            self.history.entry(client).or_default().extend(by_seq);
+        }
+    }
+
+    /// Buffer committed ops for the next WAL record.
+    pub(crate) fn log(&mut self, ops: &[ReplOp]) {
+        absorb_history(&mut self.history, ops);
+        self.buf.extend_from_slice(ops);
+    }
+
+    /// [`CheckpointSink::log`] taking ownership: with no replica holders
+    /// the op batch has no other consumer, so skip the per-op clone.
+    pub(crate) fn log_owned(&mut self, mut ops: Vec<ReplOp>) {
+        absorb_history(&mut self.history, &ops);
+        self.buf.append(&mut ops);
+    }
+
+    /// Hold outbound sends until the buffered ops are durable.
+    pub(crate) fn hold(&mut self, sends: &mut Vec<(Rank, Tag, Bytes)>) {
+        self.held.append(sends);
+    }
+
+    pub(crate) fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub(crate) fn due_flush(&self) -> bool {
+        self.buf.len() >= self.interval
+    }
+
+    pub(crate) fn due_segment(&self) -> bool {
+        self.records_since_seg >= self.segment_every as u64
+    }
+
+    /// Highest durable LSN so far (0 = nothing flushed yet).
+    pub(crate) fn last_durable_lsn(&self) -> u64 {
+        self.next_lsn - 1
+    }
+
+    /// Flush buffered ops as one WAL record (one metadata op + one data
+    /// op on the filesystem) and release every held send.
+    pub(crate) fn flush_wal(&mut self) -> Vec<(Rank, Tag, Bytes)> {
+        if !self.buf.is_empty() {
+            let ops = std::mem::take(&mut self.buf);
+            let lsn = self.next_lsn;
+            self.next_lsn += 1;
+            let record = encode_wal_record(lsn, &ops);
+            let path = wal_path(self.home, self.seg_no);
+            self.client.append(&path, &record);
+            if let Ok(n) = self.client.flush(&path) {
+                self.bytes_written += n as u64;
+            }
+            self.records += 1;
+            self.ops_logged += ops.len() as u64;
+            self.records_since_seg += 1;
+        }
+        std::mem::take(&mut self.held)
+    }
+
+    /// Compact the durable state into a fresh segment and retire the old
+    /// epoch's files. Callers must [`CheckpointSink::flush_wal`] first so
+    /// `ledger` (the live snapshot) contains no op newer than the WAL —
+    /// otherwise the tail would replay on top of a base that already
+    /// includes it.
+    pub(crate) fn write_segment(&mut self, ledger: &Ledger) {
+        debug_assert!(self.buf.is_empty(), "segment written over unflushed ops");
+        let old = self.seg_no;
+        self.seg_no += 1;
+        let body = encode_segment(self.last_durable_lsn(), ledger, &self.history);
+        let seg_bytes = body.len() as u64;
+        if self
+            .client
+            .put(&seg_path(self.home, self.seg_no), &body)
+            .is_ok()
+        {
+            self.segments += 1;
+            self.bytes_written += seg_bytes;
+        }
+        let _ = self
+            .client
+            .put(&latest_path(self.home), &encode_latest_segment(self.seg_no));
+        // Retire the superseded epoch (either file may not exist).
+        let _ = self.client.unlink(&wal_path(self.home, old));
+        let _ = self.client.unlink(&seg_path(self.home, old));
+        self.records_since_seg = 0;
+    }
+
+    /// Leave a redirect tombstone in `from`'s checkpoint directory: this
+    /// sink's checkpoint now covers that subsumed shard.
+    pub(crate) fn write_redirect(&mut self, from: Rank) {
+        let _ = self
+            .client
+            .put(&latest_path(from), &encode_latest_redirect(self.home));
+        // The subsumed shard's old files are stale history now.
+        let _ = self.client.unlink(&wal_path(from, 0));
+    }
+
+    /// Durable response for `(client, seq)`, if any — the whole-world
+    /// resume dedup fallback for requests older than the cached last
+    /// response.
+    pub(crate) fn durable_resp(&self, client: Rank, seq: u64) -> Option<&Bytes> {
+        self.history.get(&client).and_then(|m| m.get(&seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Task;
+    use pfs::PfsConfig;
+
+    fn fs() -> Arc<Pfs> {
+        Arc::new(Pfs::new(PfsConfig::instant()))
+    }
+
+    fn op_store(id: u64, v: &[u8]) -> ReplOp {
+        ReplOp::Store {
+            id,
+            value: Bytes::copy_from_slice(v),
+        }
+    }
+
+    #[test]
+    fn wal_record_round_trips() {
+        let ops = vec![
+            ReplOp::Create { id: 7, type_tag: 1 },
+            op_store(7, b"v"),
+            ReplOp::SeqResp {
+                client: 2,
+                seq: 5,
+                resp: Some(Bytes::from_static(b"resp")),
+            },
+        ];
+        let mut buf = encode_wal_record(1, &ops);
+        buf.extend_from_slice(&encode_wal_record(2, &[op_store(9, b"w")]));
+        let records = decode_wal(&buf).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].0, 1);
+        assert_eq!(records[0].1, ops);
+        assert_eq!(records[1].0, 2);
+    }
+
+    #[test]
+    fn decode_wal_rejects_torn_frames() {
+        let buf = encode_wal_record(1, &[op_store(1, b"x")]);
+        assert!(decode_wal(&buf[..buf.len() - 1]).is_err());
+        assert!(decode_wal(&[0xff, 0xff, 0xff]).is_err());
+    }
+
+    #[test]
+    fn replay_ignores_duplicates_and_reordering() {
+        let recs = vec![
+            (
+                1,
+                vec![ReplOp::Create { id: 1, type_tag: 1 }, op_store(1, b"a")],
+            ),
+            (2, vec![ReplOp::Create { id: 2, type_tag: 1 }]),
+            (3, vec![op_store(2, b"b")]),
+        ];
+        let mut clean = Ledger::default();
+        let last = replay_wal_records(&mut clean, 0, 0, recs.clone());
+        assert_eq!(last, 3);
+
+        let mut messy_recs = recs.clone();
+        messy_recs.reverse();
+        messy_recs.push(recs[1].clone()); // duplicated tail record
+        messy_recs.push(recs[2].clone());
+        let mut messy = Ledger::default();
+        assert_eq!(replay_wal_records(&mut messy, 0, 0, messy_recs), 3);
+        assert_eq!(clean, messy);
+    }
+
+    #[test]
+    fn sink_flush_and_segment_restore_round_trip() {
+        let fs = fs();
+        let cfg = CheckpointConfig::new(Arc::clone(&fs))
+            .interval(2)
+            .segment_every(2);
+        let mut sink = CheckpointSink::new(&cfg, 3);
+        let mut live = Ledger::default();
+        let ops1 = vec![
+            ReplOp::Create {
+                id: 10,
+                type_tag: 1,
+            },
+            op_store(10, b"ten"),
+        ];
+        for op in &ops1 {
+            live.apply(3, op);
+        }
+        sink.log(&ops1);
+        assert!(sink.due_flush());
+        sink.flush_wal();
+        assert_eq!(sink.records, 1);
+        assert_eq!(sink.last_durable_lsn(), 1);
+
+        // Restore from segment 0 base + WAL tail.
+        let mut c = fs.client();
+        let r = restore_home(&mut c, 3).unwrap();
+        assert_eq!(r.ledger, live);
+        assert_eq!(r.last_lsn, 1);
+        assert!(r.via.is_empty());
+
+        // Compact, keep appending, restore again.
+        let ops2 = vec![ReplOp::SeqResp {
+            client: 1,
+            seq: 4,
+            resp: Some(Bytes::from_static(b"sealed")),
+        }];
+        for op in &ops2 {
+            live.apply(3, op);
+        }
+        sink.log(&ops2);
+        sink.flush_wal();
+        assert!(sink.due_segment());
+        sink.write_segment(&live);
+        let ops3 = vec![ReplOp::Create {
+            id: 11,
+            type_tag: 1,
+        }];
+        for op in &ops3 {
+            live.apply(3, op);
+        }
+        sink.log(&ops3);
+        sink.flush_wal();
+
+        let r = restore_home(&mut c, 3).unwrap();
+        assert_eq!(r.ledger, live);
+        assert_eq!(r.last_lsn, 3);
+        assert_eq!(r.seg_no, 1);
+        assert_eq!(
+            r.history.get(&1).and_then(|m| m.get(&4)),
+            Some(&Bytes::from_static(b"sealed"))
+        );
+        // Old epoch files were retired.
+        assert!(!c.exists("/ckpt/3/wal-0"));
+        assert!(!c.exists("/ckpt/3/seg-0"));
+    }
+
+    #[test]
+    fn restore_follows_redirect_tombstones() {
+        let fs = fs();
+        let cfg = CheckpointConfig::new(Arc::clone(&fs));
+        let mut sink = CheckpointSink::new(&cfg, 5);
+        let mut live = Ledger::default();
+        let ops = vec![ReplOp::Create { id: 1, type_tag: 1 }];
+        for op in &ops {
+            live.apply(5, op);
+        }
+        sink.log(&ops);
+        sink.flush_wal();
+        sink.write_segment(&live);
+        sink.write_redirect(4); // rank 5's checkpoint now covers home 4
+
+        let mut c = fs.client();
+        let r = restore_home(&mut c, 4).unwrap();
+        assert_eq!(r.via, vec![5]);
+        assert_eq!(r.ledger, live);
+    }
+
+    #[test]
+    fn restore_of_untouched_home_is_empty() {
+        let fs = fs();
+        let mut c = fs.client();
+        let r = restore_home(&mut c, 9).unwrap();
+        assert_eq!(r.ledger, Ledger::default());
+        assert_eq!(r.last_lsn, 0);
+    }
+
+    #[test]
+    fn split_partitions_disjointly() {
+        // Layout: 6 ranks, servers 4 and 5; clients 0,1 -> 4 and 2,3 -> 5
+        // (whatever server_of says — derive membership from the layout).
+        let layout = Layout::new(6, 2);
+        let servers: Vec<Rank> = (0..6).filter(|r| layout.is_server(*r)).collect();
+        let mut full = Ledger::default();
+        for id in 0..16u64 {
+            let _ = full.store.create(id, 1);
+        }
+        for client in (0..6).filter(|r| !layout.is_server(*r)) {
+            full.seqs.insert(client, 10 + client as u64);
+            full.resps.insert(client, (10, Bytes::from_static(b"r")));
+        }
+        full.queue
+            .push(Task::new(1, 0, None, Bytes::from_static(b"untargeted")));
+        full.queue
+            .push(Task::new(1, 0, Some(0), Bytes::from_static(b"to-0")));
+        full.fwd_out = 3;
+        full.fwd_in = 2;
+        full.quarantine.push("q".into());
+
+        let owner = servers[0];
+        let parts: Vec<Ledger> = servers
+            .iter()
+            .map(|s| split_for_home(&full, &layout, *s, owner))
+            .collect();
+        // Every datum lands in exactly one slice.
+        let total: usize = parts.iter().map(|p| p.store.len()).sum();
+        assert_eq!(total, 16);
+        // Client state follows server_of.
+        let total_seqs: usize = parts.iter().map(|p| p.seqs.len()).sum();
+        assert_eq!(total_seqs, full.seqs.len());
+        // Untargeted task + flow state stay with the checkpoint owner.
+        assert!(parts[0]
+            .queue
+            .iter()
+            .any(|t| t.payload.as_ref() == b"untargeted"));
+        assert_eq!(parts[0].fwd_out, 3);
+        assert_eq!(parts[0].fwd_in, 2);
+        assert_eq!(parts[0].quarantine.len(), 1);
+        assert_eq!(parts[1].fwd_out, 0);
+        assert!(parts[1].quarantine.is_empty());
+        // Targeted task lands at its target's home.
+        let t_home = layout.server_of(0);
+        let idx = servers.iter().position(|s| *s == t_home).unwrap();
+        assert!(parts[idx]
+            .queue
+            .iter()
+            .any(|t| t.payload.as_ref() == b"to-0"));
+    }
+}

@@ -53,6 +53,7 @@
 //! assert!(out.iter().any(|s| s == "hello task"));
 //! ```
 
+mod checkpoint;
 mod client;
 mod datastore;
 mod layout;
@@ -62,6 +63,10 @@ mod queue;
 mod replica;
 mod server;
 
+pub use checkpoint::{
+    decode_wal, encode_wal_record, replay_wal_records, CheckpointConfig, RespHistory,
+    DEFAULT_INTERVAL as CHECKPOINT_DEFAULT_INTERVAL,
+};
 pub use client::{AdlbClient, ClientConfig};
 pub use datastore::{DataError, Datum, DatumValue, TYPE_TAG_CONTAINER};
 pub use layout::Layout;

@@ -933,7 +933,11 @@ mod tests {
             },
             Response::NoMore {
                 quarantined: vec![],
-                aborted: Some("server rank 3 died and its shard is unrecoverable".into()),
+                aborted: Some(
+                    "server rank 3 died and its shard is unrecoverable \
+                     (replication=1 keeps no replica; no checkpoint configured)"
+                        .into(),
+                ),
             },
             Response::Error("bad thing".into()),
         ];

@@ -21,6 +21,9 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use mpisim::{trace, Comm, Rank, Src, TagSel, WireReader, WireWriter};
 
+use crate::checkpoint::{
+    restore_home, split_for_home, split_history_for_home, CheckpointConfig, CheckpointSink,
+};
 use crate::datastore::DataStore;
 use crate::layout::Layout;
 use crate::membership::Membership;
@@ -92,6 +95,10 @@ pub struct ServerConfig {
     /// Smaller chunks interleave more with normal service at the cost of
     /// more round trips.
     pub sync_chunk: usize,
+    /// Durable checkpoint/WAL tier on the parallel filesystem. `None`
+    /// (the default) keeps the pre-checkpoint behavior: losing every
+    /// holder of a shard aborts the run. See [`CheckpointConfig`].
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +113,7 @@ impl Default for ServerConfig {
             suspect_after: Duration::from_millis(10),
             re_replicate: true,
             sync_chunk: 16 * 1024,
+            checkpoint: None,
         }
     }
 }
@@ -158,6 +166,20 @@ pub struct ServerStats {
     /// failovers. Across servers this is a wall-clock window, not a
     /// volume: [`ServerStats::merge`] takes the max, never a sum.
     pub r_restore_micros: u64,
+    /// WAL records flushed to the durable tier.
+    pub ckpt_records: u64,
+    /// Replication ops made durable (the records' contents).
+    pub ckpt_ops: u64,
+    /// Checkpoint segments written (WAL compactions).
+    pub ckpt_segments: u64,
+    /// Bytes written to the durable tier (WAL records plus segments).
+    pub ckpt_bytes: u64,
+    /// Shards restored from the durable tier (mid-run total-replica-loss
+    /// recoveries plus whole-world resumes).
+    pub pfs_restores: u64,
+    /// Microseconds spent restoring shards from the durable tier. A
+    /// wall-clock window like `r_restore_micros`: merged by max.
+    pub ckpt_restore_micros: u64,
 }
 
 impl ServerStats {
@@ -191,6 +213,12 @@ impl ServerStats {
             repl_syncs,
             repl_sync_bytes,
             r_restore_micros,
+            ckpt_records,
+            ckpt_ops,
+            ckpt_segments,
+            ckpt_bytes,
+            pfs_restores,
+            ckpt_restore_micros,
         } = *other;
         self.tasks_accepted += tasks_accepted;
         self.tasks_delivered += tasks_delivered;
@@ -211,6 +239,12 @@ impl ServerStats {
         self.repl_syncs += repl_syncs;
         self.repl_sync_bytes += repl_sync_bytes;
         self.r_restore_micros = self.r_restore_micros.max(r_restore_micros);
+        self.ckpt_records += ckpt_records;
+        self.ckpt_ops += ckpt_ops;
+        self.ckpt_segments += ckpt_segments;
+        self.ckpt_bytes += ckpt_bytes;
+        self.pfs_restores += pfs_restores;
+        self.ckpt_restore_micros = self.ckpt_restore_micros.max(ckpt_restore_micros);
     }
 }
 
@@ -428,6 +462,12 @@ struct Server {
     check_in_flight: bool,
     prev_snapshot: Option<Vec<u64>>,
     stats: ServerStats,
+    // -- durable tier ------------------------------------------------------
+    /// Write-behind WAL/checkpoint sink, present when the config enables
+    /// the durable tier. While it holds unflushed ops, every outbound
+    /// send is parked inside it (group commit): nothing observable may
+    /// leave this rank before the state it reflects is durable.
+    ckpt: Option<CheckpointSink>,
 }
 
 /// Run the ADLB server loop on this rank until global termination,
@@ -499,19 +539,34 @@ pub fn serve_ext(comm: Comm, layout: Layout, config: ServerConfig) -> ServerOutc
         check_in_flight: false,
         prev_snapshot: None,
         stats: ServerStats::default(),
+        ckpt: config
+            .checkpoint
+            .as_ref()
+            .map(|c| CheckpointSink::new(c, me)),
         config,
     };
-    s.refresh_repl_targets(false);
+    // A resume loads the shard's durable state before the ring forms, so
+    // the initial replica streams below carry the restored state too.
+    let resumed = s.resume_from_pfs();
+    s.refresh_repl_targets(resumed);
     s.run()
 }
 
 impl Server {
     fn run(&mut self) -> ServerOutcome {
         loop {
-            match self
-                .comm
-                .recv_timeout(Src::Any, TagSel::Any, self.config.poll_interval)
-            {
+            // Drain the pipe without blocking first: an empty pipe is the
+            // group-commit flush point — batching has nothing more to
+            // gain and every held send is pure added latency — and only
+            // then wait out the poll interval.
+            let next = self.comm.try_recv(Src::Any, TagSel::Any).or_else(|| {
+                if self.ckpt.as_ref().is_some_and(|s| s.buffered() > 0) {
+                    self.ckpt_flush(false);
+                }
+                self.comm
+                    .recv_timeout(Src::Any, TagSel::Any, self.config.poll_interval)
+            });
+            match next {
                 // Shared decode: task payloads alias the arrival buffer
                 // instead of being copied out of it (zero-copy receive).
                 Some(m) if m.tag == TAG_REQ => {
@@ -579,17 +634,192 @@ impl Server {
     fn commit_tx(&mut self) {
         if !self.tx_ops.is_empty() {
             let ops = std::mem::take(&mut self.tx_ops);
+            // The durable tier logs the same op stream the replicas get.
             if !self.repl_targets.is_empty() && !self.aborting {
+                if let Some(sink) = &mut self.ckpt {
+                    sink.log(&ops);
+                }
                 self.stats.repl_ops += (ops.len() * self.repl_targets.len()) as u64;
                 let msg = ServerMsg::Repl { ops }.encode();
                 for &t in &self.repl_targets.clone() {
                     self.comm.send(t, TAG_SRV, msg.clone());
                 }
+            } else if let Some(sink) = &mut self.ckpt {
+                // No replica holders: the batch has no other consumer.
+                sink.log_owned(ops);
             }
         }
-        for (rank, tag, bytes) in std::mem::take(&mut self.tx_sends) {
+        // Group commit: while ops sit unflushed in the WAL buffer, every
+        // buffered send is held inside the sink — a response (or a task
+        // transfer) must never be observable before the state it reflects
+        // is durable, or a later restore-from-pfs would silently lose
+        // effects another rank already acted on. With no buffered ops the
+        // sends flow immediately (each client has at most one awaited
+        // request in flight, so per-client response order is preserved).
+        match &mut self.ckpt {
+            Some(sink) if sink.buffered() > 0 => {
+                sink.hold(&mut self.tx_sends);
+                if sink.due_flush() || self.shutdown || self.aborting {
+                    self.ckpt_flush(false);
+                }
+            }
+            _ => {
+                for (rank, tag, bytes) in std::mem::take(&mut self.tx_sends) {
+                    self.comm.send(rank, tag, bytes);
+                }
+            }
+        }
+    }
+
+    /// Flush the WAL buffer as one record, release every held send, and
+    /// compact into a checkpoint segment when one is due (or forced —
+    /// after a promotion, whose merged bulk never flows through the op
+    /// stream, only a full snapshot captures it).
+    fn ckpt_flush(&mut self, force_segment: bool) {
+        let Some(mut sink) = self.ckpt.take() else {
+            return;
+        };
+        let start_us = trace::now_us();
+        let before = sink.records;
+        let sends = sink.flush_wal();
+        let wrote = sink.records > before;
+        if force_segment || sink.due_segment() {
+            let ledger = self.snapshot_ledger();
+            sink.write_segment(&ledger);
+        }
+        self.stats.ckpt_records = sink.records;
+        self.stats.ckpt_ops = sink.ops_logged;
+        self.stats.ckpt_segments = sink.segments;
+        self.stats.ckpt_bytes = sink.bytes_written;
+        self.ckpt = Some(sink);
+        for (rank, tag, bytes) in sends {
             self.comm.send(rank, tag, bytes);
         }
+        if wrote || force_segment {
+            trace::record_since(trace::KIND_CKPT_FLUSH, self.comm.rank() as u64, start_us);
+        }
+    }
+
+    /// Make the post-promotion state durable and leave redirect
+    /// tombstones: the dead homes' shards now live in this server's
+    /// checkpoint, and a whole-world resume (or a later restore of THIS
+    /// server) must find them there.
+    fn ckpt_cover_homes(&mut self, homes: &[Rank]) {
+        if self.ckpt.is_none() {
+            return;
+        }
+        self.ckpt_flush(true);
+        if let Some(sink) = &mut self.ckpt {
+            for &h in homes {
+                sink.write_redirect(h);
+            }
+        }
+    }
+
+    /// With `resume` configured, load this shard's durable state (following
+    /// redirect tombstones to the covering checkpoint, then keeping only
+    /// this home's slice) before serving. Returns whether state was
+    /// restored.
+    fn resume_from_pfs(&mut self) -> bool {
+        let Some(cfg) = self.config.checkpoint.clone() else {
+            return false;
+        };
+        if !cfg.resume {
+            return false;
+        }
+        let me = self.comm.rank();
+        let start_us = trace::now_us();
+        let started = Instant::now();
+        let mut client = cfg.fs.client();
+        match restore_home(&mut client, me) {
+            Ok(r) => {
+                let owner = *r.via.last().unwrap_or(&me);
+                let ledger = split_for_home(&r.ledger, &self.layout, me, owner);
+                let history = split_history_for_home(&r.history, &self.layout, me);
+                eprintln!(
+                    "adlb server {me}: resumed shard from pfs checkpoint \
+                     (LSN {}, {} datums, {} queued, {} clients with history)",
+                    r.last_lsn,
+                    ledger.store.len(),
+                    ledger.queue.len(),
+                    history.len(),
+                );
+                self.install_resumed(ledger);
+                if let Some(sink) = &mut self.ckpt {
+                    sink.adopt_history(history);
+                    sink.fast_forward(r.last_lsn, r.seg_no);
+                }
+                // Re-anchor the durable state under this home right away:
+                // the covering checkpoint may sit in another server's
+                // directory and will be superseded by its own resume.
+                self.ckpt_flush(true);
+                self.stats.pfs_restores += 1;
+                let micros = started.elapsed().as_micros() as u64;
+                self.stats.ckpt_restore_micros = self.stats.ckpt_restore_micros.max(micros);
+                trace::record_since(trace::KIND_CKPT_RESTORE, me as u64, start_us);
+                true
+            }
+            Err(e) => {
+                eprintln!(
+                    "adlb server {me}: resume found no usable checkpoint ({e}); starting empty"
+                );
+                false
+            }
+        }
+    }
+
+    /// Install a resumed shard into the (empty) live state. Unlike
+    /// [`Server::promote`] this neither counts a failover nor re-pushes
+    /// cached responses unprompted: the restarted clients replay their
+    /// request streams from seq 1 and pull every durable response through
+    /// the dedup path instead.
+    fn install_resumed(&mut self, ledger: Ledger) {
+        self.store.merge(ledger.store);
+        for t in ledger.queue {
+            self.queue.push(t);
+        }
+        let now = Instant::now();
+        let now_us = trace::now_us();
+        for (c, deque) in ledger.leases {
+            let mine = self.in_flight.entry(c).or_default();
+            for task in deque {
+                mine.push_back(Lease {
+                    task,
+                    since: now,
+                    accepted_us: now_us,
+                });
+            }
+        }
+        for (c, n) in ledger.credits {
+            *self.lease_revoked.entry(c).or_insert(0) += n as usize;
+        }
+        for (c, s) in ledger.seqs {
+            let hw = self.client_seqs.entry(c).or_default();
+            *hw = (*hw).max(s);
+        }
+        self.client_resps.extend(ledger.resps);
+        for q in ledger.quarantine {
+            if !self.quarantine_reports.contains(&q) {
+                self.quarantine_reports.push(q);
+            }
+        }
+        for x in ledger.pending_xfers {
+            self.pending_xfers.push(PendingXfer { x, sent_to: None });
+        }
+        // Unlike promotion, `next_fseq` IS restored: these counters number
+        // transfers with origin = this rank, and peers resume with durable
+        // `xfer_applied` high-waters — reusing old fseq numbers would get
+        // fresh transfers dropped as duplicates.
+        for (dest, f) in ledger.next_fseq {
+            let hw = self.next_fseq.entry(dest).or_default();
+            *hw = (*hw).max(f);
+        }
+        for (k, f) in ledger.xfer_applied {
+            let hw = self.xfer_applied.entry(k).or_default();
+            *hw = (*hw).max(f);
+        }
+        self.fwd_out += ledger.fwd_out;
+        self.fwd_in += ledger.fwd_in;
     }
 
     fn op(&mut self, op: ReplOp) {
@@ -1139,16 +1369,39 @@ impl Server {
             self.ensure_home(home);
         }
         // Exactly-once: a re-sent awaited request gets its cached response
-        // verbatim; a re-sent fire-and-forget request is dropped.
+        // verbatim; a re-sent fire-and-forget request is dropped. After a
+        // whole-world resume the restarted client replays its request
+        // stream from seq 1 — every awaited request below the durable
+        // high-water is answered byte-for-byte from the checkpoint's
+        // response history, forcing the client down the same execution
+        // path until it passes the durable prefix.
         let hw = self.client_seqs.get(&source).copied().unwrap_or(0);
         if seq <= hw {
             if let Some((s, bytes)) = self.client_resps.get(&source) {
                 if *s == seq {
                     let b = bytes.clone();
                     self.tx_sends.push((source, TAG_RESP, b));
+                    return;
                 }
             }
-            return;
+            if let Some(bytes) = self.ckpt.as_ref().and_then(|c| c.durable_resp(source, seq)) {
+                let b = bytes.clone();
+                self.tx_sends.push((source, TAG_RESP, b));
+                return;
+            }
+            // No response was ever recorded for this seq. Fire-and-forget
+            // requests advance the high-water without response bytes and
+            // were already applied — drop the duplicate. Anything else
+            // here is an awaited request whose response is deliberately
+            // unreplicated (reads, deterministic errors, subscribe on an
+            // already-closed datum); the replaying client is blocked on
+            // it, so re-execute it against the restored state.
+            match req {
+                Request::TaskDone { .. }
+                | Request::TaskDoneBatch { .. }
+                | Request::Output { .. } => return,
+                _ => {}
+            }
         }
         // Lost shard (a data home died with no replica): answer benignly
         // so the program winds down through the NoMore path instead of
@@ -1989,11 +2242,12 @@ impl Server {
                     // the higher version) long before a well-gapped
                     // second death.
                     Some(ledger) if ledger.merges < required && !self.shutdown => {
-                        self.enter_abort(
+                        promoted = self.try_pfs_restore(
                             d,
+                            required,
+                            &chain,
                             "the only replica here predates an earlier failover and was never refreshed",
                         );
-                        self.mark_chain_lost(&chain);
                     }
                     Some(ledger) => {
                         self.promote(d, ledger);
@@ -2003,15 +2257,20 @@ impl Server {
                     // completed; retried requests get terminal answers.
                     None if self.shutdown => {}
                     None if sync_incomplete => {
-                        self.enter_abort(
+                        promoted = self.try_pfs_restore(
                             d,
+                            required,
+                            &chain,
                             "it died before finishing its re-replication to this successor",
                         );
-                        self.mark_chain_lost(&chain);
                     }
                     None => {
-                        self.enter_abort(d, "its replica never reached this successor");
-                        self.mark_chain_lost(&chain);
+                        promoted = self.try_pfs_restore(
+                            d,
+                            required,
+                            &chain,
+                            "its replica never reached this successor",
+                        );
                     }
                 }
             } else if !self.shutdown {
@@ -2030,7 +2289,31 @@ impl Server {
                 }
             }
         } else if !self.shutdown {
-            self.enter_abort(d, "replication=1 keeps no replica");
+            if self.config.checkpoint.is_some() {
+                // The durable tier makes replication=1 survivable: the
+                // successor restores the shard from pfs, and the others
+                // track the subsumption exactly as the replicated path
+                // does so later deaths route and adopt correctly.
+                if successor {
+                    promoted =
+                        self.try_pfs_restore(d, required, &chain, "replication=1 keeps no replica");
+                } else {
+                    *self.required_merges.entry(promoter).or_insert(0) += 1;
+                    for &e in std::iter::once(&d).chain(chain.iter()) {
+                        self.subsumed.insert(e, promoter);
+                    }
+                }
+            } else {
+                self.enter_abort(d, "replication=1 keeps no replica", &chain);
+            }
+        }
+        // The merged bulk of a promotion never flows through the op
+        // stream; only a full snapshot captures it. Anchor the merged
+        // state durably now and leave redirect tombstones so any restore
+        // of the dead homes finds it here.
+        if promoted {
+            let covered: Vec<Rank> = std::iter::once(d).chain(chain.iter().copied()).collect();
+            self.ckpt_cover_homes(&covered);
         }
         // A peer that died mid-shutdown leaves clients whose `NoMore`
         // notices may have died with it (unfinished in the merged
@@ -2134,10 +2417,19 @@ impl Server {
         for x in ledger.pending_xfers {
             self.pending_xfers.push(PendingXfer { x, sent_to: None });
         }
-        // NOT merged: `next_fseq` — those counters number transfers with
-        // origin `d`; this server's own counters (origin = me) are
-        // already correct, and inherited entries keep their original
-        // origin and fseq.
+        // `next_fseq` merges by max. The dead peer's counters number
+        // transfers with origin `d`, so this server's own numbering
+        // (origin = me) did not strictly need them — but folding them in
+        // keeps the checkpoint written after this merge a safe upper
+        // bound for ANY origin it covers: a whole-world resume hands the
+        // merged counters back to the subsumed home, whose fresh
+        // transfers must outnumber everything receivers have durably
+        // applied from it. Gaps in a sender's fseq sequence are harmless
+        // (receiver dedup is a high-water mark).
+        for (dest, f) in ledger.next_fseq {
+            let hw = self.next_fseq.entry(dest).or_default();
+            *hw = (*hw).max(f);
+        }
         for (k, f) in ledger.xfer_applied {
             let hw = self.xfer_applied.entry(k).or_default();
             *hw = (*hw).max(f);
@@ -2163,7 +2455,65 @@ impl Server {
         }
     }
 
-    fn enter_abort(&mut self, d: Rank, why: &str) {
+    /// No usable RAM replica for dead home `d` — the last line of defense
+    /// is the durable tier. Restore the shard's latest checkpoint segment
+    /// plus WAL tail and promote it exactly like a replica; on any
+    /// failure (no checkpoint configured, a stale checkpoint predating a
+    /// failover `d` performed, or corruption) fall through to the abort
+    /// with a diagnosis naming the shard, its subsumption chain, and the
+    /// last durable LSN.
+    fn try_pfs_restore(&mut self, d: Rank, required: u64, chain: &[Rank], why: &str) -> bool {
+        let Some(cfg) = self.config.checkpoint.clone() else {
+            self.enter_abort(d, why, chain);
+            self.mark_chain_lost(chain);
+            return false;
+        };
+        let start_us = trace::now_us();
+        let started = Instant::now();
+        let mut client = cfg.fs.client();
+        match restore_home(&mut client, d) {
+            // A checkpoint whose merge count predates a promotion `d`
+            // performed is missing the subsumed shard, exactly like a
+            // stale replica — promoting it would silently lose state.
+            Ok(r) if r.ledger.merges >= required => {
+                eprintln!(
+                    "adlb server {}: restoring shard of server {d} from pfs checkpoint \
+                     (last durable LSN {}, {} datums, {} queued)",
+                    self.comm.rank(),
+                    r.last_lsn,
+                    r.ledger.store.len(),
+                    r.ledger.queue.len(),
+                );
+                if let Some(sink) = &mut self.ckpt {
+                    sink.adopt_history(r.history);
+                }
+                self.promote(d, r.ledger);
+                self.stats.pfs_restores += 1;
+                let micros = started.elapsed().as_micros() as u64;
+                self.stats.ckpt_restore_micros = self.stats.ckpt_restore_micros.max(micros);
+                trace::record_since(trace::KIND_CKPT_RESTORE, d as u64, start_us);
+                true
+            }
+            Ok(r) => {
+                let msg = format!(
+                    "{why}, and its durable checkpoint (last durable LSN {}) \
+                     predates an earlier failover it performed",
+                    r.last_lsn
+                );
+                self.enter_abort(d, &msg, chain);
+                self.mark_chain_lost(chain);
+                false
+            }
+            Err(e) => {
+                let msg = format!("{why}, and its checkpoint failed to restore: {e}");
+                self.enter_abort(d, &msg, chain);
+                self.mark_chain_lost(chain);
+                false
+            }
+        }
+    }
+
+    fn enter_abort(&mut self, d: Rank, why: &str, chain: &[Rank]) {
         self.lost_homes.insert(d);
         for c in self.layout.clients_of(d) {
             self.truncated.insert(c);
@@ -2172,9 +2522,27 @@ impl Server {
             self.aborting = true;
             self.repl_targets.clear();
             self.outbound_syncs.clear();
+            let chain_note = if chain.is_empty() {
+                String::new()
+            } else {
+                let links: Vec<String> = chain.iter().map(|e| e.to_string()).collect();
+                format!(
+                    " (which had subsumed the shard{} of rank{} {})",
+                    if chain.len() == 1 { "" } else { "s" },
+                    if chain.len() == 1 { "" } else { "s" },
+                    links.join(", ")
+                )
+            };
+            let durable_note = if self.config.checkpoint.is_some() {
+                // `why` already carries the last durable LSN when a
+                // restore was attempted and failed.
+                String::new()
+            } else {
+                "; no checkpoint configured".to_string()
+            };
             let report = format!(
-                "server rank {d} died and its shard is unrecoverable ({why}): \
-                 queued tasks, leases and data futures on it are lost"
+                "server rank {d} died and its shard{chain_note} is unrecoverable \
+                 ({why}{durable_note}): queued tasks, leases and data futures on it are lost"
             );
             eprintln!("adlb server {}: {report}; winding down", self.comm.rank());
             self.abort_reason = Some(report.clone());
@@ -2201,6 +2569,12 @@ impl Server {
 
     /// Returns true when the server should exit (abort-mode drain done).
     fn idle_actions(&mut self) -> bool {
+        // An idle tick bounds the group-commit latency: whatever the WAL
+        // buffer holds (and whatever sends it is holding back) goes
+        // durable now, at most one poll interval after commit.
+        if self.ckpt.as_ref().is_some_and(|c| c.buffered() > 0) {
+            self.ckpt_flush(false);
+        }
         // Fault handling first: dead peers and clients must be noticed
         // (and their work requeued or adopted) before quiescence is
         // evaluated, or termination would wait forever on a rank that
@@ -2345,6 +2719,9 @@ impl Server {
     }
 
     fn finish_run(&mut self) -> ServerOutcome {
+        // Everything committed so far goes durable before the shutdown
+        // notices start flowing (and the final stats snapshot is taken).
+        self.ckpt_flush(false);
         // Shutdown notices first, *replicated before they leave*
         // (`commit_tx` ships the ops ahead of the sends): if this server
         // dies between the sends below, the promoted successor re-pushes
@@ -2360,6 +2737,10 @@ impl Server {
             self.send_response(p.rank, p.seq, resp, true);
         }
         self.commit_tx();
+        // Group commit would otherwise hold the NoMore notices until the
+        // next idle tick — but there is none after linger returns (with no
+        // live peers it returns immediately), so force the final flush.
+        self.ckpt_flush(false);
         // Goodbye receipt last on every peer link: sends complete in
         // program order, so a delivered `Bye` proves the notices above
         // left too. Then stay up until every live peer's own `Bye`
@@ -2533,6 +2914,12 @@ mod stats_tests {
             repl_syncs: 17,
             repl_sync_bytes: 18,
             r_restore_micros: 19,
+            ckpt_records: 20,
+            ckpt_ops: 21,
+            ckpt_segments: 22,
+            ckpt_bytes: 23,
+            pfs_restores: 24,
+            ckpt_restore_micros: 25,
         }
     }
 
@@ -2564,6 +2951,12 @@ mod stats_tests {
         assert_eq!(total.repl_syncs, 2 * d.repl_syncs);
         assert_eq!(total.repl_sync_bytes, 2 * d.repl_sync_bytes);
         assert_eq!(total.r_restore_micros, d.r_restore_micros);
+        assert_eq!(total.ckpt_records, 2 * d.ckpt_records);
+        assert_eq!(total.ckpt_ops, 2 * d.ckpt_ops);
+        assert_eq!(total.ckpt_segments, 2 * d.ckpt_segments);
+        assert_eq!(total.ckpt_bytes, 2 * d.ckpt_bytes);
+        assert_eq!(total.pfs_restores, 2 * d.pfs_restores);
+        assert_eq!(total.ckpt_restore_micros, d.ckpt_restore_micros);
     }
 
     #[test]

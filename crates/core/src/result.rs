@@ -80,6 +80,12 @@ pub struct LatencyReport {
     /// Failover recovery window: server death confirmed → replication
     /// factor restored by re-replication.
     pub failover_recovery: Option<LatencyStats>,
+    /// Checkpoint flush: WAL batch (or forced segment) written to the
+    /// parallel file system. Only recorded with `--checkpoint` on.
+    pub checkpoint_flush: Option<LatencyStats>,
+    /// Shard restore from a durable checkpoint: segment read + WAL tail
+    /// replay, during failover or `--resume` startup.
+    pub pfs_restore: Option<LatencyStats>,
 }
 
 impl LatencyReport {
@@ -91,6 +97,8 @@ impl LatencyReport {
             queue_wait: stats(trace::KIND_TASK_QUEUE),
             eval_time: stats(trace::KIND_TASK_EVAL),
             failover_recovery: stats(trace::KIND_FAILOVER_RECOVERY),
+            checkpoint_flush: stats(trace::KIND_CKPT_FLUSH),
+            pfs_restore: stats(trace::KIND_CKPT_RESTORE),
         }
     }
 }

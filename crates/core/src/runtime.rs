@@ -1,8 +1,10 @@
 //! The runtime: configure a simulated machine, compile Swift, run it.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use mpisim::{FaultPlan, World};
+use pfs::{Pfs, PfsConfig};
 use tclish::PackageInit;
 use turbine::{InterpPolicy, TurbineConfig, TurbineProgram};
 
@@ -23,6 +25,9 @@ pub struct Runtime {
     batching: Option<bool>,
     replication: Option<usize>,
     re_replication: Option<bool>,
+    checkpoint: Option<usize>,
+    resume: bool,
+    checkpoint_store: Option<Arc<Pfs>>,
     retry: adlb::RetryPolicy,
     faults: FaultPlan,
     tracing: bool,
@@ -49,6 +54,9 @@ impl Runtime {
             batching: None,
             replication: None,
             re_replication: None,
+            checkpoint: None,
+            resume: false,
+            checkpoint_store: None,
             retry: adlb::RetryPolicy::default(),
             faults: FaultPlan::new(),
             tracing: false,
@@ -121,6 +129,46 @@ impl Runtime {
     /// to disable) chooses, defaulting to on.
     pub fn re_replication(mut self, on: bool) -> Self {
         self.re_replication = Some(on);
+        self
+    }
+
+    /// Enable the durable checkpoint/WAL tier: every server appends its
+    /// shard mutations to a write-ahead log on the simulated parallel
+    /// filesystem, flushed every `interval` logged operations and
+    /// periodically compacted into checkpoint segments. While the tier is
+    /// on, a shard that loses *all* its in-memory holders (even with
+    /// `replication(1)`) is restored from the filesystem instead of
+    /// aborting the run. `0` disables the tier. When not set explicitly,
+    /// the `SWIFTT_CHECKPOINT` environment variable chooses: `off`/`0`
+    /// disables, `on` enables at the default interval, a number sets the
+    /// interval (so `SWIFTT_CHECKPOINT=1` forces a flush per logged op —
+    /// the per-task-logging worst case). Default: off.
+    pub fn checkpoint(mut self, interval: usize) -> Self {
+        self.checkpoint = Some(interval);
+        self
+    }
+
+    /// Resume a previous run from its durable checkpoints: at startup
+    /// every server restores its shard from the checkpoint store before
+    /// serving (servers whose shard was subsumed into a peer's checkpoint
+    /// follow the redirect and carve their part back out). Requires
+    /// [`Runtime::checkpoint`] to be on and a [`Runtime::checkpoint_store`]
+    /// holding the previous run's state — with a fresh store this is a
+    /// no-op and the run starts empty. Replayed client requests dedup
+    /// against durably recorded responses, so effects are exactly-once
+    /// across the two runs.
+    pub fn resume(mut self, on: bool) -> Self {
+        self.resume = on;
+        self
+    }
+
+    /// Use a specific [`Pfs`] instance as the checkpoint store instead of
+    /// a private default one. This is how state crosses runs: keep the
+    /// `Arc` (or serialize it with [`Pfs::dump`] / revive it with
+    /// [`Pfs::restore`]) and hand it to the next run together with
+    /// [`Runtime::resume`].
+    pub fn checkpoint_store(mut self, fs: Arc<Pfs>) -> Self {
+        self.checkpoint_store = Some(fs);
         self
     }
 
@@ -235,7 +283,32 @@ impl Runtime {
         })
     }
 
+    /// The effective checkpoint interval: the explicit setting, else the
+    /// `SWIFTT_CHECKPOINT` environment variable, else off. `None` = tier
+    /// disabled.
+    fn effective_checkpoint(&self) -> Option<usize> {
+        let interval = self.checkpoint.or_else(|| {
+            std::env::var("SWIFTT_CHECKPOINT")
+                .ok()
+                .map(|v| match v.as_str() {
+                    "off" | "false" | "0" => 0,
+                    "on" | "true" => adlb::CHECKPOINT_DEFAULT_INTERVAL,
+                    s => s.parse::<usize>().unwrap_or(0),
+                })
+        })?;
+        (interval > 0).then_some(interval)
+    }
+
     fn turbine_config(&self) -> TurbineConfig {
+        let checkpoint = self.effective_checkpoint().map(|interval| {
+            let fs = self
+                .checkpoint_store
+                .clone()
+                .unwrap_or_else(|| Arc::new(Pfs::new(PfsConfig::default())));
+            adlb::CheckpointConfig::new(fs)
+                .interval(interval)
+                .resume(self.resume)
+        });
         TurbineConfig {
             servers: self.servers,
             engines: self.engines,
@@ -245,6 +318,7 @@ impl Runtime {
                 retry: self.retry,
                 replication: self.effective_replication(),
                 re_replicate: self.effective_re_replication(),
+                checkpoint,
                 ..adlb::ServerConfig::default()
             },
             batching: self.effective_batching(),

@@ -43,6 +43,10 @@ pub const KIND_REPL_SYNC: u8 = 7;
 pub const KIND_FAILOVER: u8 = 8;
 /// Failover recovery window: death confirmed → replication factor restored.
 pub const KIND_FAILOVER_RECOVERY: u8 = 9;
+/// Checkpoint WAL flush / segment write to the parallel file system.
+pub const KIND_CKPT_FLUSH: u8 = 10;
+/// Shard restore from a durable checkpoint (failover or `--resume`).
+pub const KIND_CKPT_RESTORE: u8 = 11;
 
 /// Human-readable name for a span kind (Chrome trace event name).
 pub fn kind_name(kind: u8) -> &'static str {
@@ -57,6 +61,8 @@ pub fn kind_name(kind: u8) -> &'static str {
         KIND_REPL_SYNC => "repl_sync",
         KIND_FAILOVER => "failover",
         KIND_FAILOVER_RECOVERY => "failover_recovery",
+        KIND_CKPT_FLUSH => "ckpt_flush",
+        KIND_CKPT_RESTORE => "ckpt_restore",
         _ => "unknown",
     }
 }

@@ -81,6 +81,7 @@ impl Pfs {
         PfsClient {
             fs: Arc::clone(self),
             clock: 0,
+            pending: HashMap::new(),
         }
     }
 
@@ -93,6 +94,61 @@ impl Pfs {
     pub fn file_count(&self) -> usize {
         self.inner.lock().files.len()
     }
+
+    /// Serialize the whole namespace (paths and contents — not the cost
+    /// model or counters) into a flat image, so a checkpointed run can
+    /// persist its durable state across real process restarts.
+    ///
+    /// Format: `PFS1` magic, file count, then per file a length-prefixed
+    /// path and length-prefixed contents, in sorted path order.
+    pub fn dump(&self) -> Vec<u8> {
+        let inner = self.inner.lock();
+        let mut paths: Vec<&String> = inner.files.keys().collect();
+        paths.sort();
+        let mut out = Vec::new();
+        out.extend_from_slice(b"PFS1");
+        out.extend_from_slice(&(paths.len() as u64).to_le_bytes());
+        for p in paths {
+            let data = &inner.files[p];
+            out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+            out.extend_from_slice(p.as_bytes());
+            out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+            out.extend_from_slice(data);
+        }
+        out
+    }
+
+    /// Rebuild a filesystem from a [`Pfs::dump`] image. Clocks and
+    /// counters start fresh; only the namespace is restored.
+    pub fn restore(config: PfsConfig, image: &[u8]) -> Result<Pfs, PfsError> {
+        let bad = || PfsError::new("corrupt pfs image");
+        let mut at = 0usize;
+        let take = |at: &mut usize, n: usize| -> Result<&[u8], PfsError> {
+            let s = image.get(*at..*at + n).ok_or_else(bad)?;
+            *at += n;
+            Ok(s)
+        };
+        let u64_at = |at: &mut usize| -> Result<u64, PfsError> {
+            let b = take(at, 8)?;
+            Ok(u64::from_le_bytes(b.try_into().map_err(|_| bad())?))
+        };
+        if take(&mut at, 4)? != b"PFS1" {
+            return Err(PfsError::new("not a pfs image (bad magic)"));
+        }
+        let count = u64_at(&mut at)?;
+        let mut files = HashMap::new();
+        for _ in 0..count {
+            let plen = u64_at(&mut at)? as usize;
+            let path = std::str::from_utf8(take(&mut at, plen)?)
+                .map_err(|_| bad())?
+                .to_string();
+            let dlen = u64_at(&mut at)? as usize;
+            files.insert(path, take(&mut at, dlen)?.to_vec());
+        }
+        let fs = Pfs::new(config);
+        fs.inner.lock().files = files;
+        Ok(fs)
+    }
 }
 
 /// One rank's view of the filesystem, carrying a simulated clock.
@@ -103,6 +159,9 @@ impl Pfs {
 pub struct PfsClient {
     fs: Arc<Pfs>,
     clock: u64,
+    /// Write-behind buffers: bytes appended via [`PfsClient::append`] that
+    /// have not yet been pushed to the servers by [`PfsClient::flush`].
+    pending: HashMap<String, Vec<u8>>,
 }
 
 impl PfsClient {
@@ -175,15 +234,21 @@ impl PfsClient {
         Ok(())
     }
 
-    /// Stat a file (metadata op); returns its size.
+    /// Stat a file (metadata op); returns its size as seen by this client.
+    ///
+    /// The size includes bytes this client has [`PfsClient::append`]ed but
+    /// not yet flushed — a stat between an append and its flush must not
+    /// report the stale server-side size. A file that exists only in this
+    /// client's write-behind buffer stats as its buffered length.
     pub fn stat(&mut self, path: &str) -> Result<usize, PfsError> {
         self.metadata_op();
+        let buffered = self.pending.get(path).map_or(0, Vec::len);
         let inner = self.fs.inner.lock();
-        inner
-            .files
-            .get(path)
-            .map(Vec::len)
-            .ok_or_else(|| PfsError::new(format!("{path}: no such file")))
+        match inner.files.get(path) {
+            Some(data) => Ok(data.len() + buffered),
+            None if buffered > 0 => Ok(buffered),
+            None => Err(PfsError::new(format!("{path}: no such file"))),
+        }
     }
 
     /// Whether a path exists (metadata op).
@@ -193,6 +258,10 @@ impl PfsClient {
     }
 
     /// Overwrite a file's contents (metadata op to locate + data op).
+    ///
+    /// A full overwrite supersedes any unflushed appends this client holds
+    /// for the path, so they are discarded — even if the path was unlinked
+    /// and recreated in between, the stale buffer must not resurrect.
     pub fn write(&mut self, path: &str, data: &[u8]) -> Result<(), PfsError> {
         self.metadata_op();
         {
@@ -201,6 +270,7 @@ impl PfsClient {
                 return Err(PfsError::new(format!("{path}: no such file")));
             }
         }
+        self.pending.remove(path);
         self.data_op(path, data.len(), true);
         self.fs
             .inner
@@ -237,9 +307,11 @@ impl PfsClient {
         Ok(data)
     }
 
-    /// Remove a file (metadata op).
+    /// Remove a file (metadata op). Drops any unflushed appends this
+    /// client holds for the path, so a later recreate starts clean.
     pub fn unlink(&mut self, path: &str) -> Result<(), PfsError> {
         self.metadata_op();
+        self.pending.remove(path);
         self.fs
             .inner
             .lock()
@@ -247,6 +319,43 @@ impl PfsClient {
             .remove(path)
             .map(|_| ())
             .ok_or_else(|| PfsError::new(format!("{path}: no such file")))
+    }
+
+    /// Buffer bytes for appending to `path`. Free of server traffic: the
+    /// bytes sit in this client's write-behind buffer until
+    /// [`PfsClient::flush`] pushes the whole batch in one metadata op and
+    /// one data op. This is what lets a write-ahead log amortize the
+    /// metadata server across many records.
+    pub fn append(&mut self, path: &str, data: &[u8]) {
+        self.pending
+            .entry(path.to_string())
+            .or_default()
+            .extend_from_slice(data);
+    }
+
+    /// Bytes buffered for `path` and not yet flushed.
+    pub fn pending(&self, path: &str) -> usize {
+        self.pending.get(path).map_or(0, Vec::len)
+    }
+
+    /// Push this client's buffered appends for `path` to the servers: one
+    /// metadata op plus one data op for the whole batch. Creates the file
+    /// if it does not exist (it may have been unlinked and the path
+    /// recreated since the appends were buffered). Returns the number of
+    /// bytes flushed; a no-op (zero cost) when nothing is buffered.
+    pub fn flush(&mut self, path: &str) -> Result<usize, PfsError> {
+        let Some(buf) = self.pending.remove(path) else {
+            return Ok(0);
+        };
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        self.metadata_op();
+        self.data_op(path, buf.len(), true);
+        let mut inner = self.fs.inner.lock();
+        let n = buf.len();
+        inner.files.entry(path.to_string()).or_default().extend(buf);
+        Ok(n)
     }
 
     /// List paths under a prefix (metadata op).
@@ -390,6 +499,130 @@ mod tests {
         assert_eq!(st.bytes_read, 4);
         assert_eq!(st.data_ops, 2);
         assert!(st.metadata_ops >= 3);
+    }
+
+    #[test]
+    fn append_batches_into_one_flush() {
+        // N appends cost nothing; the flush costs exactly one metadata op
+        // and one data op for the whole batch.
+        let fs = fs(PfsConfig::instant());
+        let mut c = fs.client();
+        c.create("/wal").unwrap();
+        let before = fs.stats();
+        for i in 0..100u8 {
+            c.append("/wal", &[i]);
+        }
+        assert_eq!(fs.stats(), before, "append must not touch the servers");
+        assert_eq!(c.pending("/wal"), 100);
+        assert_eq!(c.flush("/wal").unwrap(), 100);
+        let after = fs.stats();
+        assert_eq!(after.metadata_ops, before.metadata_ops + 1);
+        assert_eq!(after.data_ops, before.data_ops + 1);
+        assert_eq!(after.bytes_written, before.bytes_written + 100);
+        assert_eq!(c.pending("/wal"), 0);
+        assert_eq!(c.read("/wal").unwrap().len(), 100);
+        // Flushing with nothing buffered is free.
+        assert_eq!(c.flush("/wal").unwrap(), 0);
+        assert_eq!(fs.stats().metadata_ops, after.metadata_ops + 1); // the read
+    }
+
+    #[test]
+    fn flush_appends_after_existing_contents() {
+        let fs = fs(PfsConfig::instant());
+        let mut c = fs.client();
+        c.put("/log", b"head;").unwrap();
+        c.append("/log", b"tail");
+        c.flush("/log").unwrap();
+        assert_eq!(c.read("/log").unwrap(), b"head;tail");
+    }
+
+    #[test]
+    fn stat_sees_unflushed_appends() {
+        // An open-but-unflushed file must not stat at its stale server
+        // size; the client's buffered bytes count.
+        let fs = fs(PfsConfig::instant());
+        let mut c = fs.client();
+        c.create("/open").unwrap();
+        c.append("/open", b"buffered");
+        assert_eq!(c.stat("/open").unwrap(), 8);
+        // A path that exists only in the buffer stats too (no panic).
+        c.append("/only-buffered", b"abc");
+        assert_eq!(c.stat("/only-buffered").unwrap(), 3);
+        // Other clients see only the durable size.
+        let mut other = fs.client();
+        assert_eq!(other.stat("/open").unwrap(), 0);
+        c.flush("/open").unwrap();
+        assert_eq!(other.stat("/open").unwrap(), 8);
+    }
+
+    #[test]
+    fn unlink_then_recreate_starts_clean() {
+        // Stale buffered appends must not resurrect into a recreated path,
+        // and writing to the recreated path must not panic.
+        let fs = fs(PfsConfig::instant());
+        let mut c = fs.client();
+        c.create("/x").unwrap();
+        c.append("/x", b"stale");
+        c.unlink("/x").unwrap();
+        c.create("/x").unwrap();
+        c.write("/x", b"fresh").unwrap();
+        assert_eq!(c.read("/x").unwrap(), b"fresh");
+        assert_eq!(c.stat("/x").unwrap(), 5);
+        c.flush("/x").unwrap(); // nothing pending — free no-op
+        assert_eq!(c.read("/x").unwrap(), b"fresh");
+    }
+
+    #[test]
+    fn write_supersedes_pending_appends() {
+        let fs = fs(PfsConfig::instant());
+        let mut c = fs.client();
+        c.create("/y").unwrap();
+        c.append("/y", b"old");
+        c.write("/y", b"new").unwrap();
+        c.flush("/y").unwrap();
+        assert_eq!(c.read("/y").unwrap(), b"new");
+    }
+
+    #[test]
+    fn flush_recreates_unlinked_file() {
+        // The WAL owner keeps appending while a compactor unlinks the old
+        // file under it; flush must recreate rather than panic or error.
+        let fs = fs(PfsConfig::instant());
+        let mut writer = fs.client();
+        writer.create("/wal").unwrap();
+        writer.append("/wal", b"record");
+        let mut compactor = fs.client();
+        compactor.unlink("/wal").unwrap();
+        assert_eq!(writer.flush("/wal").unwrap(), 6);
+        assert_eq!(writer.read("/wal").unwrap(), b"record");
+    }
+
+    #[test]
+    fn dump_restore_roundtrip() {
+        let fs = fs(PfsConfig::instant());
+        let mut c = fs.client();
+        c.put("/ckpt/0/seg-1", b"segment-bytes").unwrap();
+        c.put("/ckpt/0/latest", b"1").unwrap();
+        c.create("/empty").unwrap();
+        let image = fs.dump();
+        let restored = Arc::new(Pfs::restore(PfsConfig::instant(), &image).unwrap());
+        assert_eq!(restored.file_count(), 3);
+        let mut r = restored.client();
+        assert_eq!(r.read("/ckpt/0/seg-1").unwrap(), b"segment-bytes");
+        assert_eq!(r.read("/ckpt/0/latest").unwrap(), b"1");
+        assert_eq!(r.stat("/empty").unwrap(), 0);
+        // Fresh counters on the restored instance.
+        assert_eq!(restored.stats().bytes_written, 0);
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        assert!(Pfs::restore(PfsConfig::instant(), b"not an image").is_err());
+        assert!(Pfs::restore(PfsConfig::instant(), b"PFS1").is_err());
+        // A count pointing past the end of the image errors, not panics.
+        let mut img = Pfs::new(PfsConfig::instant()).dump();
+        img[4] = 0xff;
+        assert!(Pfs::restore(PfsConfig::instant(), &img).is_err());
     }
 
     #[test]

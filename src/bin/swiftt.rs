@@ -15,6 +15,10 @@
 //!       --no-re-replication
 //!                        keep R degraded after a failover instead of
 //!                        re-replicating to new ring successors
+//!       --checkpoint N   durable checkpoint/WAL tier, flushed every N ops
+//!       --resume         restore the previous run's shards at startup
+//!       --checkpoint-file PATH
+//!                        persist the checkpoint store across processes
 //!       --faults SPEC    inject faults (kill:rank=R,sends=N; drop:...)
 //!       --max-retries K  requeue a failed task at most K times
 //!       --emit-tcl       print the compiled Turbine code and exit
@@ -28,8 +32,10 @@
 //! machine (paper Fig. 2).
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use swiftt::core::{FaultPlan, InterpPolicy, Runtime, SwiftTError};
+use swiftt::pfs::{Pfs, PfsConfig};
 
 struct Options {
     ranks: usize,
@@ -39,6 +45,9 @@ struct Options {
     steal: bool,
     replication: Option<usize>,
     re_replication: bool,
+    checkpoint: Option<usize>,
+    resume: bool,
+    checkpoint_file: Option<String>,
     faults: FaultPlan,
     max_retries: Option<u32>,
     emit_tcl: bool,
@@ -70,6 +79,23 @@ options:
                        after a failover, keep running with a degraded
                        replication factor instead of streaming replica
                        state to the recomputed ring successors
+      --checkpoint N   enable the durable checkpoint/WAL tier: servers
+                       append shard mutations to a write-ahead log on the
+                       simulated parallel filesystem, flushed every N
+                       logged ops and compacted into segments. A shard
+                       that loses every in-memory holder is then restored
+                       from the filesystem instead of aborting the run.
+                       (SWIFTT_CHECKPOINT=off|on|N chooses when the flag
+                       is absent)
+      --resume         restore every server's shard from the checkpoint
+                       store before serving — with --checkpoint-file this
+                       restarts a previous process's run with exactly-once
+                       effects (implies --checkpoint at the default
+                       interval when not given)
+      --checkpoint-file PATH
+                       load the checkpoint store image from PATH at start
+                       (if it exists) and write it back at exit, so
+                       checkpoints survive the process
       --faults SPEC    inject faults; SPEC is ';'-separated clauses:
                          kill:rank=R,sends=N   kill R after its Nth send
                          kill:rank=R,recvs=N   kill R at its (N+1)th recv
@@ -94,6 +120,9 @@ fn parse_args() -> Result<Options, String> {
         steal: true,
         replication: None,
         re_replication: true,
+        checkpoint: None,
+        resume: false,
+        checkpoint_file: None,
         faults: FaultPlan::new(),
         max_retries: None,
         emit_tcl: false,
@@ -118,6 +147,11 @@ fn parse_args() -> Result<Options, String> {
             "--no-steal" => opts.steal = false,
             "--replication" => opts.replication = Some(num("--replication")?),
             "--no-re-replication" => opts.re_replication = false,
+            "--checkpoint" => opts.checkpoint = Some(num("--checkpoint")?),
+            "--resume" => opts.resume = true,
+            "--checkpoint-file" => {
+                opts.checkpoint_file = Some(args.next().ok_or("--checkpoint-file needs a path")?);
+            }
             "--faults" => {
                 let spec = args.next().ok_or("--faults needs a spec")?;
                 opts.faults = FaultPlan::parse(&spec).map_err(|e| format!("--faults: {e}"))?;
@@ -212,6 +246,30 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    // --resume without an explicit interval still needs the tier on.
+    let checkpoint = match (opts.checkpoint, opts.resume) {
+        (Some(n), _) => Some(n),
+        (None, true) => Some(swiftt::adlb::CHECKPOINT_DEFAULT_INTERVAL),
+        (None, false) => None,
+    };
+    // A shared store lets checkpoints outlive the simulated world; with
+    // --checkpoint-file it also outlives this process.
+    let mut store: Option<Arc<Pfs>> = None;
+    if checkpoint.is_some() || opts.checkpoint_file.is_some() {
+        let fs = match opts.checkpoint_file.as_deref().map(std::fs::read) {
+            Some(Ok(image)) => match Pfs::restore(PfsConfig::default(), &image) {
+                Ok(fs) => fs,
+                Err(e) => {
+                    let path = opts.checkpoint_file.as_deref().unwrap_or_default();
+                    eprintln!("swiftt: bad checkpoint image {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            // Missing or unreadable file: start fresh, write it at exit.
+            _ => Pfs::new(PfsConfig::default()),
+        };
+        store = Some(Arc::new(fs));
+    }
     let mut rt = Runtime::new(opts.ranks)
         .servers(opts.servers)
         .engines(opts.engines)
@@ -226,13 +284,31 @@ fn main() -> ExitCode {
     if let Some(r) = opts.replication {
         rt = rt.replication(r);
     }
+    if let Some(n) = checkpoint {
+        rt = rt.checkpoint(n);
+    }
+    if opts.resume {
+        rt = rt.resume(true);
+    }
+    if let Some(fs) = &store {
+        rt = rt.checkpoint_store(fs.clone());
+    }
     if let Some(k) = opts.max_retries {
         rt = rt.max_retries(k);
     }
     for (k, v) in &opts.args {
         rt = rt.arg(k, v);
     }
-    match rt.run(&source) {
+    let run = rt.run(&source);
+    // Persist the checkpoint store whatever happened to the run — a world
+    // that crashed mid-program is exactly what --resume restarts from.
+    if let (Some(path), Some(fs)) = (&opts.checkpoint_file, &store) {
+        if let Err(e) = std::fs::write(path, fs.dump()) {
+            eprintln!("swiftt: cannot write checkpoint image {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match run {
         Ok(result) => {
             print!("{}", result.stdout);
             if let Some(path) = &opts.trace {
@@ -267,6 +343,8 @@ fn main() -> ExitCode {
                     line("queue wait         ", &lat.queue_wait);
                     line("eval time          ", &lat.eval_time);
                     line("failover recovery  ", &lat.failover_recovery);
+                    line("checkpoint flush   ", &lat.checkpoint_flush);
+                    line("pfs restore        ", &lat.pfs_restore);
                 }
                 if servers.repl_ops > 0 {
                     eprintln!("replication ops    : {}", servers.repl_ops);
@@ -282,6 +360,22 @@ fn main() -> ExitCode {
                         "time-to-R-restored : {:?}",
                         std::time::Duration::from_micros(servers.r_restore_micros)
                     );
+                }
+                if servers.ckpt_records > 0 || servers.pfs_restores > 0 {
+                    eprintln!(
+                        "checkpoint flushes : {} ({} ops, {} segments, {} bytes)",
+                        servers.ckpt_records,
+                        servers.ckpt_ops,
+                        servers.ckpt_segments,
+                        servers.ckpt_bytes
+                    );
+                    eprintln!("pfs restores       : {}", servers.pfs_restores);
+                    if servers.ckpt_restore_micros > 0 {
+                        eprintln!(
+                            "restore window     : {:?}",
+                            std::time::Duration::from_micros(servers.ckpt_restore_micros)
+                        );
+                    }
                 }
                 if !result.killed_ranks.is_empty()
                     || result.total_tasks_failed() > 0

@@ -11,8 +11,10 @@
 //! surviving rank's output contains a duplicated task.
 
 use std::process::Command;
+use std::sync::Arc;
 
 use swiftt::core::{FaultPlan, Runtime, SwiftTError};
+use swiftt::pfs::{Pfs, PfsConfig};
 
 /// Sorted, deduplicated stdout lines (a killed rank's buffered output is
 /// lost with it, so survivors' lines are what we can assert about).
@@ -225,18 +227,31 @@ fn server_death_at_replication_1_fails_cleanly_not_hangs() {
     // The same death schedule with replication disabled: the shard is
     // lost, so the run cannot complete — but it must end in a clean,
     // attributable error (the shard-loss diagnosis), never a hang.
+    // checkpoint(0) pins the tier off even under SWIFTT_CHECKPOINT=on
+    // (the CI fault matrix): this test is *about* the no-durability path.
     let plan = FaultPlan::new().kill_after_recvs(7, 10);
     let err = Runtime::new(8)
         .servers(2)
         .replication(1)
+        .checkpoint(0)
         .faults(plan)
         .run(r#"foreach i in [0:119] { printf("task %d", i); }"#)
         .expect_err("an unreplicated shard loss cannot complete the program");
     match err {
-        SwiftTError::Runtime(m) => assert!(
-            m.contains("unrecoverable"),
-            "error must carry the shard-loss diagnosis: {m}"
-        ),
+        SwiftTError::Runtime(m) => {
+            assert!(
+                m.contains("unrecoverable"),
+                "error must carry the shard-loss diagnosis: {m}"
+            );
+            assert!(
+                m.contains("server rank 7"),
+                "diagnosis must name the lost shard's home: {m}"
+            );
+            assert!(
+                m.contains("no checkpoint configured"),
+                "diagnosis must say why nothing durable could help: {m}"
+            );
+        }
         other => panic!("expected a runtime error, got {other:?}"),
     }
 }
@@ -323,6 +338,144 @@ fn two_sequential_server_deaths_without_re_replication_end_cleanly() {
         ),
         Err(other) => panic!("expected a runtime error, got {other:?}"),
     }
+}
+
+#[test]
+fn server_death_at_replication_1_with_checkpoint_completes() {
+    // The same schedule that is unrecoverable above, with the durable
+    // tier on: the successor restores the dead server's shard from its
+    // pfs checkpoint (there is no RAM replica at replication 1), and the
+    // run completes with the fault-free output.
+    let src = r#"foreach i in [0:119] { printf("task %d", i); }"#;
+    let clean = Runtime::new(8)
+        .servers(2)
+        .replication(1)
+        .run(src)
+        .expect("fault-free run");
+    let mut want: Vec<&str> = clean.stdout.lines().collect();
+    want.sort_unstable();
+
+    let plan = FaultPlan::new().kill_after_recvs(7, 10);
+    let r = Runtime::new(8)
+        .servers(2)
+        .replication(1)
+        .checkpoint(8)
+        .faults(plan)
+        .run(src)
+        .expect("the pfs checkpoint must make the unreplicated shard recoverable");
+    assert_eq!(r.killed_ranks, vec![7]);
+    let totals = r.server_totals();
+    assert!(totals.pfs_restores >= 1, "the shard came back from pfs");
+    assert!(totals.ckpt_records > 0, "the WAL was written");
+    let mut got = unique_lines(&r.stdout);
+    got.sort_unstable();
+    assert_eq!(
+        got, want,
+        "output after a pfs restore must match the fault-free run"
+    );
+}
+
+/// Rank layout for new(12).servers(4): servers 8..=11. Kill 9, then 10 —
+/// with re-replication off, 10 holds the only RAM copy of the shard it
+/// subsumed from 9, so 10's death loses every in-memory holder of that
+/// shard. The durable tier must bring it back: 10's forced post-promotion
+/// segment covers both homes, and the redirect tombstone left for 9
+/// points the restorer at it.
+#[test]
+fn kill_all_shard_holders_restores_from_pfs_checkpoint() {
+    let src = r#"foreach i in [0:299] { printf("task %d", i); }"#;
+    let clean = Runtime::new(12)
+        .servers(4)
+        .replication(2)
+        .run(src)
+        .expect("fault-free run");
+    let mut want: Vec<&str> = clean.stdout.lines().collect();
+    want.sort_unstable();
+
+    let plan = FaultPlan::new()
+        .kill_after_recvs(9, 10)
+        .kill_after_recvs(10, 80);
+    let r = Runtime::new(12)
+        .servers(4)
+        .replication(2)
+        .re_replication(false)
+        .checkpoint(16)
+        .faults(plan)
+        .run(src)
+        .expect("losing every RAM holder must fall back to the pfs checkpoint");
+    assert_eq!(r.killed_ranks, vec![9, 10], "both scheduled victims died");
+    let totals = r.server_totals();
+    // Rank 10's own failover count (for subsuming rank 9) died with it;
+    // survivor totals only see rank 11's restore-and-promote.
+    assert!(totals.failovers >= 1, "the survivor failed over the shard");
+    assert!(
+        totals.pfs_restores >= 1,
+        "at least the second failover had no RAM replica and restored from pfs"
+    );
+    let mut got = unique_lines(&r.stdout);
+    got.sort_unstable();
+    assert_eq!(
+        got, want,
+        "output after a total-holder loss must match the fault-free run"
+    );
+}
+
+/// Whole-world restartability: kill the entire server tier mid-run (the
+/// clients then crash out on "all servers are dead" — the whole world is
+/// gone), then relaunch the same program with `resume` against the same
+/// checkpoint store. The restarted clients replay their request streams
+/// from seq 1; requests at or below each shard's durable high-water are
+/// answered byte-for-byte from the recorded response history (forcing the
+/// same execution path, so the full program output reappears), and
+/// everything past it runs fresh against the restored shards —
+/// exactly-once server effects across the two runs.
+#[test]
+fn whole_world_kill_then_resume_completes_exactly_once() {
+    let src = r#"foreach i in [0:59] { printf("task %d", i); }"#;
+    let clean = Runtime::new(6).run(src).expect("fault-free run");
+    let mut want: Vec<&str> = clean.stdout.lines().collect();
+    want.sort_unstable();
+    assert_eq!(want.len(), 60);
+
+    let fs = Arc::new(Pfs::new(PfsConfig::default()));
+    // Run 1: the lone server (rank 5) dies mid-stream; every client then
+    // panics out on total server loss. The world is gone.
+    let r1 = Runtime::new(6)
+        .checkpoint(4)
+        .checkpoint_store(fs.clone())
+        .faults(FaultPlan::new().kill_after_recvs(5, 60))
+        .run(src);
+    match r1 {
+        Err(SwiftTError::Runtime(m)) => assert!(
+            m.contains("servers are dead"),
+            "run 1 must crash out on total server loss: {m}"
+        ),
+        other => panic!("expected the whole world to go down, got {other:?}"),
+    }
+    let baseline = Arc::new(Pfs::new(PfsConfig::default())).dump().len();
+    assert!(
+        fs.dump().len() > baseline,
+        "run 1 left durable checkpoint state behind"
+    );
+
+    // Run 2: same program, same store, resume. No faults.
+    let r2 = Runtime::new(6)
+        .checkpoint(4)
+        .checkpoint_store(fs.clone())
+        .resume(true)
+        .run(src)
+        .expect("the resumed world must complete");
+    assert!(r2.killed_ranks.is_empty());
+    assert!(
+        r2.server_totals().pfs_restores >= 1,
+        "the server restored its shard before serving"
+    );
+    let mut got = unique_lines(&r2.stdout);
+    got.sort_unstable();
+    assert_eq!(
+        got, want,
+        "the resumed run must produce the complete output, each task exactly once"
+    );
 }
 
 #[test]
@@ -450,6 +603,73 @@ fn cli_rejects_replication_above_server_count() {
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("--replication"), "{stderr}");
+}
+
+#[test]
+fn cli_checkpoint_file_resumes_across_processes() {
+    // Process 1 loses its whole server tier mid-run (the world goes down
+    // with it) but persists the checkpoint store image; process 2 resumes
+    // from the image and must print the complete task set exactly once.
+    let img = std::env::temp_dir().join(format!(
+        "swiftt-ckpt-{}-{}.img",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let img_path = img.to_str().unwrap();
+    let expr = r#"foreach i in [0:39] { printf("t%d", i); }"#;
+    let out1 = Command::new(env!("CARGO_BIN_EXE_swiftt"))
+        .args([
+            "--expr",
+            expr,
+            "-n",
+            "6",
+            "--checkpoint",
+            "4",
+            "--checkpoint-file",
+            img_path,
+            "--faults",
+            "kill:rank=5,recvs=60",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        !out1.status.success(),
+        "total server loss must fail the first process: {out1:?}"
+    );
+    let stderr1 = String::from_utf8_lossy(&out1.stderr);
+    assert!(stderr1.contains("servers are dead"), "{stderr1}");
+    assert!(
+        std::fs::metadata(img_path).is_ok_and(|m| m.len() > 0),
+        "process 1 must write the checkpoint image even though it crashed"
+    );
+
+    let out2 = Command::new(env!("CARGO_BIN_EXE_swiftt"))
+        .args([
+            "--expr",
+            expr,
+            "-n",
+            "6",
+            "--resume",
+            "--checkpoint-file",
+            img_path,
+            "--report",
+        ])
+        .output()
+        .unwrap();
+    let _ = std::fs::remove_file(img_path);
+    assert!(out2.status.success(), "{out2:?}");
+    let stdout = String::from_utf8_lossy(&out2.stdout);
+    let mut lines: Vec<&str> = stdout.lines().collect();
+    let before = lines.len();
+    lines.sort_unstable();
+    lines.dedup();
+    assert_eq!(lines.len(), before, "duplicate output lines: {lines:?}");
+    assert_eq!(lines.len(), 40, "the resumed process printed every task");
+    let stderr = String::from_utf8_lossy(&out2.stderr);
+    assert!(stderr.contains("pfs restores       : "), "{stderr}");
 }
 
 #[test]
