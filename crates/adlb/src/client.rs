@@ -15,6 +15,11 @@ use crate::msg::{seal_seq, Request, Response, Task, TAG_REQ, TAG_RESP};
 /// just keeps waiting — the timeout is a liveness probe, not a deadline.
 const RETRY_PROBE: Duration = Duration::from_millis(20);
 
+/// Pause between re-offers of admission-rejected puts. Quota headroom
+/// opens when the tenant's queued tasks are delivered, so a short wait
+/// beats hammering the server.
+const ADMISSION_BACKOFF: Duration = Duration::from_millis(2);
+
 /// Client-side batching knobs for the pipelined wire protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClientConfig {
@@ -102,11 +107,20 @@ pub struct AdlbClient {
     put_buf: Vec<Task>,
     /// Buffered stdout awaiting a flush (see `ClientConfig::output_buffer`).
     out_buf: String,
+    /// Tenant stamped onto every put and output this client ships.
+    /// Engines set it to their program's tenant; workers set it to the
+    /// tenant of the task they are executing, so child tasks are
+    /// accounted to the right program.
+    tenant: u32,
+    /// When set, `get` only accepts untargeted tasks of this tenant
+    /// (targeted tasks are always deliverable). Engines run with their
+    /// own tenant here; workers leave it `None` and serve everyone.
+    get_filter: Option<u32>,
     /// Cached encoding of the last `Get` request body; work types are
     /// almost always identical call-to-call, so this skips both the
     /// `to_vec` and the re-encode on the hot path (the 8-byte seq seal is
     /// appended per send).
-    cached_get: Option<(Vec<u32>, Bytes)>,
+    cached_get: Option<(Vec<u32>, Option<u32>, Bytes)>,
     /// Quarantine reports the server attached to its shutdown notice:
     /// tasks that exhausted their retry budget, with the error that
     /// killed the last attempt.
@@ -155,6 +169,8 @@ impl AdlbClient {
             pending_acks: Vec::new(),
             put_buf: Vec::new(),
             out_buf: String::new(),
+            tenant: 0,
+            get_filter: None,
             cached_get: None,
             quarantine_reports: Vec::new(),
             abort_reason: None,
@@ -173,6 +189,28 @@ impl AdlbClient {
     /// The machine layout.
     pub fn layout(&self) -> Layout {
         self.layout
+    }
+
+    /// Set the tenant stamped onto subsequent puts and output. Workers
+    /// call this before executing each task, with the task's tenant, so
+    /// downstream puts inherit the right accounting.
+    pub fn set_tenant(&mut self, tenant: u32) {
+        self.tenant = tenant;
+    }
+
+    /// The tenant currently stamped onto puts and output.
+    pub fn tenant(&self) -> u32 {
+        self.tenant
+    }
+
+    /// Restrict `get` to untargeted tasks of one tenant (`None` serves
+    /// every tenant). Targeted tasks — notifications pinned to this rank —
+    /// are delivered regardless of the filter.
+    pub fn set_get_filter(&mut self, tenant: Option<u32>) {
+        if self.get_filter != tenant {
+            self.get_filter = tenant;
+            self.cached_get = None;
+        }
     }
 
     /// Allocate a globally unique datum id (disjoint per client rank).
@@ -294,12 +332,13 @@ impl AdlbClient {
     /// local buffer until the next flush point (buffer full, any other
     /// server round trip, or [`AdlbClient::flush`]).
     pub fn put(&mut self, work_type: u32, priority: i32, target: Option<Rank>, payload: Vec<u8>) {
-        let task = Task::new(work_type, priority, target, Bytes::from(payload));
+        let task =
+            Task::new(work_type, priority, target, Bytes::from(payload)).with_tenant(self.tenant);
         if self.config.put_buffer == 0 {
             let t0 = trace::now_us();
             let resp = self.request(self.my_server, &Request::Put(task));
             trace::record_since(trace::KIND_TASK_PUT, 1, t0);
-            Self::expect_put_ok(self.comm.rank(), resp);
+            self.complete_put(resp);
         } else {
             self.put_buf.push(task);
             if self.put_buf.len() >= self.config.put_buffer {
@@ -309,16 +348,20 @@ impl AdlbClient {
     }
 
     /// Submit many tasks as one pipelined wire message with a single ack —
-    /// one round trip no matter how many tasks.
-    pub fn put_batch(&mut self, tasks: Vec<Task>) {
+    /// one round trip no matter how many tasks. Every task is stamped
+    /// with this client's current tenant.
+    pub fn put_batch(&mut self, mut tasks: Vec<Task>) {
         if tasks.is_empty() {
             return;
+        }
+        for t in &mut tasks {
+            t.tenant = self.tenant;
         }
         let n = tasks.len() as u64;
         let t0 = trace::now_us();
         let resp = self.request(self.my_server, &Request::PutBatch(tasks));
         trace::record_since(trace::KIND_TASK_PUT, n, t0);
-        Self::expect_put_ok(self.comm.rank(), resp);
+        self.complete_put(resp);
     }
 
     /// Force out any buffered puts now.
@@ -349,15 +392,43 @@ impl AdlbClient {
         let sealed = self.seal(&req.encode());
         let resp = self.exchange(self.my_server, sealed, self.next_seq);
         trace::record_since(trace::KIND_TASK_PUT, n, t0);
-        Self::expect_put_ok(self.comm.rank(), resp);
+        self.complete_put(resp);
     }
 
-    fn expect_put_ok(rank: Rank, resp: Response) {
-        match resp {
-            Response::Ok => {}
-            other => eprintln!(
-                "adlb client {rank}: put got unexpected response {other:?}; task may be lost"
-            ),
+    /// Finish a put round trip, absorbing admission backpressure: when the
+    /// server rejects tasks for an over-quota tenant, hold them locally and
+    /// re-offer until the quota drains. The client stays mid-put (never
+    /// parked), so termination detection keeps waiting on it — the work
+    /// cannot be lost, only delayed.
+    fn complete_put(&mut self, first: Response) {
+        let mut resp = first;
+        loop {
+            match resp {
+                Response::Ok => return,
+                Response::Rejected(mut tasks) => {
+                    if tasks.is_empty() {
+                        return;
+                    }
+                    std::thread::sleep(ADMISSION_BACKOFF);
+                    let req = match tasks.pop() {
+                        Some(t) if tasks.is_empty() => Request::Put(t),
+                        Some(t) => {
+                            tasks.push(t);
+                            Request::PutBatch(tasks)
+                        }
+                        None => return,
+                    };
+                    let sealed = self.seal(&req.encode());
+                    resp = self.exchange(self.my_server, sealed, self.next_seq);
+                }
+                other => {
+                    eprintln!(
+                        "adlb client {}: put got unexpected response {other:?}; task may be lost",
+                        self.comm.rank()
+                    );
+                    return;
+                }
+            }
         }
     }
 
@@ -383,7 +454,8 @@ impl AdlbClient {
             return;
         }
         let text = std::mem::take(&mut self.out_buf);
-        self.send_ff(Request::Output { text }.encode());
+        let tenant = self.tenant;
+        self.send_ff(Request::Output { text, tenant }.encode());
     }
 
     // -- leases -----------------------------------------------------------
@@ -450,14 +522,17 @@ impl AdlbClient {
     /// `Arc` bump, not a copy).
     fn encoded_get(&mut self, work_types: &[u32]) -> Bytes {
         match &self.cached_get {
-            Some((cached, enc)) if cached == work_types => enc.clone(),
+            Some((cached, filter, enc)) if cached == work_types && *filter == self.get_filter => {
+                enc.clone()
+            }
             _ => {
                 let enc = Request::Get {
                     work_types: work_types.to_vec(),
                     max_tasks: self.config.prefetch.max(1),
+                    tenant: self.get_filter,
                 }
                 .encode();
-                self.cached_get = Some((work_types.to_vec(), enc.clone()));
+                self.cached_get = Some((work_types.to_vec(), self.get_filter, enc.clone()));
                 enc
             }
         }
@@ -943,7 +1018,7 @@ mod tests {
                 return outcome
                     .streams
                     .iter()
-                    .map(|(r, s)| format!("{r}:{s}"))
+                    .map(|(r, _t, s)| format!("{r}:{s}"))
                     .collect::<Vec<_>>()
                     .join(" ");
             }

@@ -62,10 +62,11 @@ mod msg;
 mod queue;
 mod replica;
 mod server;
+mod tenant;
 
 pub use checkpoint::{
-    decode_wal, encode_wal_record, replay_wal_records, CheckpointConfig, RespHistory,
-    DEFAULT_INTERVAL as CHECKPOINT_DEFAULT_INTERVAL,
+    decode_wal, encode_wal_record, replay_wal_records, verify_checkpoint, CheckpointConfig,
+    FsckReport, RespHistory, ShardFsck, DEFAULT_INTERVAL as CHECKPOINT_DEFAULT_INTERVAL,
 };
 pub use client::{AdlbClient, ClientConfig};
 pub use datastore::{DataError, Datum, DatumValue, TYPE_TAG_CONTAINER};
@@ -74,3 +75,4 @@ pub use membership::{MemberState, Membership};
 pub use msg::{Task, WORK_TYPE_CONTROL, WORK_TYPE_NOTIFY, WORK_TYPE_WORK};
 pub use replica::{Ledger, ReplOp};
 pub use server::{serve, serve_ext, RetryPolicy, ServerConfig, ServerOutcome, ServerStats};
+pub use tenant::{merge_tenant_rows, TenantQuota, TenantSched, TenantSpec, TenantStats};

@@ -23,6 +23,9 @@ pub const TAG_SRV: Tag = 12;
 pub struct Task {
     /// Work type (queue selector).
     pub work_type: u32,
+    /// Submitting tenant (0 = the default single-program tenant). Carried
+    /// on the wire so servers can account, schedule, and quota per tenant.
+    pub tenant: u32,
     /// Higher runs first.
     pub priority: i32,
     /// Pinned destination rank, if any.
@@ -35,10 +38,11 @@ pub struct Task {
 }
 
 impl Task {
-    /// A fresh (never-attempted) task.
+    /// A fresh (never-attempted) task of the default tenant.
     pub fn new(work_type: u32, priority: i32, target: Option<Rank>, payload: Bytes) -> Task {
         Task {
             work_type,
+            tenant: 0,
             priority,
             target,
             attempts: 0,
@@ -46,8 +50,15 @@ impl Task {
         }
     }
 
+    /// Re-tag this task with a tenant (builder style).
+    pub fn with_tenant(mut self, tenant: u32) -> Task {
+        self.tenant = tenant;
+        self
+    }
+
     pub(crate) fn encode_into(&self, w: &mut WireWriter) {
         w.put_u32(self.work_type);
+        w.put_u32(self.tenant);
         w.put_i64(self.priority as i64);
         w.put_i64(self.target.map(|t| t as i64).unwrap_or(-1));
         w.put_u32(self.attempts);
@@ -56,6 +67,7 @@ impl Task {
 
     pub(crate) fn decode_from(r: &mut WireReader) -> Result<Task, WireError> {
         let work_type = r.get_u32()?;
+        let tenant = r.get_u32()?;
         let priority = r.get_i64()? as i32;
         let target = match r.get_i64()? {
             -1 => None,
@@ -67,6 +79,7 @@ impl Task {
         let payload = r.get_bytes_shared()?;
         Ok(Task {
             work_type,
+            tenant,
             priority,
             target,
             attempts,
@@ -115,6 +128,10 @@ pub enum Request {
         /// Prefetch hint: the server may deliver up to this many queued
         /// tasks in one [`Response::DeliverBatch`]. Servers treat 0 as 1.
         max_tasks: u32,
+        /// Restrict delivery to this tenant's tasks (`None` = any tenant).
+        /// Engines get only their own program's control/notify traffic;
+        /// workers serve the whole fleet.
+        tenant: Option<u32>,
     },
     /// Client will issue no further requests; counts as permanently parked.
     Finished,
@@ -138,6 +155,9 @@ pub enum Request {
     /// before a rank death survives it.
     Output {
         text: String,
+        /// Tenant the output belongs to, so multi-tenant runs can hand
+        /// each program its own stdout stream.
+        tenant: u32,
     },
     DataCreate {
         id: u64,
@@ -199,6 +219,11 @@ pub enum Response {
         aborted: Option<String>,
     },
     Error(String),
+    /// Admission backpressure: the server refused these puts because the
+    /// submitting tenant is over its queued-task quota. The client keeps
+    /// them in a deferred buffer and re-offers them later instead of the
+    /// server's queue growing without bound.
+    Rejected(Vec<Task>),
 }
 
 /// Server ↔ server messages.
@@ -326,10 +351,12 @@ impl Request {
             Request::Get {
                 work_types,
                 max_tasks,
+                tenant,
             } => {
                 w.put_u8(1);
                 put_u32_list(&mut w, work_types);
                 w.put_u32(*max_tasks);
+                w.put_i64(tenant.map(|t| t as i64).unwrap_or(-1));
             }
             Request::Finished => {
                 w.put_u8(2);
@@ -398,9 +425,10 @@ impl Request {
                     w.put_str(error);
                 }
             }
-            Request::Output { text } => {
+            Request::Output { text, tenant } => {
                 w.put_u8(16);
                 w.put_str(text);
+                w.put_u32(*tenant);
             }
         }
         w.finish()
@@ -428,6 +456,10 @@ impl Request {
             1 => Request::Get {
                 work_types: get_u32_list(&mut r)?,
                 max_tasks: r.get_u32()?,
+                tenant: match r.get_i64()? {
+                    -1 => None,
+                    t => Some(t as u32),
+                },
             },
             2 => Request::Finished,
             3 => Request::DataCreate {
@@ -474,9 +506,13 @@ impl Request {
                 }
                 Request::TaskDoneBatch { results }
             }
-            16 => Request::Output {
-                text: r.get_str()?.to_string(),
-            },
+            16 => {
+                let text = r.get_str()?.to_string();
+                Request::Output {
+                    text,
+                    tenant: r.get_u32()?,
+                }
+            }
             _ => {
                 return Err(WireError {
                     context: "unknown request kind",
@@ -551,6 +587,10 @@ impl Response {
             }
             Response::DeliverBatch(tasks) => {
                 w.put_u8(7);
+                encode_task_list(&mut w, tasks);
+            }
+            Response::Rejected(tasks) => {
+                w.put_u8(8);
                 encode_task_list(&mut w, tasks);
             }
         }
@@ -630,6 +670,7 @@ impl Response {
             }
             6 => Response::Error(r.get_str()?.to_string()),
             7 => Response::DeliverBatch(decode_task_list(r)?),
+            8 => Response::Rejected(decode_task_list(r)?),
             _ => {
                 return Err(WireError {
                     context: "unknown response kind",
@@ -839,6 +880,7 @@ mod tests {
     fn task(t: u32, p: i32, target: Option<Rank>) -> Task {
         Task {
             work_type: t,
+            tenant: 3,
             priority: p,
             target,
             attempts: 2,
@@ -854,10 +896,12 @@ mod tests {
             Request::Get {
                 work_types: vec![0, 1, 2],
                 max_tasks: 1,
+                tenant: None,
             },
             Request::Get {
                 work_types: vec![1],
                 max_tasks: 16,
+                tenant: Some(2),
             },
             Request::PutBatch(vec![task(1, 3, None), task(0, -1, Some(2))]),
             Request::PutBatch(vec![]),
@@ -879,6 +923,7 @@ mod tests {
             },
             Request::Output {
                 text: "line one\nline two\n".into(),
+                tenant: 2,
             },
             Request::DataCreate { id: 7, type_tag: 3 },
             Request::DataStore {
@@ -940,6 +985,8 @@ mod tests {
                 ),
             },
             Response::Error("bad thing".into()),
+            Response::Rejected(vec![task(1, 0, None).with_tenant(9)]),
+            Response::Rejected(vec![]),
         ];
         for c in cases {
             assert_eq!(Response::decode(&c.encode()).unwrap(), c);

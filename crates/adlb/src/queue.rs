@@ -1,4 +1,11 @@
 //! Server-side work queues: per-type priority queues plus targeted queues.
+//!
+//! Untargeted heaps are keyed by `(tenant, work_type)` so the fair
+//! scheduler ([`crate::tenant::TenantSched`]) can elect a tenant and pop
+//! that tenant's best task without disturbing the (priority desc, arrival
+//! asc) order *within* any tenant. Targeted heaps stay keyed by
+//! `(rank, work_type)` — a pinned task can only ever run on its target, so
+//! tenant fairness never withholds it.
 
 use std::collections::{BinaryHeap, HashMap};
 
@@ -36,11 +43,26 @@ impl Ord for Entry {
     }
 }
 
+/// A peeked candidate: (priority, seq) — compare with
+/// [`better_candidate`].
+type Peek = (i32, u64);
+
+/// Whether candidate `a` beats `b` under (priority desc, arrival asc).
+fn better_candidate(a: Peek, b: Peek) -> bool {
+    (a.0, std::cmp::Reverse(a.1)) > (b.0, std::cmp::Reverse(b.1))
+}
+
 /// All queued work on one server.
 #[derive(Default)]
 pub struct WorkQueue {
-    untargeted: HashMap<u32, BinaryHeap<Entry>>,
+    untargeted: HashMap<(u32, u32), BinaryHeap<Entry>>,
     targeted: HashMap<(Rank, u32), BinaryHeap<Entry>>,
+    /// Untargeted *leaf work* (`WORK_TYPE_WORK`) count per tenant —
+    /// the quantity admission quotas cap and queue peaks report.
+    /// Control/notify tasks are internal dataflow: only the producing
+    /// engine can consume them, so counting them against a quota would
+    /// let a capped tenant deadlock itself.
+    per_tenant: HashMap<u32, usize>,
     seq: u64,
     len: usize,
 }
@@ -68,6 +90,12 @@ impl WorkQueue {
         self.untargeted.values().map(BinaryHeap::len).sum()
     }
 
+    /// Untargeted leaf (`WORK_TYPE_WORK`) tasks queued for one tenant —
+    /// the quantity quotas cap.
+    pub fn untargeted_of(&self, tenant: u32) -> usize {
+        self.per_tenant.get(&tenant).copied().unwrap_or(0)
+    }
+
     /// Enqueue a task, stamping its accept time for queue-wait tracing.
     pub fn push(&mut self, task: Task) {
         let e = Entry {
@@ -84,7 +112,121 @@ impl WorkQueue {
                 .entry((r, e.task.work_type))
                 .or_default()
                 .push(e),
-            None => self.untargeted.entry(e.task.work_type).or_default().push(e),
+            None => {
+                if e.task.work_type == crate::msg::WORK_TYPE_WORK {
+                    *self.per_tenant.entry(e.task.tenant).or_default() += 1;
+                }
+                self.untargeted
+                    .entry((e.task.tenant, e.task.work_type))
+                    .or_default()
+                    .push(e);
+            }
+        }
+    }
+
+    /// Tenants that currently have untargeted work queued in any of the
+    /// given types, sorted ascending (deterministic round-robin input).
+    pub fn tenants_with_work(&self, work_types: &[u32]) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .untargeted
+            .iter()
+            .filter(|((_, wt), h)| work_types.contains(wt) && !h.is_empty())
+            .map(|((t, _), _)| *t)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Best targeted candidate for `rank` across `work_types`.
+    pub fn peek_targeted(&self, rank: Rank, work_types: &[u32]) -> Option<Peek> {
+        work_types
+            .iter()
+            .filter_map(|wt| {
+                self.targeted
+                    .get(&(rank, *wt))
+                    .and_then(|h| h.peek().map(|e| (e.priority, e.seq)))
+            })
+            .max_by(|a, b| (a.0, std::cmp::Reverse(a.1)).cmp(&(b.0, std::cmp::Reverse(b.1))))
+    }
+
+    /// Best untargeted candidate of one tenant across `work_types`.
+    pub fn peek_untargeted(&self, tenant: u32, work_types: &[u32]) -> Option<Peek> {
+        work_types
+            .iter()
+            .filter_map(|wt| {
+                self.untargeted
+                    .get(&(tenant, *wt))
+                    .and_then(|h| h.peek().map(|e| (e.priority, e.seq)))
+            })
+            .max_by(|a, b| (a.0, std::cmp::Reverse(a.1)).cmp(&(b.0, std::cmp::Reverse(b.1))))
+    }
+
+    /// Pop the best task targeted at `rank` across `work_types`, with its
+    /// accept timestamp.
+    pub fn pop_targeted_timed(&mut self, rank: Rank, work_types: &[u32]) -> Option<(Task, u64)> {
+        let (_, wt) = work_types
+            .iter()
+            .filter_map(|wt| {
+                self.targeted
+                    .get(&(rank, *wt))
+                    .and_then(|h| h.peek().map(|e| ((e.priority, e.seq), *wt)))
+            })
+            .max_by(|a, b| {
+                (a.0 .0, std::cmp::Reverse(a.0 .1)).cmp(&(b.0 .0, std::cmp::Reverse(b.0 .1)))
+            })?;
+        let e = self
+            .targeted
+            .get_mut(&(rank, wt))
+            .and_then(BinaryHeap::pop)?;
+        if self
+            .targeted
+            .get(&(rank, wt))
+            .is_some_and(BinaryHeap::is_empty)
+        {
+            self.targeted.remove(&(rank, wt));
+        }
+        self.len -= 1;
+        Some((e.task, e.accepted_us))
+    }
+
+    /// Pop one tenant's best untargeted task across `work_types`, with
+    /// its accept timestamp.
+    pub fn pop_untargeted_timed(&mut self, tenant: u32, work_types: &[u32]) -> Option<(Task, u64)> {
+        let (_, wt) = work_types
+            .iter()
+            .filter_map(|wt| {
+                self.untargeted
+                    .get(&(tenant, *wt))
+                    .and_then(|h| h.peek().map(|e| ((e.priority, e.seq), *wt)))
+            })
+            .max_by(|a, b| {
+                (a.0 .0, std::cmp::Reverse(a.0 .1)).cmp(&(b.0 .0, std::cmp::Reverse(b.0 .1)))
+            })?;
+        let e = self
+            .untargeted
+            .get_mut(&(tenant, wt))
+            .and_then(BinaryHeap::pop)?;
+        if self
+            .untargeted
+            .get(&(tenant, wt))
+            .is_some_and(BinaryHeap::is_empty)
+        {
+            self.untargeted.remove(&(tenant, wt));
+        }
+        if wt == crate::msg::WORK_TYPE_WORK {
+            self.note_untargeted_removed(tenant, 1);
+        }
+        self.len -= 1;
+        Some((e.task, e.accepted_us))
+    }
+
+    fn note_untargeted_removed(&mut self, tenant: u32, n: usize) {
+        if let Some(c) = self.per_tenant.get_mut(&tenant) {
+            *c = c.saturating_sub(n);
+            if *c == 0 {
+                self.per_tenant.remove(&tenant);
+            }
         }
     }
 
@@ -97,65 +239,36 @@ impl WorkQueue {
 
     /// [`WorkQueue::pop_for`] plus the popped task's accept timestamp
     /// (µs on this server's clock; 0 when it was pushed untraced).
+    ///
+    /// This is the tenant-blind path: the untargeted candidate is the
+    /// global best across all tenants. The server's fair-scheduling path
+    /// composes [`WorkQueue::peek_targeted`] /
+    /// [`WorkQueue::pop_untargeted_timed`] instead.
     pub fn pop_for_timed(&mut self, rank: Rank, work_types: &[u32]) -> Option<(Task, u64)> {
-        // Pick the best (priority, -seq) among matching targeted heaps.
-        let best_targeted = work_types
+        let best_targeted = self.peek_targeted(rank, work_types);
+        // Global best untargeted: max across every tenant's heaps.
+        let best_untargeted: Option<(Peek, u32)> = self
+            .untargeted
             .iter()
-            .filter_map(|wt| {
-                self.targeted
-                    .get(&(rank, *wt))
-                    .and_then(|h| h.peek().map(|e| (e.priority, e.seq, *wt)))
-            })
-            .max_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.cmp(&a.1)));
-        let best_untargeted = work_types
-            .iter()
-            .filter_map(|wt| {
-                self.untargeted
-                    .get(wt)
-                    .and_then(|h| h.peek().map(|e| (e.priority, e.seq, *wt)))
-            })
-            .max_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.cmp(&a.1)));
+            .filter(|((_, wt), _)| work_types.contains(wt))
+            .filter_map(|((tenant, _), h)| h.peek().map(|e| ((e.priority, e.seq), *tenant)))
+            .max_by(|a, b| {
+                (a.0 .0, std::cmp::Reverse(a.0 .1)).cmp(&(b.0 .0, std::cmp::Reverse(b.0 .1)))
+            });
 
-        // Targeted wins ties: it can only run here. `Ok` carries the
-        // winning targeted work type, `Err` the untargeted one.
-        let pick = match (best_targeted, best_untargeted) {
-            (Some(t), Some(u)) => {
+        // Targeted wins ties: it can only run here.
+        match (best_targeted, best_untargeted) {
+            (Some(t), Some((u, tenant))) => {
                 if t.0 >= u.0 {
-                    Ok(t.2)
+                    self.pop_targeted_timed(rank, work_types)
                 } else {
-                    Err(u.2)
+                    self.pop_untargeted_timed(tenant, work_types)
                 }
             }
-            (Some(t), None) => Ok(t.2),
-            (None, Some(u)) => Err(u.2),
-            (None, None) => return None,
-        };
-        let popped = match pick {
-            Ok(wt) => {
-                let e = self.targeted.get_mut(&(rank, wt)).and_then(BinaryHeap::pop);
-                if self
-                    .targeted
-                    .get(&(rank, wt))
-                    .is_some_and(BinaryHeap::is_empty)
-                {
-                    self.targeted.remove(&(rank, wt));
-                }
-                e
-            }
-            Err(wt) => {
-                let e = self.untargeted.get_mut(&wt).and_then(BinaryHeap::pop);
-                if self.untargeted.get(&wt).is_some_and(BinaryHeap::is_empty) {
-                    self.untargeted.remove(&wt);
-                }
-                e
-            }
-        };
-        // The winning heap was just peeked non-empty, so this always pops;
-        // written defensively (no unwrap) so a future race degrades to
-        // "no task" instead of a server panic.
-        let e = popped?;
-        self.len -= 1;
-        Some((e.task, e.accepted_us))
+            (Some(_), None) => self.pop_targeted_timed(rank, work_types),
+            (None, Some((_, tenant))) => self.pop_untargeted_timed(tenant, work_types),
+            (None, None) => None,
+        }
     }
 
     /// Every queued task, cloned, in no particular order (the replica
@@ -195,10 +308,14 @@ impl WorkQueue {
     /// The work-stealing donation: half the untargeted tasks of the given
     /// types per request (at least one if any exist), raised to the
     /// thief's `need` hint when more clients are starved than half covers.
+    /// Takes across all tenants — stolen tasks keep their tenant tag, so
+    /// fairness is re-applied wherever they land.
     pub fn steal(&mut self, work_types: &[u32], need: usize) -> Vec<Task> {
-        let available: usize = work_types
+        let available: usize = self
+            .untargeted
             .iter()
-            .filter_map(|wt| self.untargeted.get(wt).map(BinaryHeap::len))
+            .filter(|((_, wt), _)| work_types.contains(wt))
+            .map(|(_, h)| h.len())
             .sum();
         if available == 0 {
             return Vec::new();
@@ -208,28 +325,41 @@ impl WorkQueue {
         // Round-robin across types, taking lowest-priority tasks is
         // complex; take from the largest heap first (they queue longest).
         while out.len() < take {
-            let wt = work_types
+            let key = self
+                .untargeted
                 .iter()
-                .filter(|wt| {
-                    self.untargeted
-                        .get(wt)
-                        .map(|h| !h.is_empty())
-                        .unwrap_or(false)
-                })
-                .max_by_key(|wt| self.untargeted.get(wt).map(BinaryHeap::len).unwrap_or(0));
-            let Some(&wt) = wt else { break };
-            let Some(heap) = self.untargeted.get_mut(&wt) else {
-                break; // selected key vanished: nothing left to take
+                .filter(|((_, wt), h)| work_types.contains(wt) && !h.is_empty())
+                .max_by_key(|(_, h)| h.len())
+                .map(|(k, _)| *k);
+            let Some(key) = key else { break };
+            let (popped, empty) = match self.untargeted.get_mut(&key) {
+                Some(heap) => (heap.pop(), heap.is_empty()),
+                None => break, // selected key vanished: nothing left to take
             };
-            if let Some(e) = heap.pop() {
+            if let Some(e) = popped {
                 out.push(e.task);
                 self.len -= 1;
+                if key.1 == crate::msg::WORK_TYPE_WORK {
+                    self.note_untargeted_removed(key.0, 1);
+                }
             }
-            if heap.is_empty() {
-                self.untargeted.remove(&wt);
+            if empty {
+                self.untargeted.remove(&key);
             }
         }
         out
+    }
+
+    /// The better of two optional candidates under (priority desc,
+    /// arrival asc); used by the server to compare a targeted peek with a
+    /// tenant's untargeted peek.
+    #[allow(dead_code)] // exercised via server scheduling
+    pub fn prefer(a: Option<Peek>, b: Option<Peek>) -> Option<Peek> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(if better_candidate(y, x) { y } else { x }),
+            (x, None) => x,
+            (None, y) => y,
+        }
     }
 }
 
@@ -343,39 +473,114 @@ mod tests {
         assert_eq!(q.pop_for(0, &[0, 1]).unwrap().payload[0], 2);
         assert_eq!(q.pop_for(0, &[0, 1]).unwrap().payload[0], 1);
     }
+
+    #[test]
+    fn per_tenant_counts_track_untargeted_only() {
+        let mut q = WorkQueue::new();
+        q.push(task(1, 0, None, 1).with_tenant(7));
+        q.push(task(1, 0, None, 2).with_tenant(7));
+        q.push(task(1, 0, Some(3), 3).with_tenant(7));
+        q.push(task(1, 0, None, 4)); // tenant 0
+        assert_eq!(q.untargeted_of(7), 2);
+        assert_eq!(q.untargeted_of(0), 1);
+        assert_eq!(q.tenants_with_work(&[1]), vec![0, 7]);
+        assert!(q.tenants_with_work(&[0]).is_empty());
+        q.pop_untargeted_timed(7, &[1]).unwrap();
+        assert_eq!(q.untargeted_of(7), 1);
+        let stolen = q.steal(&[1], 4);
+        assert!(!stolen.is_empty());
+        assert_eq!(
+            q.untargeted_of(7) + q.untargeted_of(0),
+            2 - stolen.len().min(2)
+        );
+    }
+
+    #[test]
+    fn pop_untargeted_is_per_tenant_priority_order() {
+        let mut q = WorkQueue::new();
+        q.push(task(1, 1, None, 1).with_tenant(1));
+        q.push(task(1, 9, None, 2).with_tenant(2));
+        q.push(task(1, 5, None, 3).with_tenant(1));
+        // Tenant 1's own best is the priority-5 task even though tenant 2
+        // holds the global maximum.
+        assert_eq!(q.pop_untargeted_timed(1, &[1]).unwrap().0.payload[0], 3);
+        assert_eq!(q.pop_untargeted_timed(1, &[1]).unwrap().0.payload[0], 1);
+        assert!(q.pop_untargeted_timed(1, &[1]).is_none());
+        assert_eq!(q.pop_untargeted_timed(2, &[1]).unwrap().0.payload[0], 2);
+    }
+
+    #[test]
+    fn pop_for_is_tenant_blind_global_best() {
+        let mut q = WorkQueue::new();
+        q.push(task(1, 1, None, 1).with_tenant(1));
+        q.push(task(1, 9, None, 2).with_tenant(2));
+        assert_eq!(q.pop_for(0, &[1]).unwrap().payload[0], 2);
+        assert_eq!(q.pop_for(0, &[1]).unwrap().payload[0], 1);
+    }
 }
 
 #[cfg(test)]
 mod queue_properties {
     //! Property test: the queue agrees with a naive model on delivery
     //! order (priority desc, FIFO within priority, targeted-only-to-
-    //! target with ties won by targeted).
+    //! target with ties won by targeted) under random interleavings of
+    //! puts, gets, and steals.
 
     use super::*;
     use bytes::Bytes;
     use proptest::prelude::*;
 
     #[derive(Debug, Clone)]
-    struct Op {
-        push: bool,
-        prio: i32,
-        target: Option<Rank>,
-        wt: u32,
+    enum Op {
+        Push {
+            prio: i32,
+            target: Option<Rank>,
+            wt: u32,
+            tenant: u32,
+        },
+        Pop {
+            rank: Rank,
+            wt: u32,
+        },
+        Steal {
+            wt: u32,
+            need: usize,
+        },
     }
 
-    fn op_strategy() -> impl Strategy<Value = Op> {
+    fn push_strategy() -> impl Strategy<Value = Op> {
         (
-            any::<bool>(),
             -3i32..4,
             prop_oneof![Just(None), (0usize..3).prop_map(Some)],
             0u32..2,
+            0u32..3,
         )
-            .prop_map(|(push, prio, target, wt)| Op {
-                push,
+            .prop_map(|(prio, target, wt, tenant)| Op::Push {
                 prio,
                 target,
                 wt,
+                tenant,
             })
+    }
+
+    fn pop_strategy() -> impl Strategy<Value = Op> {
+        ((0usize..3), 0u32..2).prop_map(|(rank, wt)| Op::Pop { rank, wt })
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // The vendored proptest's `prop_oneof!` is unweighted; repeating
+        // arms gets the intended 4:4:1 push/pop/steal mix.
+        prop_oneof![
+            push_strategy(),
+            push_strategy(),
+            push_strategy(),
+            push_strategy(),
+            pop_strategy(),
+            pop_strategy(),
+            pop_strategy(),
+            pop_strategy(),
+            ((0u32..2), 1usize..4).prop_map(|(wt, need)| Op::Steal { wt, need }),
+        ]
     }
 
     /// Naive reference: linear scan for the best candidate.
@@ -411,33 +616,76 @@ mod queue_properties {
 
     proptest! {
         #[test]
-        fn queue_matches_naive_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        fn queue_matches_naive_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
             let mut q = WorkQueue::new();
             let mut model: Vec<(i32, u64, Option<Rank>, u32, u64)> = Vec::new();
             let mut seq = 0u64;
             let mut id = 0u64;
             for op in &ops {
-                if op.push {
-                    q.push(Task::new(
-                        op.wt,
-                        op.prio,
-                        op.target,
-                        Bytes::from(id.to_le_bytes().to_vec()),
-                    ));
-                    model.push((op.prio, seq, op.target, op.wt, id));
-                    seq += 1;
-                    id += 1;
-                } else {
-                    let rank = op.target.unwrap_or(0);
-                    let wts = [op.wt];
-                    let got = q
-                        .pop_for(rank, &wts)
-                        .map(|t| u64::from_le_bytes(t.payload[..8].try_into().unwrap()));
-                    let want = model_pop(&mut model, rank, &wts);
-                    prop_assert_eq!(got, want);
+                match op {
+                    Op::Push { prio, target, wt, tenant } => {
+                        q.push(
+                            Task::new(
+                                *wt,
+                                *prio,
+                                *target,
+                                Bytes::from(id.to_le_bytes().to_vec()),
+                            )
+                            .with_tenant(*tenant),
+                        );
+                        model.push((*prio, seq, *target, *wt, id));
+                        seq += 1;
+                        id += 1;
+                    }
+                    Op::Pop { rank, wt } => {
+                        let wts = [*wt];
+                        let got = q
+                            .pop_for(*rank, &wts)
+                            .map(|t| u64::from_le_bytes(t.payload[..8].try_into().unwrap()));
+                        let want = model_pop(&mut model, *rank, &wts);
+                        prop_assert_eq!(got, want);
+                    }
+                    Op::Steal { wt, need } => {
+                        let stolen = q.steal(&[*wt], *need);
+                        // Steals only take untargeted tasks of the
+                        // requested type; mirror the removals in the
+                        // model by task identity so subsequent pops
+                        // keep checking order.
+                        for t in &stolen {
+                            prop_assert!(t.target.is_none());
+                            prop_assert_eq!(t.work_type, *wt);
+                            let tid = u64::from_le_bytes(t.payload[..8].try_into().unwrap());
+                            let at = model.iter().position(|(_, _, _, _, id)| *id == tid);
+                            prop_assert!(at.is_some(), "stole a task the model didn't hold");
+                            if let Some(at) = at {
+                                model.remove(at);
+                            }
+                        }
+                    }
                 }
             }
             prop_assert_eq!(q.len(), model.len());
+
+            // Drain everything that remains through untenanted pops and
+            // check the tail also respects the ordering invariant.
+            loop {
+                let mut popped_any = false;
+                for rank in 0..3 {
+                    for wt in 0..2 {
+                        let wts = [wt];
+                        if let Some(t) = q.pop_for(rank, &wts) {
+                            let tid = u64::from_le_bytes(t.payload[..8].try_into().unwrap());
+                            let want = model_pop(&mut model, rank, &wts);
+                            prop_assert_eq!(Some(tid), want);
+                            popped_any = true;
+                        }
+                    }
+                }
+                if !popped_any {
+                    break;
+                }
+            }
+            prop_assert!(model.is_empty());
         }
     }
 }

@@ -75,8 +75,12 @@ pub enum ReplOp {
         seq: u64,
         resp: Option<Bytes>,
     },
-    /// Streamed stdout from `client`.
-    Out { client: Rank, text: String },
+    /// Streamed stdout from `client` on behalf of `tenant`.
+    Out {
+        client: Rank,
+        text: String,
+        tenant: u32,
+    },
     /// `client` reported it will issue no further requests.
     ClientFinished { client: Rank },
     /// Write-ahead record of a task transfer toward home server `dest`
@@ -140,8 +144,8 @@ pub struct Ledger {
     pub seqs: HashMap<Rank, u64>,
     /// Cached encoded response for a client's last awaited request.
     pub resps: HashMap<Rank, (u64, Bytes)>,
-    /// Accumulated stdout stream per client.
-    pub outputs: HashMap<Rank, String>,
+    /// Accumulated stdout stream per `(client, tenant)`.
+    pub outputs: HashMap<(Rank, u32), String>,
     /// Clients that are permanently parked (finished or dead).
     pub finished: HashSet<Rank>,
     /// Quarantine reports.
@@ -242,8 +246,15 @@ impl Ledger {
                     self.resps.insert(*client, (*seq, bytes.clone()));
                 }
             }
-            ReplOp::Out { client, text } => {
-                self.outputs.entry(*client).or_default().push_str(text);
+            ReplOp::Out {
+                client,
+                text,
+                tenant,
+            } => {
+                self.outputs
+                    .entry((*client, *tenant))
+                    .or_default()
+                    .push_str(text);
             }
             ReplOp::ClientFinished { client } => {
                 self.finished.insert(*client);
@@ -317,8 +328,9 @@ impl Ledger {
             w.put_bytes(bytes);
         }
         w.put_u32(self.outputs.len() as u32);
-        for (client, text) in &self.outputs {
+        for ((client, tenant), text) in &self.outputs {
             w.put_u64(*client as u64);
+            w.put_u32(*tenant);
             w.put_str(text);
         }
         w.put_u32(self.finished.len() as u32);
@@ -389,7 +401,10 @@ impl Ledger {
         let n = r.get_u32()? as usize;
         for _ in 0..n {
             let client = r.get_u64()? as Rank;
-            ledger.outputs.insert(client, r.get_str()?.to_string());
+            let tenant = r.get_u32()?;
+            ledger
+                .outputs
+                .insert((client, tenant), r.get_str()?.to_string());
         }
         let n = r.get_u32()? as usize;
         for _ in 0..n {
@@ -570,10 +585,15 @@ impl ReplOp {
                     }
                 }
             }
-            ReplOp::Out { client, text } => {
+            ReplOp::Out {
+                client,
+                text,
+                tenant,
+            } => {
                 w.put_u8(14);
                 w.put_u64(*client as u64);
                 w.put_str(text);
+                w.put_u32(*tenant);
             }
             ReplOp::ClientFinished { client } => {
                 w.put_u8(15);
@@ -674,10 +694,15 @@ impl ReplOp {
                 };
                 ReplOp::SeqResp { client, seq, resp }
             }
-            14 => ReplOp::Out {
-                client: r.get_u64()? as Rank,
-                text: r.get_str()?.to_string(),
-            },
+            14 => {
+                let client = r.get_u64()? as Rank;
+                let text = r.get_str()?.to_string();
+                ReplOp::Out {
+                    client,
+                    text,
+                    tenant: r.get_u32()?,
+                }
+            }
             15 => ReplOp::ClientFinished {
                 client: r.get_u64()? as Rank,
             },
@@ -733,7 +758,8 @@ mod tests {
         l.credits.insert(2, 1);
         l.seqs.insert(0, 17);
         l.resps.insert(0, (17, Bytes::from_static(b"resp")));
-        l.outputs.insert(1, "line\n".into());
+        l.outputs.insert((1, 0), "line\n".into());
+        l.outputs.insert((1, 3), "tenant three\n".into());
         l.finished.insert(4);
         l.quarantine.push("bad task".into());
         l.pending_xfers.push(Xfer {
@@ -806,6 +832,7 @@ mod tests {
             ReplOp::Out {
                 client: 1,
                 text: "hello\n".into(),
+                tenant: 2,
             },
             ReplOp::ClientFinished { client: 1 },
             ReplOp::XferOut {

@@ -27,9 +27,12 @@ use crate::checkpoint::{
 use crate::datastore::DataStore;
 use crate::layout::Layout;
 use crate::membership::Membership;
-use crate::msg::{seal_seq, Request, Response, ServerMsg, Task, TAG_REQ, TAG_RESP, TAG_SRV};
+use crate::msg::{
+    seal_seq, Request, Response, ServerMsg, Task, TAG_REQ, TAG_RESP, TAG_SRV, WORK_TYPE_WORK,
+};
 use crate::queue::WorkQueue;
 use crate::replica::{Ledger, ReplOp, Xfer};
+use crate::tenant::{TenantSched, TenantSpec, TenantStats};
 
 /// How a server treats tasks whose holder died or reported failure.
 #[derive(Debug, Clone, Copy)]
@@ -99,6 +102,10 @@ pub struct ServerConfig {
     /// (the default) keeps the pre-checkpoint behavior: losing every
     /// holder of a shard aborts the run. See [`CheckpointConfig`].
     pub checkpoint: Option<CheckpointConfig>,
+    /// Declared tenants (weights and quotas) for multi-tenant runs.
+    /// Empty keeps the single-program behavior: every task belongs to
+    /// tenant 0, which is always admitted and always elected.
+    pub tenants: Vec<TenantSpec>,
 }
 
 impl Default for ServerConfig {
@@ -114,6 +121,7 @@ impl Default for ServerConfig {
             re_replicate: true,
             sync_chunk: 16 * 1024,
             checkpoint: None,
+            tenants: Vec::new(),
         }
     }
 }
@@ -255,11 +263,13 @@ impl ServerStats {
 pub struct ServerOutcome {
     /// Monitoring counters.
     pub stats: ServerStats,
-    /// Accumulated stdout per client rank, sorted by rank.
-    pub streams: Vec<(Rank, String)>,
+    /// Accumulated stdout per `(client rank, tenant)`, sorted.
+    pub streams: Vec<(Rank, u32, String)>,
     /// Ranks whose stream may be missing output (the rank died, or its
     /// unreplicated stream died with its server).
     pub truncated: Vec<Rank>,
+    /// Per-tenant admission/fairness counters, sorted by tenant id.
+    pub tenant_rows: Vec<(u32, TenantStats)>,
 }
 
 /// An in-flight task: delivered to a client, not yet acknowledged.
@@ -278,6 +288,10 @@ struct Parked {
     rank: Rank,
     work_types: Vec<u32>,
     max_tasks: u32,
+    /// Restrict untargeted deliveries to one tenant (a multi-tenant
+    /// engine pulling only its own program's control tasks). Targeted
+    /// tasks are always deliverable regardless.
+    tenant: Option<u32>,
     /// The request's dedup seq — recorded (with the cached response) only
     /// when the `Get` is finally answered, so a re-sent copy of a parked
     /// `Get` after failover is processed fresh instead of dropped.
@@ -354,10 +368,15 @@ struct Server {
     /// Cached encoded response for each client's last awaited request,
     /// re-sent verbatim when a failover makes the client repeat it.
     client_resps: HashMap<Rank, (u64, Bytes)>,
-    /// Accumulated stdout stream per client.
-    outputs: HashMap<Rank, String>,
+    /// Accumulated stdout stream per `(client, tenant)`.
+    outputs: HashMap<(Rank, u32), String>,
     /// Ranks whose stream is known-incomplete.
     truncated: HashSet<Rank>,
+    /// Admission controller + weighted fair scheduler.
+    tenants: TenantSched,
+    /// Tenant each client last identified with (learned from
+    /// tenant-filtered `Get`s); tags close notifications sent to it.
+    client_tenants: HashMap<Rank, u32>,
     // -- replication -----------------------------------------------------
     /// Peer failure detector (empty with one server).
     membership: Membership,
@@ -501,6 +520,8 @@ pub fn serve_ext(comm: Comm, layout: Layout, config: ServerConfig) -> ServerOutc
         client_resps: HashMap::new(),
         outputs: HashMap::new(),
         truncated: HashSet::new(),
+        tenants: TenantSched::new(&config.tenants),
+        client_tenants: HashMap::new(),
         membership,
         ledgers: HashMap::new(),
         repl_targets: Vec::new(),
@@ -783,6 +804,7 @@ impl Server {
         for (c, deque) in ledger.leases {
             let mine = self.in_flight.entry(c).or_default();
             for task in deque {
+                self.tenants.lease_opened(task.tenant);
                 mine.push_back(Lease {
                     task,
                     since: now,
@@ -1043,17 +1065,31 @@ impl Server {
         // came from.
         self.steal_backoff = 0;
         self.empty_steal_streak = 0;
-        let slot = self.parked.iter().position(|p| {
-            p.work_types.contains(&task.work_type)
-                && match task.target {
-                    Some(t) => p.rank == t,
-                    None => true,
-                }
-        });
+        // An untargeted task can only bypass the queue straight to a
+        // parked client when the tenant's lease cap allows another
+        // in-flight task and the client's tenant filter matches; targeted
+        // tasks always go to their rank.
+        let direct_ok = task.target.is_some()
+            || (self.tenants.can_lease(task.tenant) && {
+                self.tenants.note_tenant(task.tenant);
+                true
+            });
+        let slot = if direct_ok {
+            self.parked.iter().position(|p| {
+                p.work_types.contains(&task.work_type)
+                    && match task.target {
+                        Some(t) => p.rank == t,
+                        None => p.tenant.is_none() || p.tenant == Some(task.tenant),
+                    }
+            })
+        } else {
+            None
+        };
         match slot {
             Some(i) => {
                 let p = self.parked.remove(i);
                 self.stats.tasks_delivered += 1;
+                self.tenants.stats_mut(task.tenant).delivered += 1;
                 // Delivered straight to a parked client: the queue wait
                 // is zero by construction; record it as such so queue-
                 // wait percentiles cover every delivered task.
@@ -1071,7 +1107,14 @@ impl Server {
                 self.op(ReplOp::Push {
                     tasks: vec![task.clone()],
                 });
+                let tenant = task.tenant;
+                let untargeted = task.target.is_none();
                 self.queue.push(task);
+                if untargeted {
+                    let depth = self.queue.untargeted_of(tenant) as u64;
+                    let row = self.tenants.stats_mut(tenant);
+                    row.queue_peak = row.queue_peak.max(depth);
+                }
             }
         }
     }
@@ -1087,6 +1130,9 @@ impl Server {
         });
         let now = Instant::now();
         let now_us = trace::now_us();
+        for t in tasks {
+            self.tenants.lease_opened(t.tenant);
+        }
         let leases = self.in_flight.entry(rank).or_default();
         for (i, t) in tasks.iter().enumerate() {
             leases.push_back(Lease {
@@ -1097,18 +1143,75 @@ impl Server {
         }
     }
 
-    /// Pop up to `cap` matching tasks for `rank` from the queue, each
+    /// Pop the single best deliverable task for the parked request `p`,
+    /// composing the targeted heaps with the fair scheduler:
+    ///
+    /// 1. Targeted work for `p.rank` competes on raw priority and wins
+    ///    ties — it can only run there, and fairness never withholds it.
+    /// 2. Untargeted work first elects a tenant by deficit round robin
+    ///    over the tenants that have matching work, honor the request's
+    ///    tenant filter, and are under their lease cap; the pop then
+    ///    takes that tenant's best task, so intra-tenant (priority desc,
+    ///    arrival asc) order is preserved.
+    ///
+    /// With a single tenant the DRR always elects it and this reduces to
+    /// the pre-tenant global-best pop.
+    fn next_scheduled(&mut self, p: &Parked) -> Option<(Task, u64)> {
+        let best_targeted = self.queue.peek_targeted(p.rank, &p.work_types);
+        let eligible: Vec<u32> = match p.tenant {
+            Some(t) => {
+                if self.tenants.can_lease(t)
+                    && self.queue.peek_untargeted(t, &p.work_types).is_some()
+                {
+                    vec![t]
+                } else {
+                    Vec::new()
+                }
+            }
+            None => self
+                .queue
+                .tenants_with_work(&p.work_types)
+                .into_iter()
+                .filter(|t| self.tenants.can_lease(*t))
+                .collect(),
+        };
+        let best_untargeted_prio = eligible
+            .iter()
+            .filter_map(|t| self.queue.peek_untargeted(*t, &p.work_types))
+            .map(|(prio, _)| prio)
+            .max();
+        let take_targeted = match (best_targeted, best_untargeted_prio) {
+            (Some((tp, _)), Some(up)) => tp >= up,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if take_targeted {
+            let popped = self.queue.pop_targeted_timed(p.rank, &p.work_types);
+            if let Some((task, _)) = &popped {
+                self.tenants.stats_mut(task.tenant).delivered += 1;
+            }
+            return popped;
+        }
+        let contended = eligible.len() > 1;
+        let elected = self.tenants.elect(&eligible)?;
+        let popped = self.queue.pop_untargeted_timed(elected, &p.work_types);
+        if popped.is_some() {
+            let row = self.tenants.stats_mut(elected);
+            row.delivered += 1;
+            if contended {
+                row.delivered_contended += 1;
+            }
+        }
+        popped
+    }
+
+    /// Pop up to `cap` matching tasks for the parked request `p`, each
     /// paired with its accept stamp (trace clock, µs).
-    fn take_from_queue(
-        &mut self,
-        rank: Rank,
-        work_types: &[u32],
-        cap: usize,
-    ) -> Option<Vec<(Task, u64)>> {
-        let first = self.queue.pop_for_timed(rank, work_types)?;
+    fn take_from_queue(&mut self, p: &Parked, cap: usize) -> Option<Vec<(Task, u64)>> {
+        let first = self.next_scheduled(p)?;
         let mut batch = vec![first];
         while batch.len() < cap {
-            match self.queue.pop_for_timed(rank, work_types) {
+            match self.next_scheduled(p) {
                 Some(t) => batch.push(t),
                 None => break,
             }
@@ -1120,7 +1223,7 @@ impl Server {
     /// response under the request's seq.
     fn deliver_from_queue(&mut self, p: &Parked) -> bool {
         let cap = p.max_tasks.max(1) as usize;
-        let Some(timed) = self.take_from_queue(p.rank, &p.work_types, cap) else {
+        let Some(timed) = self.take_from_queue(p, cap) else {
             return false;
         };
         if timed.is_empty() {
@@ -1195,8 +1298,8 @@ impl Server {
         if task.attempts > self.config.retry.max_retries {
             self.stats.tasks_quarantined += 1;
             let report = format!(
-                "task (work_type {}) quarantined after {} attempts; last error: {}",
-                task.work_type, task.attempts, error
+                "task (work_type {}, tenant {}) quarantined after {} attempts; last error: {}",
+                task.work_type, task.tenant, task.attempts, error
             );
             eprintln!("adlb server {}: {report}", self.comm.rank());
             self.op(ReplOp::Quarantine {
@@ -1261,8 +1364,10 @@ impl Server {
             // The dead rank's ENTIRE lease deque requeues: with prefetch a
             // client may die holding a whole undone batch, and every one
             // of those tasks must run somewhere else.
+            self.client_tenants.remove(&rank);
             if let Some(leases) = self.in_flight.remove(&rank) {
                 for lease in leases {
+                    self.tenants.lease_closed(lease.task.tenant);
                     if let Some(task) = self.retarget_for_dead(lease.task, rank) {
                         self.retry_or_quarantine(task, true, &format!("holder rank {rank} died"));
                     }
@@ -1320,6 +1425,7 @@ impl Server {
             *self.lease_revoked.entry(rank).or_insert(0) += leases.len();
             self.op(ReplOp::LeaseRevoke { client: rank });
             for lease in leases {
+                self.tenants.lease_closed(lease.task.tenant);
                 self.retry_or_quarantine(
                     lease.task,
                     true,
@@ -1330,6 +1436,30 @@ impl Server {
     }
 
     // -- client requests ---------------------------------------------------
+
+    /// Put-side admission: an untargeted client put of a tenant over its
+    /// `max_queued` quota is refused (`Err`) and NACKed back to the
+    /// submitter. Targeted puts, control/notify tasks, and all
+    /// server-internal paths (retries, forwards, steals) bypass
+    /// admission — they are existing dataflow in flight, not new leaf
+    /// demand, and control tasks in particular can only be consumed by
+    /// the engine that produced them, so damming them behind a quota
+    /// would deadlock a capped tenant against itself.
+    fn admit_put(&mut self, task: Task) -> Result<Task, Task> {
+        if task.target.is_some() || task.work_type != WORK_TYPE_WORK {
+            return Ok(task);
+        }
+        let tenant = task.tenant;
+        self.tenants.note_tenant(tenant);
+        let queued = self.queue.untargeted_of(tenant);
+        if self.tenants.admits(tenant, queued) {
+            self.tenants.stats_mut(tenant).admitted += 1;
+            Ok(task)
+        } else {
+            self.tenants.stats_mut(tenant).rejected += 1;
+            Err(task)
+        }
+    }
 
     /// The data shard a request implicates (`None` for non-data ops,
     /// which belong to the sending client's home server).
@@ -1421,8 +1551,17 @@ impl Server {
                     self.send_response(source, seq, Response::Ok, false);
                     return;
                 }
-                self.route_task(task);
-                self.send_response(source, seq, Response::Ok, true);
+                match self.admit_put(task) {
+                    Ok(task) => {
+                        self.route_task(task);
+                        self.send_response(source, seq, Response::Ok, true);
+                    }
+                    // Nothing mutated: the rejection is not replicated,
+                    // and a post-failover re-send re-runs admission.
+                    Err(task) => {
+                        self.send_response(source, seq, Response::Rejected(vec![task]), false);
+                    }
+                }
             }
             Request::PutBatch(tasks) => {
                 if self.aborting {
@@ -1430,24 +1569,49 @@ impl Server {
                     return;
                 }
                 // Each task routes exactly as if it had arrived alone; the
-                // batch shares one wire message and one ack.
+                // batch shares one wire message and one ack. Over-quota
+                // tasks come back in a `Rejected` and the client re-offers
+                // them — admission is backpressure, never loss.
+                let mut rejected = Vec::new();
+                let mut admitted = false;
                 for task in tasks {
-                    self.route_task(task);
+                    match self.admit_put(task) {
+                        Ok(task) => {
+                            self.route_task(task);
+                            admitted = true;
+                        }
+                        Err(task) => rejected.push(task),
+                    }
                 }
-                self.send_response(source, seq, Response::Ok, true);
+                if rejected.is_empty() {
+                    self.send_response(source, seq, Response::Ok, true);
+                } else {
+                    // A partially admitted batch DID mutate state: cache
+                    // the response so a re-sent batch after failover gets
+                    // it verbatim instead of double-admitting the prefix.
+                    self.send_response(source, seq, Response::Rejected(rejected), admitted);
+                }
             }
             Request::Get {
                 work_types,
                 max_tasks,
+                tenant,
             } => {
                 if self.aborting || self.shutdown {
                     self.answer_no_more(source, seq);
                     return;
                 }
+                if let Some(t) = tenant {
+                    // Remember which tenant this client identifies with so
+                    // close notifications targeted at it carry the tag.
+                    self.client_tenants.insert(source, t);
+                    self.tenants.note_tenant(t);
+                }
                 let p = Parked {
                     rank: source,
                     work_types,
                     max_tasks,
+                    tenant,
                     seq,
                 };
                 if !self.deliver_from_queue(&p) {
@@ -1465,12 +1629,16 @@ impl Server {
                 self.handle_acks(source, results);
                 self.record_seq(source, seq, None);
             }
-            Request::Output { text } => {
+            Request::Output { text, tenant } => {
                 self.op(ReplOp::Out {
                     client: source,
                     text: text.clone(),
+                    tenant,
                 });
-                self.outputs.entry(source).or_default().push_str(&text);
+                self.outputs
+                    .entry((source, tenant))
+                    .or_default()
+                    .push_str(&text);
                 self.record_seq(source, seq, None);
             }
             Request::Finished => {
@@ -1640,8 +1808,16 @@ impl Server {
             {
                 Some(lease) => {
                     dropped += 1;
+                    self.tenants.lease_closed(lease.task.tenant);
                     // Accept → ack: the server-side view of task latency.
-                    trace::record_since(trace::KIND_TASK_LATENCY, source as u64, lease.accepted_us);
+                    // The high id bits carry (tenant + 1) so per-tenant
+                    // percentiles can be split out; the low bits keep the
+                    // acking rank.
+                    trace::record_since(
+                        trace::KIND_TASK_LATENCY,
+                        ((lease.task.tenant as u64 + 1) << 32) | source as u64,
+                        lease.accepted_us,
+                    );
                     if !ok {
                         self.retry_or_quarantine(lease.task, false, &error);
                     }
@@ -1672,16 +1848,20 @@ impl Server {
         }
     }
 
-    /// Turn a datum close into targeted high-priority notification tasks.
+    /// Turn a datum close into targeted high-priority notification tasks,
+    /// each tagged with the subscriber's tenant so multi-tenant latency
+    /// attribution stays per-program.
     fn notify_all(&mut self, id: u64, subscribers: Vec<Rank>) {
         for rank in subscribers {
             self.stats.notifications += 1;
+            let tenant = self.client_tenants.get(&rank).copied().unwrap_or(0);
             let task = Task::new(
                 crate::msg::WORK_TYPE_NOTIFY,
                 self.config.notify_priority,
                 Some(rank),
                 Bytes::copy_from_slice(&id.to_le_bytes()),
-            );
+            )
+            .with_tenant(tenant);
             self.route_task(task);
         }
     }
@@ -2379,6 +2559,7 @@ impl Server {
         for (c, deque) in ledger.leases {
             let mine = self.in_flight.entry(c).or_default();
             for task in deque {
+                self.tenants.lease_opened(task.tenant);
                 mine.push_back(Lease {
                     task,
                     since: now,
@@ -2405,8 +2586,8 @@ impl Server {
             self.tx_sends.push((*c, TAG_RESP, bytes.clone()));
         }
         self.client_resps.extend(ledger.resps);
-        for (c, text) in ledger.outputs {
-            self.outputs.entry(c).or_default().push_str(&text);
+        for (key, text) in ledger.outputs {
+            self.outputs.entry(key).or_default().push_str(&text);
         }
         self.finished.extend(ledger.finished);
         for q in ledger.quarantine {
@@ -2754,7 +2935,8 @@ impl Server {
         self.repl_targets.clear();
         self.outbound_syncs.clear();
         self.linger();
-        let mut streams: Vec<(Rank, String)> = self.outputs.drain().collect();
+        let mut streams: Vec<(Rank, u32, String)> =
+            self.outputs.drain().map(|((r, t), s)| (r, t, s)).collect();
         streams.sort();
         let mut truncated: Vec<Rank> = self.truncated.iter().copied().collect();
         truncated.sort_unstable();
@@ -2762,6 +2944,7 @@ impl Server {
             stats: self.stats,
             streams,
             truncated,
+            tenant_rows: self.tenants.stats_rows(),
         }
     }
 

@@ -225,7 +225,7 @@ fn output_streams_survive_a_server_death() {
             return o
                 .streams
                 .into_iter()
-                .map(|(r, s)| format!("{r}:{s}"))
+                .map(|(r, _t, s)| format!("{r}:{s}"))
                 .collect::<Vec<_>>();
         }
         let mut c = AdlbClient::new(comm, layout);

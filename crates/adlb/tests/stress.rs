@@ -652,6 +652,7 @@ mod wal_replay {
             4 => ReplOp::Out {
                 client,
                 text: format!("line {i}\n"),
+                tenant: (i % 3) as u32,
             },
             5 => ReplOp::SeqResp {
                 client,

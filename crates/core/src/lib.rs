@@ -36,11 +36,11 @@ mod result;
 mod runtime;
 
 pub use native::{NativeArg, NativeFunction, NativeLibrary};
-pub use result::{LatencyReport, RunResult, SwiftTError};
+pub use result::{LatencyReport, RunResult, SwiftTError, TenantReport};
 pub use runtime::Runtime;
 
 // Re-export the pieces users commonly need alongside the runtime.
-pub use adlb::RetryPolicy;
+pub use adlb::{RetryPolicy, TenantQuota, TenantSpec, TenantStats};
 pub use mpisim::{FaultPlan, LatencyStats, RankTrace};
 pub use stc::{compile, CompiledProgram};
 pub use turbine::{InterpPolicy, RankOutput, Role, TurbineProgram};

@@ -8,6 +8,10 @@ use turbine::{RankOutput, Role};
 /// Why a run could not produce a result.
 #[derive(Debug)]
 pub enum SwiftTError {
+    /// The machine configuration is unsatisfiable (replication beyond
+    /// the server count, no workers, ...). Rejected before any rank
+    /// starts; the CLI maps this to exit code 2.
+    Config(String),
     /// The Swift source did not compile.
     Compile(stc::CompileError),
     /// A rank failed during execution (Tcl error, dataflow violation,
@@ -18,6 +22,7 @@ pub enum SwiftTError {
 impl std::fmt::Display for SwiftTError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            SwiftTError::Config(m) => write!(f, "configuration error: {m}"),
             SwiftTError::Compile(e) => write!(f, "{e}"),
             SwiftTError::Runtime(m) => write!(f, "runtime error: {m}"),
         }
@@ -64,6 +69,35 @@ pub struct RunResult {
     /// Latency percentiles distilled from `traces`; `None` when tracing
     /// was off.
     pub latency: Option<LatencyReport>,
+    /// Per-tenant reports (multi-tenant runs only; empty otherwise),
+    /// ordered by tenant id.
+    pub tenants: Vec<TenantReport>,
+}
+
+/// One tenant's slice of a multi-tenant run.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant id (also its engine's rank).
+    pub id: u32,
+    /// Human-readable program name.
+    pub name: String,
+    /// Fair-share weight the servers scheduled it under.
+    pub weight: u32,
+    /// Everything this tenant's program printed, engine first, then each
+    /// worker's per-tenant stream in rank order.
+    pub stdout: String,
+    /// Admission/scheduling accounting merged across servers.
+    pub stats: adlb::TenantStats,
+    /// This tenant's fraction of all contended untargeted deliveries —
+    /// the quantity weighted fair queuing controls. `None` when the run
+    /// had no contended deliveries at all.
+    pub share_of_delivered: Option<f64>,
+    /// Task latency percentiles for this tenant's tasks (requires
+    /// [`tracing`](crate::Runtime::tracing)).
+    pub latency: Option<LatencyStats>,
+    /// The program's contained failure, if it had one. A broken tenant
+    /// never fails the run; it fails here.
+    pub error: Option<String>,
 }
 
 /// Latency percentiles over one traced run. Each member is `None` when
@@ -103,7 +137,26 @@ impl LatencyReport {
     }
 }
 
+/// Task-latency durations for one tenant, filtered from the merged
+/// traces. The server tags each task-latency span's correlation id with
+/// `tenant + 1` in the high 32 bits (0 there means an untagged span from
+/// a single-tenant run), so per-tenant percentiles fall out of the same
+/// trace stream the global report uses.
+pub fn tenant_task_durations(traces: &[RankTrace], tenant: u32) -> Vec<u64> {
+    traces
+        .iter()
+        .flat_map(|t| &t.events)
+        .filter(|e| e.kind == trace::KIND_TASK_LATENCY && (e.id >> 32) as u32 == tenant + 1)
+        .map(|e| e.end_us - e.start_us)
+        .collect()
+}
+
 impl RunResult {
+    /// The report for tenant `id`, if this was a multi-tenant run.
+    pub fn tenant(&self, id: u32) -> Option<&TenantReport> {
+        self.tenants.iter().find(|t| t.id == id)
+    }
+
     /// Total leaf tasks executed across all workers.
     pub fn total_tasks(&self) -> u64 {
         self.outputs.iter().map(|o| o.tasks_executed).sum()

@@ -1,15 +1,26 @@
 //! The runtime: configure a simulated machine, compile Swift, run it.
 
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
-use mpisim::{FaultPlan, World};
+use adlb::{merge_tenant_rows, TenantQuota, TenantSpec, TenantStats};
+use mpisim::{FaultPlan, LatencyStats, World};
 use pfs::{Pfs, PfsConfig};
 use tclish::PackageInit;
-use turbine::{InterpPolicy, TurbineConfig, TurbineProgram};
+use turbine::{InterpPolicy, RankOutput, TurbineConfig, TurbineProgram};
 
 use crate::native::NativeLibrary;
-use crate::result::{LatencyReport, RunResult, SwiftTError};
+use crate::result::{tenant_task_durations, LatencyReport, RunResult, SwiftTError, TenantReport};
+
+/// One queued tenant program (see [`Runtime::submit`]).
+#[derive(Clone)]
+struct TenantJob {
+    name: String,
+    weight: u32,
+    quota: Option<TenantQuota>,
+    source: String,
+}
 
 /// A configured simulated machine that can run Swift programs.
 ///
@@ -34,6 +45,7 @@ pub struct Runtime {
     natives: Vec<NativeLibrary>,
     tcl_packages: Vec<(String, String, String)>,
     args: Vec<(String, String)>,
+    tenants: Vec<TenantJob>,
 }
 
 impl Runtime {
@@ -63,6 +75,7 @@ impl Runtime {
             natives: Vec::new(),
             tcl_packages: Vec::new(),
             args: Vec::new(),
+            tenants: Vec::new(),
         }
     }
 
@@ -234,9 +247,99 @@ impl Runtime {
         self
     }
 
+    /// Queue a tenant program for a multi-tenant run: `name` labels it in
+    /// reports, `weight` is its fair share under the servers' weighted
+    /// round-robin (relative to the other tenants), and `quota` caps its
+    /// queued tasks / in-flight leases (unlimited when `None`). Tenants
+    /// run with [`Runtime::run_tenants`]; tenant `i` (in submission
+    /// order) gets engine rank `i` to itself while the worker and server
+    /// fleets are shared by everyone.
+    pub fn submit(
+        mut self,
+        name: impl Into<String>,
+        weight: u32,
+        quota: Option<TenantQuota>,
+        swift_source: impl Into<String>,
+    ) -> Self {
+        self.tenants.push(TenantJob {
+            name: name.into(),
+            weight,
+            quota,
+            source: swift_source.into(),
+        });
+        self
+    }
+
     /// Number of worker ranks in this configuration.
     pub fn workers(&self) -> usize {
         self.ranks - self.servers - self.engines
+    }
+
+    /// Reject unsatisfiable machine shapes *before* any rank starts.
+    /// `engines` is the effective engine count (the builder's, or one per
+    /// program in a multi-tenant run).
+    fn validate_config(&self, engines: usize) -> Result<(), SwiftTError> {
+        let fail = |m: String| Err(SwiftTError::Config(m));
+        if self.servers == 0 {
+            return fail(format!(
+                "need at least one ADLB server (servers = 0, ranks = {}); \
+                 checkpointing, data storage and scheduling all live on servers",
+                self.ranks
+            ));
+        }
+        if self.servers >= self.ranks {
+            return fail(format!(
+                "{} server(s) leave no client ranks in a world of {}",
+                self.servers, self.ranks
+            ));
+        }
+        if engines == 0 {
+            return fail("need at least one engine rank".to_string());
+        }
+        let clients = self.ranks - self.servers;
+        if clients <= engines {
+            return fail(format!(
+                "no worker ranks: {} ranks minus {} server(s) minus {} engine(s) \
+                 leaves no one to execute leaf tasks",
+                self.ranks, self.servers, engines
+            ));
+        }
+        if let Some(r) = self.replication {
+            if r == 0 {
+                return fail("replication factor must be at least 1 (the primary)".to_string());
+            }
+            if r > self.servers {
+                return fail(format!(
+                    "replication {r} exceeds the server count {}: each copy \
+                     needs its own server rank",
+                    self.servers
+                ));
+            }
+        }
+        if self.resume && self.effective_checkpoint().is_none() {
+            return fail(
+                "resume requires the checkpoint tier: enable checkpoint(interval) \
+                 (or SWIFTT_CHECKPOINT) so there is a durable image to resume from"
+                    .to_string(),
+            );
+        }
+        for job in &self.tenants {
+            if let Some(q) = &job.quota {
+                if q.max_queued == Some(0) {
+                    return fail(format!(
+                        "tenant \"{}\": max_queued quota of 0 would reject every put",
+                        job.name
+                    ));
+                }
+                if q.max_leases == Some(0) {
+                    return fail(format!(
+                        "tenant \"{}\": max_leases quota of 0 could never deliver a task",
+                        job.name
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The effective replication factor: the explicit setting, else the
@@ -337,26 +440,175 @@ impl Runtime {
 
     /// Run already-compiled (or hand-written) Turbine code.
     pub fn run_turbine(&self, program: TurbineProgram) -> Result<RunResult, SwiftTError> {
+        self.validate_config(self.engines)?;
         let config = self.turbine_config();
         config.validate(self.ranks);
-        let natives = self.natives.clone();
-        let tcl_packages = self.tcl_packages.clone();
+        let setup = self.interp_setup();
+        let (result, _per_rank, _streamed) = self.run_world(&config, |comm| {
+            turbine::run_rank_with(comm, &config, &program, &setup)
+        })?;
+        Ok(result)
+    }
+
+    /// Compile every program queued with [`Runtime::submit`] and run them
+    /// concurrently over one shared machine: tenant `i` gets engine rank
+    /// `i`, the servers schedule leaf work across tenants by weight and
+    /// enforce each tenant's quota, and the workers execute everyone's
+    /// tasks in per-tenant interpreters. Per-tenant output, accounting and
+    /// latency land in [`RunResult::tenants`]; a tenant's program failure
+    /// is contained there instead of failing the run.
+    pub fn run_tenants(&self) -> Result<RunResult, SwiftTError> {
+        if self.tenants.is_empty() {
+            return Err(SwiftTError::Config(
+                "no tenant programs: submit() at least one before run_tenants()".to_string(),
+            ));
+        }
+        let mut programs = Vec::with_capacity(self.tenants.len());
+        for (i, job) in self.tenants.iter().enumerate() {
+            let compiled = stc::compile(&job.source)?;
+            let mut spec = TenantSpec::new(i as u32, &job.name).weight(job.weight);
+            if let Some(q) = job.quota {
+                spec = spec.quota(q);
+            }
+            programs.push((
+                spec,
+                TurbineProgram {
+                    preamble: compiled.preamble,
+                    main: compiled.main,
+                    args: self.args.clone(),
+                },
+            ));
+        }
+        self.run_turbine_tenants(programs)
+    }
+
+    /// Multi-tenant analogue of [`Runtime::run_turbine`]: run
+    /// already-compiled programs, one per tenant. The builder's engine
+    /// count is ignored — multi-tenant runs use exactly one engine per
+    /// program.
+    pub fn run_turbine_tenants(
+        &self,
+        programs: Vec<(TenantSpec, TurbineProgram)>,
+    ) -> Result<RunResult, SwiftTError> {
+        self.validate_config(programs.len())?;
+        let mut config = self.turbine_config();
+        config.engines = programs.len();
+        config.server.tenants = programs.iter().map(|(s, _)| s.clone()).collect();
+        let setup = self.interp_setup();
+        let (mut result, per_rank, streamed) = self.run_world(&config, |comm| {
+            turbine::run_rank_tenants_with(comm, &config, &programs, &setup)
+        })?;
+
+        // Per-tenant accounting rows, merged across servers.
+        let mut rows: Vec<(u32, TenantStats)> = Vec::new();
+        for o in per_rank.iter().flatten() {
+            merge_tenant_rows(&mut rows, &o.tenant_rows);
+        }
+        let contended_total: u64 = rows.iter().map(|(_, s)| s.delivered_contended).sum();
+
+        let mut reports = Vec::with_capacity(programs.len());
+        for (spec, _) in &programs {
+            // Per-tenant stdout in rank order: a survivor's locally
+            // captured per-tenant buffer is authoritative; a killed
+            // rank's contribution is what it streamed to the servers
+            // under this tenant's tag.
+            let mut stdout = String::new();
+            for (rank, o) in per_rank.iter().enumerate() {
+                match o {
+                    Some(ro) => {
+                        if let Some((_, s)) = ro.tenant_stdout.iter().find(|(t, _)| *t == spec.id) {
+                            stdout.push_str(s);
+                        }
+                    }
+                    None => {
+                        if let Some(s) = streamed.get(&rank).and_then(|m| m.get(&spec.id)) {
+                            stdout.push_str(s);
+                        }
+                    }
+                }
+            }
+            let stats = rows
+                .iter()
+                .find(|(t, _)| *t == spec.id)
+                .map(|(_, s)| *s)
+                .unwrap_or_default();
+            let share_of_delivered = (contended_total > 0)
+                .then(|| stats.delivered_contended as f64 / contended_total as f64);
+            // The tenant's engine holds its program error; worker-side
+            // containment messages are prefixed with the tenant id.
+            let engine_err = per_rank
+                .get(spec.id as usize)
+                .and_then(|o| o.as_ref())
+                .and_then(|o| o.program_error.clone());
+            let worker_err = per_rank.iter().flatten().find_map(|o| {
+                o.program_error
+                    .as_ref()
+                    .filter(|e| e.starts_with(&format!("tenant {}", spec.id)))
+                    .cloned()
+            });
+            let latency = if self.tracing {
+                LatencyStats::from_durations(tenant_task_durations(&result.traces, spec.id))
+            } else {
+                None
+            };
+            reports.push(TenantReport {
+                id: spec.id,
+                name: spec.name.clone(),
+                weight: spec.weight,
+                stdout,
+                stats,
+                share_of_delivered,
+                latency,
+                error: engine_err.or(worker_err),
+            });
+        }
+        // The rank-order global stdout interleaves tenants arbitrarily;
+        // tenant-order concatenation is the deterministic view.
+        result.stdout = reports.iter().map(|r| r.stdout.as_str()).collect();
+        result.tenants = reports;
+        Ok(result)
+    }
+
+    /// The engine/worker interpreter setup hook shared by both run paths:
+    /// native libraries (§III.B) and in-memory Tcl packages.
+    fn interp_setup(&self) -> impl Fn(&mut tclish::Interp) + '_ {
+        move |interp: &mut tclish::Interp| {
+            for lib in &self.natives {
+                lib.install(interp);
+            }
+            for (name, version, source) in &self.tcl_packages {
+                interp.add_package(
+                    name,
+                    version,
+                    PackageInit::Script(std::rc::Rc::from(source.as_str())),
+                );
+            }
+        }
+    }
+
+    /// Execute the world and assemble the run-shape-independent parts of
+    /// the result. Also returns the raw per-rank outputs (index = rank;
+    /// `None` = killed) and the server-tier streams keyed by rank then
+    /// tenant, for callers that post-process per tenant.
+    #[allow(clippy::type_complexity)]
+    fn run_world<F>(
+        &self,
+        config: &TurbineConfig,
+        body: F,
+    ) -> Result<
+        (
+            RunResult,
+            Vec<Option<RankOutput>>,
+            HashMap<usize, BTreeMap<u32, String>>,
+        ),
+        SwiftTError,
+    >
+    where
+        F: Fn(mpisim::Comm) -> RankOutput + Sync,
+    {
         let start = Instant::now();
         let world = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            World::run_faulty_traced(self.ranks, &self.faults, self.tracing, |comm| {
-                turbine::run_rank_with(comm, &config, &program, |interp| {
-                    for lib in &natives {
-                        lib.install(interp);
-                    }
-                    for (name, version, source) in &tcl_packages {
-                        interp.add_package(
-                            name,
-                            version,
-                            PackageInit::Script(std::rc::Rc::from(source.as_str())),
-                        );
-                    }
-                })
-            })
+            World::run_faulty_traced(self.ranks, &self.faults, self.tracing, body)
         }));
         let elapsed = start.elapsed();
         match world {
@@ -366,12 +618,11 @@ impl Runtime {
                 // killed rank shipped before dying; for survivors the
                 // locally captured stdout is authoritative (and, fault
                 // free, identical to the streamed copy).
-                let mut streamed: std::collections::HashMap<usize, String> =
-                    std::collections::HashMap::new();
+                let mut streamed: HashMap<usize, BTreeMap<u32, String>> = HashMap::new();
                 let mut truncated: Vec<usize> = Vec::new();
                 for o in per_rank.iter().flatten() {
-                    for (r, s) in &o.server_streams {
-                        let e = streamed.entry(*r).or_default();
+                    for (r, t, s) in &o.server_streams {
+                        let e = streamed.entry(*r).or_default().entry(*t).or_default();
                         if s.len() > e.len() {
                             s.clone_into(e);
                         }
@@ -385,13 +636,15 @@ impl Runtime {
                     match o {
                         Some(ro) => stdout.push_str(&ro.stdout),
                         None => {
-                            if let Some(s) = streamed.get(&rank) {
-                                stdout.push_str(s);
+                            if let Some(m) = streamed.get(&rank) {
+                                for s in m.values() {
+                                    stdout.push_str(s);
+                                }
                             }
                         }
                     }
                 }
-                let outputs: Vec<_> = per_rank.into_iter().flatten().collect();
+                let outputs: Vec<_> = per_rank.iter().flatten().cloned().collect();
                 let roles = (0..self.ranks)
                     .map(|r| config.role(self.ranks, r))
                     .collect();
@@ -400,7 +653,7 @@ impl Runtime {
                 } else {
                     None
                 };
-                Ok(RunResult {
+                let result = RunResult {
                     stdout,
                     outputs,
                     elapsed,
@@ -411,7 +664,9 @@ impl Runtime {
                     roles,
                     traces: outcome.traces,
                     latency,
-                })
+                    tenants: Vec::new(),
+                };
+                Ok((result, per_rank, streamed))
             }
             Err(p) => {
                 let msg = p

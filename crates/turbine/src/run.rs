@@ -8,7 +8,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use adlb::{AdlbClient, Layout, ServerConfig, ServerStats};
+use adlb::{AdlbClient, Layout, ServerConfig, ServerStats, TenantSpec, TenantStats};
 use mpisim::{Comm, Rank};
 use tclish::Interp;
 
@@ -142,13 +142,48 @@ pub struct RankOutput {
     pub interp_inits: u64,
     /// Server statistics (servers only).
     pub server_stats: Option<ServerStats>,
-    /// Per-client stdout streams this rank accumulated (servers only):
-    /// everything each engine/worker shipped via the incremental output
-    /// stream, which survives the producing rank's death.
-    pub server_streams: Vec<(Rank, String)>,
+    /// Per-client stdout streams this rank accumulated (servers only),
+    /// keyed by (client rank, tenant): everything each engine/worker
+    /// shipped via the incremental output stream, which survives the
+    /// producing rank's death.
+    pub server_streams: Vec<(Rank, u32, String)>,
     /// Client ranks whose stream is known-incomplete — the rank died
     /// mid-run (servers only).
     pub truncated_streams: Vec<Rank>,
+    /// Per-tenant scheduling/admission accounting (servers only; empty in
+    /// single-tenant runs, which never register tenants).
+    pub tenant_rows: Vec<(u32, TenantStats)>,
+    /// The tenant this rank served exclusively (multi-tenant engines).
+    pub tenant: Option<u32>,
+    /// Per-tenant stdout captured locally on this rank (multi-tenant
+    /// engines and workers). [`RankOutput::stdout`] is the concatenation
+    /// in tenant order.
+    pub tenant_stdout: Vec<(u32, String)>,
+    /// The first program error this rank contained (multi-tenant runs
+    /// isolate failures per tenant instead of panicking the world).
+    pub program_error: Option<String>,
+}
+
+impl RankOutput {
+    /// A zeroed report for `role`; callers fill in what they measured.
+    pub fn empty(role: Role) -> Self {
+        RankOutput {
+            role,
+            stdout: String::new(),
+            tasks_executed: 0,
+            tasks_failed: 0,
+            rules_created: 0,
+            rules_fired: 0,
+            interp_inits: 0,
+            server_stats: None,
+            server_streams: Vec::new(),
+            truncated_streams: Vec::new(),
+            tenant_rows: Vec::new(),
+            tenant: None,
+            tenant_stdout: Vec::new(),
+            program_error: None,
+        }
+    }
 }
 
 /// Ships the interpreter's captured stdout to the ADLB server tier in
@@ -206,16 +241,11 @@ pub fn run_rank_with(
     if role == Role::Server {
         let outcome = adlb::serve_ext(comm, layout, config.server.clone());
         return RankOutput {
-            role,
-            stdout: String::new(),
-            tasks_executed: 0,
-            tasks_failed: 0,
-            rules_created: 0,
-            rules_fired: 0,
-            interp_inits: 0,
             server_stats: Some(outcome.stats),
             server_streams: outcome.streams,
             truncated_streams: outcome.truncated,
+            tenant_rows: outcome.tenant_rows,
+            ..RankOutput::empty(role)
         };
     }
 
@@ -264,16 +294,273 @@ pub fn run_rank_with(
     let c = ctx.borrow();
     let stdout = buf.borrow().clone();
     RankOutput {
-        role,
         stdout,
         tasks_executed: c.tasks_executed,
         tasks_failed: c.tasks_failed,
         rules_created: c.engine.rules_created,
         rules_fired: c.engine.rules_fired,
         interp_inits: c.interp_inits,
-        server_stats: None,
-        server_streams: Vec::new(),
-        truncated_streams: Vec::new(),
+        ..RankOutput::empty(role)
+    }
+}
+
+/// Build one engine/worker interpreter: `turbine::*` commands, the host
+/// `setup` hook, the runtime library, and `preamble`. A preamble error is
+/// returned (not panicked) so multi-tenant callers can contain it to the
+/// offending tenant.
+fn build_interp(
+    ctx: &SharedCtx,
+    config: &TurbineConfig,
+    size: usize,
+    preamble: &str,
+    setup: &impl Fn(&mut Interp),
+) -> (Interp, Rc<RefCell<String>>, Option<String>) {
+    let mut interp = Interp::new();
+    let buf = interp.capture_output();
+    commands::register(&mut interp, ctx.clone());
+    setup(&mut interp);
+    interp
+        .eval(crate::library::TURBINE_LIB)
+        .unwrap_or_else(|e| panic!("turbine library failed to load: {e}"));
+    let mut err = None;
+    if !preamble.is_empty() {
+        if let Err(e) = interp.eval(preamble) {
+            err = Some(format!("program preamble failed: {e}"));
+        }
+    }
+    interp.set_var("turbine::n_engines", config.engines.to_string());
+    interp.set_var(
+        "turbine::n_workers",
+        (size - config.servers - config.engines).to_string(),
+    );
+    (interp, buf, err)
+}
+
+/// Run one rank of a *multi-tenant* machine: `programs[i]` runs as tenant
+/// `programs[i].0.id`, evaluated by engine rank `i`, over the shared
+/// worker/server fleet. Requires exactly one engine per program.
+///
+/// Unlike [`run_rank`], program errors do not panic the world: each
+/// tenant's failures are contained to its own tasks and reported in
+/// [`RankOutput::program_error`], so one broken program cannot take its
+/// neighbors down.
+pub fn run_rank_tenants(
+    comm: Comm,
+    config: &TurbineConfig,
+    programs: &[(TenantSpec, TurbineProgram)],
+) -> RankOutput {
+    run_rank_tenants_with(comm, config, programs, |_| {})
+}
+
+/// Like [`run_rank_tenants`], with the same interpreter-setup hook as
+/// [`run_rank_with`].
+pub fn run_rank_tenants_with(
+    comm: Comm,
+    config: &TurbineConfig,
+    programs: &[(TenantSpec, TurbineProgram)],
+    setup: impl Fn(&mut Interp),
+) -> RankOutput {
+    let size = comm.size();
+    config.validate(size);
+    assert!(
+        config.engines == programs.len(),
+        "multi-tenant runs need exactly one engine per program \
+         ({} engines, {} programs)",
+        config.engines,
+        programs.len()
+    );
+    let rank = comm.rank();
+    let role = config.role(size, rank);
+    let layout = config.layout(size);
+
+    if role == Role::Server {
+        let mut server_cfg = config.server.clone();
+        server_cfg.tenants = programs.iter().map(|(s, _)| s.clone()).collect();
+        let outcome = adlb::serve_ext(comm, layout, server_cfg);
+        return RankOutput {
+            server_stats: Some(outcome.stats),
+            server_streams: outcome.streams,
+            truncated_streams: outcome.truncated,
+            tenant_rows: outcome.tenant_rows,
+            ..RankOutput::empty(role)
+        };
+    }
+
+    let client = AdlbClient::with_config(comm, layout, config.client_config());
+    let ctx = Ctx::new(client, role == Role::Engine, config.policy);
+
+    match role {
+        Role::Engine => {
+            let (spec, program) = &programs[rank];
+            let tenant = spec.id;
+            {
+                let mut c = ctx.borrow_mut();
+                c.args = program.args.iter().cloned().collect();
+                c.client.set_tenant(tenant);
+                c.client.set_get_filter(Some(tenant));
+            }
+            let (mut interp, buf, mut error) =
+                build_interp(&ctx, config, size, &program.preamble, &setup);
+            let mut stream = OutputStreamer::new(buf.clone());
+            // Every engine is rank 0 of its own tenant: it runs its
+            // program's main. A failed main is contained — the engine
+            // keeps serving its notifications to global termination so
+            // the rest of the world is undisturbed.
+            if error.is_none() {
+                if let Err(e) = interp.eval(&program.main) {
+                    error = Some(format!("program main failed: {e}"));
+                }
+            }
+            engine_loop_contained(&mut interp, &ctx, &mut stream, &mut error);
+            let c = ctx.borrow();
+            let stdout = buf.borrow().clone();
+            RankOutput {
+                stdout: stdout.clone(),
+                rules_created: c.engine.rules_created,
+                rules_fired: c.engine.rules_fired,
+                interp_inits: c.interp_inits,
+                tenant: Some(tenant),
+                tenant_stdout: vec![(tenant, stdout)],
+                program_error: error.map(|e| format!("tenant {} ({}): {e}", tenant, spec.name)),
+                ..RankOutput::empty(role)
+            }
+        }
+        Role::Worker => {
+            let preambles: std::collections::HashMap<u32, (String, Vec<(String, String)>)> =
+                programs
+                    .iter()
+                    .map(|(s, p)| (s.id, (p.preamble.clone(), p.args.clone())))
+                    .collect();
+            let mut first_err: Option<String> = None;
+            let mut bufs: Vec<(u32, Rc<RefCell<String>>)> = Vec::new();
+            let executed = {
+                let mut build = |tenant: u32| {
+                    let preamble = preambles
+                        .get(&tenant)
+                        .map(|(p, _)| p.as_str())
+                        .unwrap_or("");
+                    let (interp, buf, err) = build_interp(&ctx, config, size, preamble, &setup);
+                    if let Some(e) = err {
+                        if first_err.is_none() {
+                            first_err = Some(format!("tenant {tenant}: {e}"));
+                        }
+                    }
+                    bufs.push((tenant, buf.clone()));
+                    (interp, OutputStreamer::new(buf))
+                };
+                let args_of = |tenant: u32| {
+                    preambles
+                        .get(&tenant)
+                        .map(|(_, a)| a.iter().cloned().collect())
+                        .unwrap_or_default()
+                };
+                worker::worker_loop_tenants(&ctx, &mut build, &args_of)
+            };
+            let _ = executed;
+            bufs.sort_by_key(|(t, _)| *t);
+            let tenant_stdout: Vec<(u32, String)> = bufs
+                .into_iter()
+                .map(|(t, b)| (t, b.borrow().clone()))
+                .collect();
+            let stdout = tenant_stdout
+                .iter()
+                .map(|(_, s)| s.as_str())
+                .collect::<Vec<_>>()
+                .join("");
+            let c = ctx.borrow();
+            RankOutput {
+                stdout,
+                tasks_executed: c.tasks_executed,
+                tasks_failed: c.tasks_failed,
+                interp_inits: c.interp_inits,
+                tenant_stdout,
+                program_error: first_err,
+                ..RankOutput::empty(role)
+            }
+        }
+        Role::Server => unreachable!(),
+    }
+}
+
+/// The multi-tenant engine loop: like [`engine_loop`], but evaluation
+/// errors are *contained* — recorded in `error` (first one wins) while
+/// the engine keeps serving notifications and control tasks to global
+/// termination, so one tenant's broken program cannot stall or abort its
+/// neighbors. A dataflow deadlock at termination is only reported when no
+/// earlier error explains it.
+fn engine_loop_contained(
+    interp: &mut Interp,
+    ctx: &SharedCtx,
+    stream: &mut OutputStreamer,
+    error: &mut Option<String>,
+) {
+    let note = |error: &mut Option<String>, e: String| {
+        if error.is_none() {
+            *error = Some(e);
+        }
+    };
+    loop {
+        loop {
+            let action = ctx.borrow_mut().engine.ready.pop_front();
+            match action {
+                Some(a) => {
+                    if let Err(e) = interp.eval(&a) {
+                        note(error, format!("rule action failed: {e}"));
+                    }
+                }
+                None => break,
+            }
+        }
+        stream.ship(&mut ctx.borrow_mut().client);
+        let task = ctx
+            .borrow_mut()
+            .client
+            .get(&[adlb::WORK_TYPE_CONTROL, adlb::WORK_TYPE_NOTIFY]);
+        match task {
+            None => {
+                let c = ctx.borrow();
+                if let Some(reason) = c.client.run_aborted() {
+                    note(error, format!("run aborted: {reason}"));
+                    return;
+                }
+                let waiting = c.engine.rules_waiting();
+                if waiting > 0 && error.is_none() {
+                    let mut msg = format!(
+                        "dataflow deadlock: {waiting} rule(s) never fired; \
+                         some futures were never assigned"
+                    );
+                    for report in c.client.quarantine_reports() {
+                        msg.push_str("\n  ");
+                        msg.push_str(report);
+                    }
+                    *error = Some(msg);
+                }
+                return;
+            }
+            Some(t) if t.work_type == adlb::WORK_TYPE_NOTIFY => {
+                let Some(id) = t
+                    .payload
+                    .get(..8)
+                    .and_then(|b| b.try_into().ok())
+                    .map(u64::from_le_bytes)
+                else {
+                    continue;
+                };
+                let dispatches = ctx.borrow_mut().engine.fire(id);
+                let mut c = ctx.borrow_mut();
+                for d in dispatches {
+                    c.perform(d);
+                }
+            }
+            Some(t) => match std::str::from_utf8(&t.payload) {
+                Ok(code) => {
+                    if let Err(e) = interp.eval(code) {
+                        note(error, format!("control task failed: {e}"));
+                    }
+                }
+                Err(_) => note(error, "non-UTF-8 control task".to_string()),
+            },
+        }
     }
 }
 
@@ -560,6 +847,104 @@ result = sum(range(n))}
                 args: Vec::new(),
             },
         );
+    }
+
+    #[test]
+    fn two_tenants_isolate_procs_and_output() {
+        // Both programs define a proc `who` with conflicting bodies and
+        // run it on the shared workers: per-tenant interpreters must keep
+        // the definitions apart, and every output line must be accounted
+        // to the right tenant.
+        use adlb::TenantSpec;
+        let programs = vec![
+            (
+                TenantSpec::new(0, "alpha"),
+                TurbineProgram {
+                    preamble: "proc who {} { return alpha }".into(),
+                    main: r#"
+                        for {set i 0} {$i < 6} {incr i} {
+                            turbine::spawn work 0 {puts [who]}
+                        }
+                    "#
+                    .into(),
+                    args: Vec::new(),
+                },
+            ),
+            (
+                TenantSpec::new(1, "beta").weight(2),
+                TurbineProgram {
+                    preamble: "proc who {} { return beta }".into(),
+                    main: r#"
+                        for {set i 0} {$i < 6} {incr i} {
+                            turbine::spawn work 0 {puts [who]}
+                        }
+                    "#
+                    .into(),
+                    args: Vec::new(),
+                },
+            ),
+        ];
+        let config = TurbineConfig {
+            engines: 2,
+            ..TurbineConfig::default()
+        };
+        let outs = World::run(6, move |comm| run_rank_tenants(comm, &config, &programs));
+        let mut per_tenant = [String::new(), String::new()];
+        for o in &outs {
+            assert!(o.program_error.is_none(), "{:?}", o.program_error);
+            for (t, s) in &o.tenant_stdout {
+                per_tenant[*t as usize].push_str(s);
+            }
+        }
+        assert_eq!(per_tenant[0], "alpha\n".repeat(6));
+        assert_eq!(per_tenant[1], "beta\n".repeat(6));
+        // The server accounted both tenants.
+        let rows = &outs[5].tenant_rows;
+        assert_eq!(rows.len(), 2);
+        for (_, r) in rows {
+            assert!(r.delivered >= 6);
+        }
+    }
+
+    #[test]
+    fn tenant_failure_is_contained_to_its_program() {
+        use adlb::TenantSpec;
+        let programs = vec![
+            (
+                TenantSpec::new(0, "broken"),
+                TurbineProgram {
+                    preamble: String::new(),
+                    main: "error {deliberate failure}".into(),
+                    args: Vec::new(),
+                },
+            ),
+            (
+                TenantSpec::new(1, "healthy"),
+                TurbineProgram {
+                    preamble: String::new(),
+                    main: "turbine::spawn work 0 {puts survived}".into(),
+                    args: Vec::new(),
+                },
+            ),
+        ];
+        let config = TurbineConfig {
+            engines: 2,
+            ..TurbineConfig::default()
+        };
+        let outs = World::run(5, move |comm| run_rank_tenants(comm, &config, &programs));
+        let broken = &outs[0];
+        assert!(broken
+            .program_error
+            .as_deref()
+            .is_some_and(|e| e.contains("deliberate failure")));
+        let healthy: String = outs
+            .iter()
+            .flat_map(|o| o.tenant_stdout.iter())
+            .filter(|(t, _)| *t == 1)
+            .map(|(_, s)| s.clone())
+            .collect();
+        assert_eq!(healthy, "survived\n");
+        assert!(outs[1].program_error.is_none());
     }
 
     #[test]

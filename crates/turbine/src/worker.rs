@@ -12,11 +12,62 @@
 //! Python/R interpreters in an arbitrary state, so they are reinitialized
 //! regardless of the configured §III.C policy.
 
+use std::collections::HashMap;
+
 use tclish::{Interp, TclError};
 
 use crate::commands::SharedCtx;
 use crate::run::OutputStreamer;
 use crate::types::InterpPolicy;
+
+/// Evaluate one leaf task in `interp`, containing failures: success
+/// increments the counters and applies the §III.C policy; an error is
+/// negatively acknowledged and forces an embedded-interpreter reset.
+/// Returns whether the task succeeded.
+fn execute_task(interp: &mut Interp, ctx: &SharedCtx, task: &adlb::Task, count: &mut u64) -> bool {
+    // Zero-copy hot path: the payload is a view into the arrival
+    // buffer; validate UTF-8 in place instead of cloning it.
+    let eval_start = mpisim::trace::now_us();
+    let outcome = match std::str::from_utf8(&task.payload) {
+        Ok(code) => interp.eval(code).map(|_| ()),
+        Err(_) => Err(TclError::new("worker received non-UTF-8 task payload")),
+    };
+    let mut c = ctx.borrow_mut();
+    match outcome {
+        Ok(()) => {
+            *count += 1;
+            c.tasks_executed += 1;
+            // One eval span per successful task: the trace-vs-counter
+            // reconciliation oracle depends on this equality.
+            mpisim::trace::record_since(mpisim::trace::KIND_TASK_EVAL, *count, eval_start);
+            if c.policy == InterpPolicy::Reinitialize {
+                // §III.C: clear interpreter state between tasks. The
+                // next task that needs Python/R pays a fresh
+                // initialization; blobs from the finished task are
+                // released.
+                c.python = None;
+                c.r = None;
+                c.blobs.borrow_mut().clear();
+            }
+            true
+        }
+        Err(e) => {
+            c.tasks_failed += 1;
+            eprintln!(
+                "turbine worker {}: task failed (attempt {}): {e}",
+                c.client.rank(),
+                task.attempts + 1,
+            );
+            c.client.task_failed(&e.to_string());
+            // The failed fragment may have left embedded interpreter
+            // state half-mutated; force a clean slate.
+            c.python = None;
+            c.r = None;
+            c.blobs.borrow_mut().clear();
+            false
+        }
+    }
+}
 
 /// Run the worker loop until global termination. Returns the number of
 /// tasks executed successfully. Each finished task's output streams to
@@ -38,46 +89,57 @@ pub fn worker_loop(
         let Some(task) = task else {
             return Ok(count);
         };
-        // Zero-copy hot path: the payload is a view into the arrival
-        // buffer; validate UTF-8 in place instead of cloning it.
-        let eval_start = mpisim::trace::now_us();
-        let outcome = match std::str::from_utf8(&task.payload) {
-            Ok(code) => interp.eval(code).map(|_| ()),
-            Err(_) => Err(TclError::new("worker received non-UTF-8 task payload")),
+        execute_task(interp, ctx, &task, &mut count);
+    }
+}
+
+/// The multi-tenant worker loop: one shared ADLB client serving every
+/// tenant's leaf tasks, with a lazily created Tcl interpreter *per
+/// tenant* (each loaded with that tenant's preamble) so programs cannot
+/// observe each other's procs or globals. Embedded Python/R state and
+/// blobs are cleared on every tenant switch regardless of the configured
+/// §III.C policy — interpreter state is never shared across tenants.
+///
+/// `build` constructs the interpreter (plus its output streamer) for a
+/// tenant on first use; `args_of` yields the tenant's program arguments,
+/// installed into the shared context on each switch.
+pub fn worker_loop_tenants(
+    ctx: &SharedCtx,
+    build: &mut dyn FnMut(u32) -> (Interp, OutputStreamer),
+    args_of: &dyn Fn(u32) -> HashMap<String, String>,
+) -> u64 {
+    let mut interps: HashMap<u32, (Interp, OutputStreamer)> = HashMap::new();
+    let mut last_tenant: Option<u32> = None;
+    let mut count = 0u64;
+    loop {
+        // Ship every tenant's output increments under its own tag before
+        // blocking, so a later death of this rank loses at most the task
+        // in flight.
+        for (t, (_interp, stream)) in interps.iter_mut() {
+            let mut c = ctx.borrow_mut();
+            c.client.set_tenant(*t);
+            stream.ship(&mut c.client);
+        }
+        let task = ctx.borrow_mut().client.get(&[adlb::WORK_TYPE_WORK]);
+        let Some(task) = task else {
+            return count;
         };
-        let mut c = ctx.borrow_mut();
-        match outcome {
-            Ok(()) => {
-                count += 1;
-                c.tasks_executed += 1;
-                // One eval span per successful task: the trace-vs-counter
-                // reconciliation oracle depends on this equality.
-                mpisim::trace::record_since(mpisim::trace::KIND_TASK_EVAL, count, eval_start);
-                if c.policy == InterpPolicy::Reinitialize {
-                    // §III.C: clear interpreter state between tasks. The
-                    // next task that needs Python/R pays a fresh
-                    // initialization; blobs from the finished task are
-                    // released.
-                    c.python = None;
-                    c.r = None;
-                    c.blobs.borrow_mut().clear();
-                }
-            }
-            Err(e) => {
-                c.tasks_failed += 1;
-                eprintln!(
-                    "turbine worker {}: task failed (attempt {}): {e}",
-                    c.client.rank(),
-                    task.attempts + 1,
-                );
-                c.client.task_failed(&e.to_string());
-                // The failed fragment may have left embedded interpreter
-                // state half-mutated; force a clean slate.
+        let tenant = task.tenant;
+        if last_tenant != Some(tenant) {
+            let mut c = ctx.borrow_mut();
+            // Tenant switch: embedded interpreters and blobs must not
+            // leak across programs, whatever the retain policy says.
+            if last_tenant.is_some() {
                 c.python = None;
                 c.r = None;
                 c.blobs.borrow_mut().clear();
             }
+            c.args = args_of(tenant);
+            c.client.set_tenant(tenant);
+            last_tenant = Some(tenant);
         }
+        let (interp, _stream) = interps.entry(tenant).or_insert_with(|| build(tenant));
+        execute_task(interp, ctx, &task, &mut count);
     }
 }
 

@@ -3,11 +3,15 @@
 //! ```text
 //! swiftt [OPTIONS] <script.swift>
 //! swiftt --expr 'printf("hi");'
+//! swiftt --tenant a:4:a.swift --tenant b:1:b.swift   # N programs, one world
+//! swiftt --verify-checkpoint FILE                    # offline checkpoint fsck
 //!
 //! OPTIONS:
 //!   -n, --ranks N        total ranks (default 8)
 //!   -s, --servers N      ADLB servers (default 1)
 //!   -e, --engines N      engines (default 1)
+//!       --tenant SPEC    run SPEC = name:weight[:qN[,lM]]:script as one
+//!                        tenant of a shared world (repeatable)
 //!       --reinitialize   reinitialize Python/R interpreters per task
 //!       --no-steal       disable ADLB work stealing
 //!       --replication N  copies of each server's state (default: 2 when
@@ -19,6 +23,8 @@
 //!       --resume         restore the previous run's shards at startup
 //!       --checkpoint-file PATH
 //!                        persist the checkpoint store across processes
+//!       --verify-checkpoint FILE
+//!                        fsck a checkpoint image and exit (1 = corrupt)
 //!       --faults SPEC    inject faults (kill:rank=R,sends=N; drop:...)
 //!       --max-retries K  requeue a failed task at most K times
 //!       --emit-tcl       print the compiled Turbine code and exit
@@ -34,7 +40,7 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use swiftt::core::{FaultPlan, InterpPolicy, Runtime, SwiftTError};
+use swiftt::core::{FaultPlan, InterpPolicy, Runtime, SwiftTError, TenantQuota};
 use swiftt::pfs::{Pfs, PfsConfig};
 
 struct Options {
@@ -48,13 +54,64 @@ struct Options {
     checkpoint: Option<usize>,
     resume: bool,
     checkpoint_file: Option<String>,
+    verify_checkpoint: Option<String>,
     faults: FaultPlan,
     max_retries: Option<u32>,
     emit_tcl: bool,
     report: bool,
     trace: Option<String>,
     args: Vec<(String, String)>,
+    tenants: Vec<TenantArg>,
     source: Option<SourceSpec>,
+}
+
+/// One `--tenant name:weight[:qN[,lM]]:script` argument.
+struct TenantArg {
+    name: String,
+    weight: u32,
+    quota: Option<TenantQuota>,
+    script: String,
+}
+
+/// Parse the optional quota field of a tenant spec: `qN` caps queued
+/// tasks, `lM` caps in-flight leases, `qN,lM` both.
+fn parse_quota(field: &str) -> Option<TenantQuota> {
+    let mut q = TenantQuota::default();
+    for part in field.split(',') {
+        let (kind, n) = part.split_at(1);
+        let n: usize = n.parse().ok()?;
+        match kind {
+            "q" => q.max_queued = Some(n),
+            "l" => q.max_leases = Some(n),
+            _ => return None,
+        }
+    }
+    Some(q)
+}
+
+fn parse_tenant(spec: &str) -> Result<TenantArg, String> {
+    let bad = || format!("--tenant wants name:weight[:qN[,lM]]:script, got {spec}");
+    let (name, rest) = spec.split_once(':').ok_or_else(bad)?;
+    let (weight, rest) = rest.split_once(':').ok_or_else(bad)?;
+    let weight: u32 = weight.parse().map_err(|_| bad())?;
+    // The next field is a quota iff it parses as one; otherwise the rest
+    // is the script path (which may itself contain colons).
+    let (quota, script) = match rest.split_once(':') {
+        Some((maybe_quota, path)) => match parse_quota(maybe_quota) {
+            Some(q) => (Some(q), path.to_string()),
+            None => (None, rest.to_string()),
+        },
+        None => (None, rest.to_string()),
+    };
+    if name.is_empty() || script.is_empty() {
+        return Err(bad());
+    }
+    Ok(TenantArg {
+        name: name.to_string(),
+        weight,
+        quota,
+        script,
+    })
 }
 
 enum SourceSpec {
@@ -65,11 +122,19 @@ enum SourceSpec {
 const USAGE: &str = "\
 usage: swiftt [OPTIONS] <script.swift>
        swiftt [OPTIONS] --expr '<swift code>'
+       swiftt [OPTIONS] --tenant name:weight:script [--tenant ...]
+       swiftt --verify-checkpoint FILE
 
 options:
   -n, --ranks N        total ranks (default 8)
   -s, --servers N      ADLB servers (default 1)
   -e, --engines N      engines (default 1)
+      --tenant SPEC    run SPEC as one tenant of a shared world
+                       (repeatable; one engine rank per tenant). SPEC is
+                       name:weight[:qN[,lM]]:script — weight is the
+                       fair-share weight, qN caps queued tasks, lM caps
+                       in-flight leases (admission backpressure). With
+                       --report, prints per-tenant accounting rows.
       --reinitialize   reinitialize Python/R interpreters per task
       --no-steal       disable ADLB work stealing
       --replication N  copies of each ADLB server's state; N >= 2 lets a
@@ -96,6 +161,11 @@ options:
                        load the checkpoint store image from PATH at start
                        (if it exists) and write it back at exit, so
                        checkpoints survive the process
+      --verify-checkpoint FILE
+                       offline fsck: walk every shard of the checkpoint
+                       image in FILE, verify segment/WAL checksums and
+                       LSN continuity, print a per-shard summary, and
+                       exit (0 = clean, 1 = corruption found)
       --faults SPEC    inject faults; SPEC is ';'-separated clauses:
                          kill:rank=R,sends=N   kill R after its Nth send
                          kill:rank=R,recvs=N   kill R at its (N+1)th recv
@@ -123,12 +193,14 @@ fn parse_args() -> Result<Options, String> {
         checkpoint: None,
         resume: false,
         checkpoint_file: None,
+        verify_checkpoint: None,
         faults: FaultPlan::new(),
         max_retries: None,
         emit_tcl: false,
         report: false,
         trace: None,
         args: Vec::new(),
+        tenants: Vec::new(),
         source: None,
     };
     let mut args = std::env::args().skip(1);
@@ -151,6 +223,14 @@ fn parse_args() -> Result<Options, String> {
             "--resume" => opts.resume = true,
             "--checkpoint-file" => {
                 opts.checkpoint_file = Some(args.next().ok_or("--checkpoint-file needs a path")?);
+            }
+            "--verify-checkpoint" => {
+                opts.verify_checkpoint =
+                    Some(args.next().ok_or("--verify-checkpoint needs a path")?);
+            }
+            "--tenant" => {
+                let spec = args.next().ok_or("--tenant needs a spec")?;
+                opts.tenants.push(parse_tenant(&spec)?);
             }
             "--faults" => {
                 let spec = args.next().ok_or("--faults needs a spec")?;
@@ -202,22 +282,37 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let source = match &opts.source {
-        Some(SourceSpec::Expr(code)) => code.clone(),
-        Some(SourceSpec::File(path)) => match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("swiftt: cannot read {path}: {e}");
+    if let Some(path) = &opts.verify_checkpoint {
+        return verify_checkpoint_image(path);
+    }
+    if !opts.tenants.is_empty() && opts.source.is_some() {
+        eprintln!("swiftt: give either --tenant specs or a single script, not both");
+        return ExitCode::from(2);
+    }
+    let source = if opts.tenants.is_empty() {
+        match &opts.source {
+            Some(SourceSpec::Expr(code)) => code.clone(),
+            Some(SourceSpec::File(path)) => match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("swiftt: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => {
+                eprintln!("swiftt: no script given\n{USAGE}");
                 return ExitCode::from(2);
             }
-        },
-        None => {
-            eprintln!("swiftt: no script given\n{USAGE}");
-            return ExitCode::from(2);
         }
+    } else {
+        String::new()
     };
 
     if opts.emit_tcl {
+        if !opts.tenants.is_empty() {
+            eprintln!("swiftt: --emit-tcl takes a single script, not --tenant specs");
+            return ExitCode::from(2);
+        }
         return match stc::compile(&source) {
             Ok(p) => {
                 println!("{}", p.listing());
@@ -230,21 +325,12 @@ fn main() -> ExitCode {
         };
     }
 
-    if opts.ranks < opts.servers + opts.engines + 1 || opts.ranks < 3 {
-        eprintln!(
-            "swiftt: need at least servers + engines + 1 worker ranks (got {})",
-            opts.ranks
-        );
+    // Shape and policy validation lives in the Runtime builder
+    // (SwiftTError::Config, mapped to exit code 2 below); only the
+    // constructor's hard minimum is pre-checked to avoid a panic.
+    if opts.ranks < 3 {
+        eprintln!("swiftt: need at least 3 ranks (engine, worker, server)");
         return ExitCode::from(2);
-    }
-    if let Some(r) = opts.replication {
-        if r < 1 || r > opts.servers {
-            eprintln!(
-                "swiftt: --replication must be between 1 and the server count ({})",
-                opts.servers
-            );
-            return ExitCode::from(2);
-        }
     }
     // --resume without an explicit interval still needs the tier on.
     let checkpoint = match (opts.checkpoint, opts.resume) {
@@ -299,7 +385,24 @@ fn main() -> ExitCode {
     for (k, v) in &opts.args {
         rt = rt.arg(k, v);
     }
-    let run = rt.run(&source);
+    let run = if opts.tenants.is_empty() {
+        rt.run(&source)
+    } else {
+        let mut ok = true;
+        for t in &opts.tenants {
+            match std::fs::read_to_string(&t.script) {
+                Ok(src) => rt = rt.submit(&t.name, t.weight, t.quota, src),
+                Err(e) => {
+                    eprintln!("swiftt: cannot read {}: {e}", t.script);
+                    ok = false;
+                }
+            }
+        }
+        if !ok {
+            return ExitCode::from(2);
+        }
+        rt.run_tenants()
+    };
     // Persist the checkpoint store whatever happened to the run — a world
     // that crashed mid-program is exactly what --resume restarts from.
     if let (Some(path), Some(fs)) = (&opts.checkpoint_file, &store) {
@@ -311,6 +414,13 @@ fn main() -> ExitCode {
     match run {
         Ok(result) => {
             print!("{}", result.stdout);
+            // A broken tenant never fails the run (containment); it is
+            // reported here and in its --report row.
+            for t in &result.tenants {
+                if let Some(e) = &t.error {
+                    eprintln!("swiftt: tenant {} failed (contained): {e}", t.name);
+                }
+            }
             if let Some(path) = &opts.trace {
                 if let Err(e) = result.write_trace(std::path::Path::new(path)) {
                     eprintln!("swiftt: cannot write trace {path}: {e}");
@@ -345,6 +455,35 @@ fn main() -> ExitCode {
                     line("failover recovery  ", &lat.failover_recovery);
                     line("checkpoint flush   ", &lat.checkpoint_flush);
                     line("pfs restore        ", &lat.pfs_restore);
+                }
+                if !result.tenants.is_empty() {
+                    eprintln!("--- tenants ---------------------------------");
+                    for t in &result.tenants {
+                        let share = t
+                            .share_of_delivered
+                            .map(|s| format!("{:.1}%", s * 100.0))
+                            .unwrap_or_else(|| "-".to_string());
+                        eprintln!(
+                            "{} (weight {}): delivered {} (contended share {}), \
+                             admitted {}, rejected {}, queue peak {}",
+                            t.name,
+                            t.weight,
+                            t.stats.delivered,
+                            share,
+                            t.stats.admitted,
+                            t.stats.rejected,
+                            t.stats.queue_peak
+                        );
+                        if let Some(l) = &t.latency {
+                            eprintln!(
+                                "    task latency: p50 {}µs  p95 {}µs  max {}µs  (n={})",
+                                l.p50_us, l.p95_us, l.max_us, l.count
+                            );
+                        }
+                        if let Some(e) = &t.error {
+                            eprintln!("    error (contained): {e}");
+                        }
+                    }
                 }
                 if servers.repl_ops > 0 {
                     eprintln!("replication ops    : {}", servers.repl_ops);
@@ -402,6 +541,10 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        Err(SwiftTError::Config(m)) => {
+            eprintln!("swiftt: configuration error: {m}");
+            ExitCode::from(2)
+        }
         Err(SwiftTError::Compile(e)) => {
             eprintln!("{e}");
             ExitCode::FAILURE
@@ -410,5 +553,58 @@ fn main() -> ExitCode {
             eprintln!("swiftt: runtime error: {m}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `--verify-checkpoint FILE`: offline fsck of a durable checkpoint
+/// image (as written by `--checkpoint-file`). Read-only; exits 0 when
+/// clean, 1 on corruption, 2 when the image itself cannot be loaded.
+fn verify_checkpoint_image(path: &str) -> ExitCode {
+    let image = match std::fs::read(path) {
+        Ok(image) => image,
+        Err(e) => {
+            eprintln!("swiftt: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let fs = match Pfs::restore(PfsConfig::default(), &image) {
+        Ok(fs) => Arc::new(fs),
+        Err(e) => {
+            eprintln!("swiftt: bad checkpoint image {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = swiftt::adlb::verify_checkpoint(&fs);
+    if report.shards.is_empty() {
+        println!("{path}: no checkpoint shards found");
+        return ExitCode::SUCCESS;
+    }
+    for s in &report.shards {
+        if let Some(to) = s.redirect_to {
+            println!("shard {}: redirected to rank {to}", s.home);
+        } else {
+            println!(
+                "shard {}: segment {} ({} bytes, covers LSN {}), wal {} record(s) \
+                 / {} op(s) ({} bytes), durable LSN {}",
+                s.home,
+                s.seg_no,
+                s.segment_bytes,
+                s.segment_lsn,
+                s.wal_records,
+                s.wal_ops,
+                s.wal_bytes,
+                s.last_lsn
+            );
+        }
+        for e in &s.errors {
+            println!("shard {}: CORRUPT: {e}", s.home);
+        }
+    }
+    if report.is_clean() {
+        println!("{path}: clean ({} shard(s))", report.shards.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("{path}: corruption detected");
+        ExitCode::FAILURE
     }
 }

@@ -78,3 +78,122 @@ fn unknown_flag_usage() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
 }
+
+#[test]
+fn nonsense_shape_exits_2_with_config_error() {
+    // All servers, no client ranks: rejected by the runtime's up-front
+    // config validation, mapped to the usage exit code.
+    let out = swiftt()
+        .args(["-n", "4", "-s", "4", "--expr", r#"printf("x");"#])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("configuration error"), "{stderr}");
+
+    let out = swiftt()
+        .args([
+            "-n",
+            "6",
+            "-s",
+            "2",
+            "--replication",
+            "3",
+            "--expr",
+            r#"printf("x");"#,
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("replication"), "{stderr}");
+}
+
+#[test]
+fn tenants_share_a_world_and_report_rows() {
+    let dir = std::env::temp_dir().join("swiftt_cli_tenants");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.swift");
+    let b = dir.join("b.swift");
+    std::fs::write(&a, r#"foreach i in [1:4] { printf("aa"); }"#).unwrap();
+    std::fs::write(&b, r#"foreach i in [1:2] { printf("bb"); }"#).unwrap();
+
+    let out = swiftt()
+        .args([
+            "-n",
+            "7",
+            "--report",
+            "--tenant",
+            &format!("alpha:2:{}", a.display()),
+            "--tenant",
+            &format!("beta:1:{}", b.display()),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Tenant outputs are concatenated in tenant order, each matching what
+    // the program prints solo.
+    assert_eq!(stdout, "aa\naa\naa\naa\nbb\nbb\n");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--- tenants ---"), "{stderr}");
+    assert!(stderr.contains("alpha"), "{stderr}");
+    assert!(stderr.contains("beta"), "{stderr}");
+}
+
+#[test]
+fn tenant_and_script_are_mutually_exclusive() {
+    let out = swiftt()
+        .args(["--tenant", "a:1:/dev/null", "--expr", r#"printf("x");"#])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not both"));
+}
+
+#[test]
+fn verify_checkpoint_cli_round_trip() {
+    let dir = std::env::temp_dir().join("swiftt_cli_fsck");
+    std::fs::create_dir_all(&dir).unwrap();
+    let image = dir.join("ckpt.img");
+    let _ = std::fs::remove_file(&image);
+
+    // Produce a checkpoint image, then fsck it offline.
+    let out = swiftt()
+        .args([
+            "-n",
+            "5",
+            "--checkpoint",
+            "1",
+            "--checkpoint-file",
+            image.to_str().unwrap(),
+            "--expr",
+            r#"foreach i in [1:6] { printf("line"); }"#,
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = swiftt()
+        .args(["--verify-checkpoint", image.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("clean"), "{stdout}");
+
+    // A missing image is an I/O error (usage exit), not "corrupt".
+    let out = swiftt()
+        .args(["--verify-checkpoint", "/nonexistent/ckpt.img"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

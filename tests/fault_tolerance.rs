@@ -600,9 +600,10 @@ fn cli_rejects_replication_above_server_count() {
         .args(["--expr", "trace(1);", "-s", "1", "--replication", "2"])
         .output()
         .unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("--replication"), "{stderr}");
+    assert!(stderr.contains("replication"), "{stderr}");
+    assert!(stderr.contains("configuration error"), "{stderr}");
 }
 
 #[test]
